@@ -1,0 +1,302 @@
+(** The experiment harness: regenerates every table and figure of
+    EXPERIMENTS.md (reconstructed from the paper's evaluation — see
+    DESIGN.md for the mismatch notice and the experiment index).
+
+    Run all:         dune exec bench/main.exe
+    One experiment:  dune exec bench/main.exe -- table1 fig3
+    Bechamel micro:  dune exec bench/main.exe -- micro *)
+
+module A = Baselogic.Assertion
+module K = Baselogic.Kernel
+module T = Smt.Term
+module V = Verifier.Exec
+module P = Proofmode.Prove
+module G = Suite.Generators
+module Pr = Suite.Programs
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let ms t = t *. 1000.0
+
+(* Flush per line so partial results survive interrupts. *)
+let printf fmt = Printf.(kfprintf (fun oc -> flush oc) stdout fmt)
+let _ = ignore printf
+
+(** Verify a suite entry, collecting timing + stats. *)
+let run_verifier ?heap_dep (prog : V.program) =
+  Smt.Stats.reset ();
+  Verifier.Vstats.reset ();
+  let results, t = time (fun () -> V.verify ?heap_dep prog) in
+  let ok = List.for_all (fun (_, o) -> o = V.Verified) results in
+  (ok, t, Verifier.Vstats.snapshot (), Smt.Stats.snapshot ())
+
+let run_baseline (b : Pr.baseline) =
+  Smt.Stats.reset ();
+  K.reset_rule_count ();
+  let body = b.b_body in
+  let r, t =
+    time (fun () ->
+        match
+          P.prove_triple ~invariants:b.b_invs ~pre:b.b_pre body "result"
+            b.b_post
+        with
+        | _ -> true
+        | exception P.Tactic_error _ -> false
+        | exception K.Rule_error _ -> false)
+  in
+  (r, t, K.rule_count (), Smt.Stats.snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* T1: the benchmark-suite table *)
+
+let table1 () =
+  printf "\n== Table 1: benchmark suite ==\n";
+  printf
+    "%-14s | %9s %6s %7s %7s | %9s %8s\n" "program" "auto(ms)" "oblig"
+    "chunks" "queries" "base(ms)" "rules";
+  printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun (e : Pr.entry) ->
+      let ok, t, vs, ss = run_verifier e.prog in
+      let base =
+        match e.baseline with
+        | Some b ->
+            let ok_b, tb, rules, _ = run_baseline b in
+            if ok_b then Printf.sprintf "%9.1f %8d" (ms tb) rules
+            else "   failed        -"
+        | None -> "        -        -"
+      in
+      printf "%-14s | %9.1f %6d %7d %7d | %s%s\n" e.name (ms t)
+        vs.Verifier.Vstats.obligations vs.Verifier.Vstats.chunk_matches
+        ss.Smt.Stats.queries base
+        (if ok then "" else "   << verification failed"))
+    Pr.positive
+
+(* ------------------------------------------------------------------ *)
+(* T2: solver breakdown *)
+
+let table2 () =
+  printf "\n== Table 2: solver breakdown per program ==\n";
+  printf "%-14s | %7s %9s %9s %6s %7s %7s\n" "program" "queries"
+    "theory-ck" "lia-ck" "euf" "blocked" "eqprop";
+  printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (e : Pr.entry) ->
+      let _, _, _, ss = run_verifier e.prog in
+      printf "%-14s | %7d %9d %9d %6d %7d %7d\n" e.name
+        ss.Smt.Stats.queries ss.Smt.Stats.theory_checks ss.Smt.Stats.lia_checks
+        ss.Smt.Stats.euf_checks ss.Smt.Stats.blocking_clauses
+        ss.Smt.Stats.eq_propagations)
+    Pr.positive
+
+(* ------------------------------------------------------------------ *)
+(* T3: stability / heap-dependence *)
+
+let table3 () =
+  printf "\n== Table 3: destabilization at work ==\n";
+  printf "%-14s | %11s %10s | %s\n" "program" "resolutions"
+    "stab-check" "stable-variant Δ(oblig)";
+  printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun (e : Pr.entry) ->
+      let _, _, vs, _ = run_verifier e.prog in
+      let delta =
+        match e.stable_variant with
+        | Some sv ->
+            let okv, _, vsv, _ = run_verifier sv in
+            if okv then
+              Printf.sprintf "%+d"
+                (vsv.Verifier.Vstats.obligations - vs.Verifier.Vstats.obligations)
+            else "stable variant failed"
+        | None -> "-"
+      in
+      printf "%-14s | %11d %10d | %s\n" e.name
+        vs.Verifier.Vstats.resolutions vs.Verifier.Vstats.stab_checks delta)
+    Pr.positive
+
+(* ------------------------------------------------------------------ *)
+(* F1: scaling — straight-line programs, automated vs baseline *)
+
+let fig1 () =
+  printf "\n== Figure 1: straight-line scaling (auto vs baseline) ==\n";
+  printf "%6s | %10s %10s | %10s %10s\n" "n" "auto(ms)" "queries"
+    "base(ms)" "rules";
+  printf "%s\n" (String.make 56 '-');
+  List.iter
+    (fun n ->
+      let proc, base = G.straightline n in
+      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty } in
+      let ok, t, _, ss = run_verifier prog in
+      let ok_b, tb, rules, _ = run_baseline base in
+      printf "%6d | %10.1f %10d | %10.1f %10d%s\n" n (ms t)
+        ss.Smt.Stats.queries (ms tb) rules
+        (if ok && ok_b then "" else "  << FAILED"))
+    [ 2; 4; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* F2: scaling — symbolic-heap size *)
+
+let fig2 () =
+  printf "\n== Figure 2: symbolic-heap scaling (multicell) ==\n";
+  printf "%6s | %10s %10s %10s\n" "k" "auto(ms)" "oblig" "chunks";
+  printf "%s\n" (String.make 44 '-');
+  List.iter
+    (fun k ->
+      let proc = G.multicell k in
+      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty } in
+      let ok, t, vs, _ = run_verifier prog in
+      printf "%6d | %10.1f %10d %10d%s\n" k (ms t)
+        vs.Verifier.Vstats.obligations vs.Verifier.Vstats.chunk_matches
+        (if ok then "" else "  << FAILED"))
+    [ 2; 4; 8; 12; 16; 24 ]
+
+(* ------------------------------------------------------------------ *)
+(* F3: solver scaling *)
+
+let fig3 () =
+  printf "\n== Figure 3: solver scaling ==\n";
+  printf "%-12s %6s | %10s %10s %10s\n" "family" "n" "time(ms)"
+    "conflicts" "verdict";
+  printf "%s\n" (String.make 56 '-');
+  let run name n instance expected =
+    Smt.Stats.reset ();
+    let r, t = time (fun () -> Smt.Solver.check_sat instance) in
+    let verdict =
+      match r with
+      | Smt.Solver.Sat _ -> "sat"
+      | Smt.Solver.Unsat -> "unsat"
+      | Smt.Solver.Unknown -> "unknown"
+    in
+    let ss = Smt.Stats.snapshot () in
+    printf "%-12s %6d | %10.1f %10d %10s%s\n" name n (ms t)
+      ss.Smt.Stats.sat_conflicts verdict
+      (if String.equal verdict expected then "" else "  << UNEXPECTED")
+  in
+  List.iter (fun n -> run "pigeonhole" n (G.pigeonhole n) "unsat") [ 3; 4; 5; 6 ];
+  List.iter (fun k -> run "euf-chain" k (G.euf_chain k) "unsat") [ 8; 16; 32; 48 ];
+  List.iter (fun k -> run "lia-diamond" k (G.lia_diamond k) "sat") [ 4; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: heap-dependent assertions on/off *)
+
+let ablation_hd () =
+  printf "\n== Ablation A1: heap-dependent assertions ==\n";
+  printf "%-14s | %12s %12s | %s\n" "program" "hd-spec(ms)"
+    "stable(ms)" "note";
+  printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun (e : Pr.entry) ->
+      match e.stable_variant with
+      | None -> ()
+      | Some sv ->
+          let ok1, t1, _, _ = run_verifier e.prog in
+          let ok2, t2, _, _ = run_verifier sv in
+          (* The hd spec must fail when heap dependence is disabled. *)
+          let ok3, _, _, _ = run_verifier ~heap_dep:false e.prog in
+          printf "%-14s | %12.1f %12.1f | hd-off: %s%s\n" e.name (ms t1)
+            (ms t2)
+            (if ok3 then "verified (!)" else "rejected as expected")
+            (if ok1 && ok2 then "" else "  << FAILED"))
+    Pr.positive
+
+(* ------------------------------------------------------------------ *)
+(* A2: unsat-core minimization on/off *)
+
+let ablation_cores () =
+  printf "\n== Ablation A2: unsat-core minimization in the solver ==\n";
+  printf "%-12s %6s | %12s %10s | %12s %10s\n" "family" "n" "min(ms)"
+    "blocked" "nomin(ms)" "blocked";
+  printf "%s\n" (String.make 72 '-');
+  let run name n instance =
+    let go minimize =
+      Smt.Stats.reset ();
+      let _, t = time (fun () -> Smt.Solver.check_sat ~minimize instance) in
+      (t, (Smt.Stats.snapshot ()).Smt.Stats.blocking_clauses)
+    in
+    let t1, b1 = go true in
+    let t2, b2 = go false in
+    printf "%-12s %6d | %12.1f %10d | %12.1f %10d\n" name n (ms t1) b1
+      (ms t2) b2
+  in
+  List.iter (fun k -> run "lia-diamond" k (G.lia_diamond k)) [ 6; 10; 14 ];
+  List.iter (fun k -> run "euf-chain" k (G.euf_chain k)) [ 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks *)
+
+let micro () =
+  printf "\n== Bechamel microbenchmarks ==\n%!";
+  let open Bechamel in
+  let open Toolkit in
+  let swap_prog = Pr.swap.Pr.prog in
+  let straight8, base8 = G.straightline 8 in
+  let sprog = { V.procs = [ straight8 ]; preds = Stdx.Smap.empty } in
+  let tests =
+    [
+      Test.make ~name:"verify-swap"
+        (Staged.stage (fun () -> ignore (V.verify swap_prog)));
+      Test.make ~name:"verify-straight8"
+        (Staged.stage (fun () -> ignore (V.verify sprog)));
+      Test.make ~name:"baseline-straight8"
+        (Staged.stage (fun () -> ignore (run_baseline base8)));
+      Test.make ~name:"smt-euf-chain64"
+        (Staged.stage (fun () ->
+             ignore (Smt.Solver.check_sat (G.euf_chain 64))));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun t ->
+      let results = analyze (benchmark t) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> printf "%-24s %12.1f ns/run\n%!" name est
+          | _ -> printf "%-24s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("ablation_hd", ablation_hd);
+    ("ablation_cores", ablation_cores);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected =
+    match args with
+    | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
+    | names ->
+        if List.mem "--help" names then begin
+          printf "experiments: %s\n"
+            (String.concat " " (List.map fst experiments));
+          exit 0
+        end;
+        List.filter (fun (n, _) -> List.mem n names) experiments
+  in
+  printf "Daenerys-style verifier — experiment harness\n";
+  printf "(reconstructed experiments; see DESIGN.md / EXPERIMENTS.md)\n";
+  List.iter (fun (_, f) -> f ()) selected

@@ -1,0 +1,134 @@
+(** The [daenerys] command-line interface.
+
+    - [daenerys suite]           verify the whole benchmark suite
+    - [daenerys verify NAME]     verify one suite entry (verbose)
+    - [daenerys run NAME]        execute a suite program concretely
+    - [daenerys list]            list suite entries *)
+
+module A = Baselogic.Assertion
+module T = Smt.Term
+module HL = Heaplang.Ast
+module V = Verifier.Exec
+module Pr = Suite.Programs
+open Cmdliner
+
+let find_entry name =
+  List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
+
+let verify_entry ~verbose (e : Pr.entry) =
+  Smt.Stats.reset ();
+  Verifier.Vstats.reset ();
+  let t0 = Sys.time () in
+  let results = V.verify e.prog in
+  let dt = (Sys.time () -. t0) *. 1000.0 in
+  let ok = List.for_all (fun (_, o) -> o = V.Verified) results in
+  let verdict =
+    match (ok, e.expect_fail) with
+    | true, false -> "VERIFIED"
+    | false, true -> "rejected (as expected)"
+    | true, true -> "VERIFIED — BUT THIS ENTRY MUST FAIL"
+    | false, false -> "FAILED"
+  in
+  Fmt.pr "%-14s %-24s %6.1fms@." e.name verdict dt;
+  if verbose then begin
+    List.iter
+      (fun (p, o) ->
+        match o with
+        | V.Verified -> Fmt.pr "  proc %-12s ok@." p
+        | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
+      results;
+    Fmt.pr "  %a@." Verifier.Vstats.pp (Verifier.Vstats.snapshot ());
+    Fmt.pr "  %a@." Smt.Stats.pp (Smt.Stats.snapshot ())
+  end;
+  ok = not e.expect_fail
+
+let suite_cmd =
+  let doc = "Verify every program in the benchmark suite." in
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(
+      const (fun () ->
+          let ok =
+            List.fold_left
+              (fun acc e -> verify_entry ~verbose:false e && acc)
+              true Pr.all
+          in
+          if ok then `Ok () else `Error (false, "some entries misbehaved"))
+      $ const ()
+      |> ret)
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+
+let verify_cmd =
+  let doc = "Verify one suite entry, with statistics." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const (fun name ->
+          match find_entry name with
+          | Some e ->
+              if verify_entry ~verbose:true e then `Ok ()
+              else `Error (false, "verification misbehaved")
+          | None -> `Error (false, "unknown entry " ^ name))
+      $ name_arg
+      |> ret)
+
+let list_cmd =
+  let doc = "List the suite entries." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (e : Pr.entry) ->
+              Fmt.pr "%-14s %s%s@." e.name e.descr
+                (if e.expect_fail then "  [negative test]" else ""))
+            Pr.all)
+      $ const ())
+
+let run_cmd =
+  let doc =
+    "Run a suite program concretely (symbols closed with small values)."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun name ->
+          match find_entry name with
+          | None -> `Error (false, "unknown entry " ^ name)
+          | Some e -> (
+              match
+                List.find_opt
+                  (fun p -> String.equal p.V.pname e.main)
+                  e.prog.V.procs
+              with
+              | None -> `Error (false, "no main procedure")
+              | Some p ->
+                  (* Allocate a cell per pointer-looking parameter,
+                     close the rest with small integers. *)
+                  let closure =
+                    List.mapi
+                      (fun i x ->
+                        if String.length x = 1 && (x.[0] = 'l' || x.[0] = 'r'
+                                                   || x.[0] = 'i' || x.[0] = 'a'
+                                                   || x.[0] = 'b')
+                        then (x, HL.Loc i)
+                        else (x, HL.Int 3))
+                      p.V.params
+                  in
+                  let body = Heaplang.Subst.close_expr closure p.V.body in
+                  let allocs =
+                    List.fold_left
+                      (fun acc _ -> HL.Seq (HL.Alloc (HL.Val (HL.Int 0)), acc))
+                      body p.V.params
+                  in
+                  (match Heaplang.Interp.run allocs with
+                  | Heaplang.Interp.Value v ->
+                      Fmt.pr "result: %a@." HL.pp_value v
+                  | Heaplang.Interp.Error m -> Fmt.pr "runtime error: %s@." m
+                  | Heaplang.Interp.Timeout -> Fmt.pr "timeout@.");
+                  `Ok ()))
+      $ name_arg
+      |> ret)
+
+let () =
+  let doc = "a destabilized separation-logic verifier" in
+  let info = Cmd.info "daenerys" ~version:"0.1" ~doc in
+  exit (Cmd.eval (Cmd.group info [ suite_cmd; verify_cmd; list_cmd; run_cmd ]))

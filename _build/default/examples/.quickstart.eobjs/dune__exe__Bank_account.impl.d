@@ -1,0 +1,1 @@
+examples/bank_account.ml: Baselogic Fmt Heaplang List Option Smap Smt Stdx Suite Verifier

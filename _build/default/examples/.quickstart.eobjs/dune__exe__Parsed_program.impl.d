@@ -1,0 +1,1 @@
+examples/parsed_program.ml: Baselogic Fmt Heaplang Smap Smt Stdx Verifier

@@ -1,0 +1,1 @@
+examples/parsed_program.mli:

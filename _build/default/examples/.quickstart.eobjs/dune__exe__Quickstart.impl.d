@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselogic Fmt Heaplang Proofmode Smap Smt Stdx Verifier

@@ -1,0 +1,1 @@
+examples/verified_list.ml: Baselogic Fmt Heaplang List Smt Stdx String Suite Verifier

@@ -1,0 +1,67 @@
+(** Textual front-end: write the program as a string, parse it, verify
+    it, run it.
+
+    Run with: dune exec examples/parsed_program.exe *)
+
+module A = Baselogic.Assertion
+module T = Smt.Term
+module HL = Heaplang.Ast
+module V = Verifier.Exec
+open Stdx
+
+let src =
+  {|
+  (* absolute difference of the two cells, leaving both intact *)
+  let x = !?a in
+  let y = !?b in
+  if x < y then y - x else x - y
+|}
+
+let () =
+  Fmt.pr "== parsed program ==@.source:%s@." src;
+  let body = Heaplang.Parser.parse_exn src in
+  Fmt.pr "parsed:@.  @[%a@]@.@." HL.pp_expr body;
+  let proc =
+    {
+      V.pname = "absdiff";
+      params = [ "a"; "b"; "va"; "vb" ];
+      requires =
+        A.seps
+          [
+            A.points_to (T.var "a") (T.var "va");
+            A.points_to (T.var "b") (T.var "vb");
+          ];
+      ensures =
+        A.seps
+          [
+            A.points_to (T.var "a") (T.var "va");
+            A.points_to (T.var "b") (T.var "vb");
+            A.Pure (T.ge (T.var "result") (T.int 0));
+            A.Pure
+              (T.or_
+                 [
+                   T.eq (T.var "result") (T.sub (T.var "va") (T.var "vb"));
+                   T.eq (T.var "result") (T.sub (T.var "vb") (T.var "va"));
+                 ]);
+          ];
+      body;
+      invariants = [];
+      ghost = [];
+    }
+  in
+  (match V.verify_proc { V.procs = [ proc ]; preds = Smap.empty } proc with
+  | V.Verified -> Fmt.pr "verifier: VERIFIED@."
+  | V.Failed m -> Fmt.pr "verifier: FAILED %s@." m);
+  let closed =
+    Heaplang.Subst.close_expr [ ("a", HL.Loc 0); ("b", HL.Loc 1) ] body
+  in
+  let main =
+    HL.Seq
+      ( HL.Alloc (HL.Val (HL.Int 3)),
+        HL.Seq (HL.Alloc (HL.Val (HL.Int 10)), closed) )
+  in
+  match Heaplang.Interp.run main with
+  | Heaplang.Interp.Value v ->
+      Fmt.pr "run (a=3, b=10): %a@." HL.pp_value v
+  | Heaplang.Interp.Error m -> Fmt.pr "error: %s@." m
+  | Heaplang.Interp.Timeout -> Fmt.pr "timeout@."

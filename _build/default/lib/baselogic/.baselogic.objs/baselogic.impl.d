@@ -1,0 +1,1 @@
+lib/baselogic/baselogic.ml: Assertion Ghost_val Hterm Kernel Semantics

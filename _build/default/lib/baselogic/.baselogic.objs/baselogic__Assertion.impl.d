@@ -1,0 +1,1 @@
+lib/baselogic/assertion.ml: Fmt Ghost_val Heaplang Hterm List Option Printf Q Set Smap Smt Stdx String Term

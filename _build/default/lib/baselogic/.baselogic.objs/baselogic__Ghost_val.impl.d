@@ -1,0 +1,1 @@
+lib/baselogic/ghost_val.ml: Fmt Option Q Smt Stdx Term

@@ -1,0 +1,1 @@
+lib/baselogic/hterm.ml: List Smt String Term

@@ -1,0 +1,1 @@
+lib/baselogic/kernel.ml: Assertion Fmt Ghost_val Heaplang Hterm List Listx Option Q Smap Smt Stdx String

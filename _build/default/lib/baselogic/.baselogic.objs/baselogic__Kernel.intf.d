@@ -1,0 +1,1 @@
+lib/baselogic/kernel.mli: Assertion Fmt Ghost_val Heaplang Smt Stdx

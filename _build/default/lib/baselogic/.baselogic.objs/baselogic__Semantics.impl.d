@@ -1,0 +1,1 @@
+lib/baselogic/semantics.ml: Assertion Fmt Ghost_val Heaplang Hterm List Listx Option Q Result Smap Smt Stdx String

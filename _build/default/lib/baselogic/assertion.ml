@@ -1,0 +1,363 @@
+(** The assertion language of the destabilized logic.
+
+    The grammar is Iris's, with three departures that are the point of
+    the paper (as reconstructed):
+
+    - pure assertions [Pure φ] may contain heap reads ([!l] terms, see
+      {!Hterm}), making them *unstable* in general;
+    - [Stabilize P] (written ⌊P⌋) is the stabilization modality that
+      quantifies over the globals compatible with the local footprint,
+      recovering a stable assertion;
+    - ghost-state contents are symbolic ({!Ghost_val}), so the whole
+      language is first-order and automation-friendly.
+
+    Locations, integers, and booleans are all [Int]-sorted terms
+    (booleans as 0/1); program pairs and sums are handled at spec level
+    through mathematical functions, as in other automated verifiers. *)
+
+open Stdx
+open Smt
+
+type t =
+  | Pure of Term.t
+  | Emp
+  | Points_to of { loc : Term.t; frac : Q.t; value : Term.t }
+  | Pred of string * Term.t list  (** named (recursive) predicate *)
+  | Ghost of string * Ghost_val.t  (** [own γ a] *)
+  | Sep of t * t
+  | Wand of t * t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t  (** int-sorted logical binder *)
+  | Forall of string * t
+  | Persistently of t
+  | Later of t
+  | Upd of t  (** basic update modality |==> *)
+  | Stabilize of t  (** ⌊P⌋ *)
+  | Wp of Heaplang.Ast.expr * string * t  (** WP e {v. Q}, [v] binds *)
+
+(** A named predicate definition; [body] may mention [Pred (name, …)]
+    recursively (semantically guarded by the step index). *)
+type pred_def = { pname : string; params : string list; body : t }
+
+type pred_env = pred_def Smap.t
+
+let rec pp ppf = function
+  | Pure t -> Fmt.pf ppf "⌜%a⌝" Term.pp t
+  | Emp -> Fmt.string ppf "emp"
+  | Points_to { loc; frac; value } ->
+      if Q.equal frac Q.one then
+        Fmt.pf ppf "%a ↦ %a" Term.pp loc Term.pp value
+      else Fmt.pf ppf "%a ↦{%a} %a" Term.pp loc Q.pp frac Term.pp value
+  | Pred (p, args) ->
+      Fmt.pf ppf "%s(%a)" p (Fmt.list ~sep:(Fmt.any ",@ ") Term.pp) args
+  | Ghost (g, v) -> Fmt.pf ppf "own %s (%a)" g Ghost_val.pp v
+  | Sep (a, b) -> Fmt.pf ppf "(%a ∗ %a)" pp a pp b
+  | Wand (a, b) -> Fmt.pf ppf "(%a -∗ %a)" pp a pp b
+  | And (a, b) -> Fmt.pf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a ∨ %a)" pp a pp b
+  | Exists (x, p) -> Fmt.pf ppf "(∃ %s. %a)" x pp p
+  | Forall (x, p) -> Fmt.pf ppf "(∀ %s. %a)" x pp p
+  | Persistently p -> Fmt.pf ppf "□ %a" pp p
+  | Later p -> Fmt.pf ppf "▷ %a" pp p
+  | Upd p -> Fmt.pf ppf "|==> %a" pp p
+  | Stabilize p -> Fmt.pf ppf "⌊%a⌋" pp p
+  | Wp (e, v, q) ->
+      Fmt.pf ppf "WP %a {%s. %a}" Heaplang.Ast.pp_expr e v pp q
+
+let to_string a = Fmt.str "%a" pp a
+
+let rec equal a b =
+  match (a, b) with
+  | Pure x, Pure y -> Term.equal x y
+  | Emp, Emp -> true
+  | Points_to x, Points_to y ->
+      Term.equal x.loc y.loc && Q.equal x.frac y.frac
+      && Term.equal x.value y.value
+  | Pred (p, xs), Pred (q, ys) ->
+      String.equal p q && List.equal Term.equal xs ys
+  | Ghost (g, v), Ghost (h, w) -> String.equal g h && Ghost_val.equal v w
+  | Sep (a1, a2), Sep (b1, b2)
+  | Wand (a1, a2), Wand (b1, b2)
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Exists (x, p), Exists (y, q) | Forall (x, p), Forall (y, q) ->
+      String.equal x y && equal p q
+  | Persistently p, Persistently q
+  | Later p, Later q
+  | Upd p, Upd q
+  | Stabilize p, Stabilize q ->
+      equal p q
+  | Wp (e1, v1, q1), Wp (e2, v2, q2) ->
+      (* Structural: expressions are pure data (no functions). *)
+      (e1 == e2 || e1 = e2) && String.equal v1 v2 && equal q1 q2
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Substitution of terms for logical variables *)
+
+let subst_ghost_val map (v : Ghost_val.t) : Ghost_val.t =
+  match v with
+  | Ghost_val.Excl t -> Ghost_val.Excl (Term.subst map t)
+  | Ghost_val.Agree t -> Ghost_val.Agree (Term.subst map t)
+  | Ghost_val.Frac_tok q -> Ghost_val.Frac_tok q
+  | Ghost_val.Auth_nat { auth; frag } ->
+      Ghost_val.Auth_nat
+        {
+          auth = Option.map (Term.subst map) auth;
+          frag = Term.subst map frag;
+        }
+  | Ghost_val.Max_nat t -> Ghost_val.Max_nat (Term.subst map t)
+  | Ghost_val.Token -> Ghost_val.Token
+
+exception Subst_error of string
+
+(** The program symbols ([Sym x] leaves) of an expression. *)
+let expr_syms (e : Heaplang.Ast.expr) : string list =
+  let acc = ref [] in
+  let rec syms (v : Heaplang.Ast.value) =
+    match v with
+    | Heaplang.Ast.Sym x -> acc := x :: !acc
+    | Heaplang.Ast.Pair (a, b) ->
+        syms a;
+        syms b
+    | Heaplang.Ast.InjL a | Heaplang.Ast.InjR a -> syms a
+    | Heaplang.Ast.RecV (_, _, e) -> walk e
+    | _ -> ()
+  and walk (e : Heaplang.Ast.expr) =
+    match e with
+    | Heaplang.Ast.Val v -> syms v
+    | Heaplang.Ast.Var _ | Heaplang.Ast.GhostMark _ -> ()
+    | Heaplang.Ast.Rec (_, _, e) -> walk e
+    | Heaplang.Ast.App (a, b)
+    | Heaplang.Ast.BinOp (_, a, b)
+    | Heaplang.Ast.Let (_, a, b)
+    | Heaplang.Ast.Seq (a, b)
+    | Heaplang.Ast.While (a, b)
+    | Heaplang.Ast.PairE (a, b)
+    | Heaplang.Ast.Store (a, b)
+    | Heaplang.Ast.Faa (a, b) ->
+        walk a;
+        walk b
+    | Heaplang.Ast.UnOp (_, a)
+    | Heaplang.Ast.Fst a
+    | Heaplang.Ast.Snd a
+    | Heaplang.Ast.InjLE a
+    | Heaplang.Ast.InjRE a
+    | Heaplang.Ast.Alloc a
+    | Heaplang.Ast.Load a
+    | Heaplang.Ast.Free a
+    | Heaplang.Ast.Assert a ->
+        walk a
+    | Heaplang.Ast.If (a, b, c) | Heaplang.Ast.Cas (a, b, c) ->
+        walk a;
+        walk b;
+        walk c
+    | Heaplang.Ast.Case (a, (_, b), (_, c)) ->
+        walk a;
+        walk b;
+        walk c
+  in
+  walk e;
+  !acc
+
+(** Push a term substitution into program syntax: [Sym x] leaves are
+    replaced by the value encoding of [map x]. Only variables and
+    integer literals can cross the term/value boundary; substituting a
+    compound term for a symbol that actually occurs in the program is
+    an error (the proof layers avoid it by naming intermediate values,
+    as symbolic executors do). *)
+let subst_expr (map : Term.t Smap.t) (e : Heaplang.Ast.expr) :
+    Heaplang.Ast.expr =
+  let bindings =
+    Smap.bindings map
+    |> List.filter_map (fun (x, t) ->
+           match t with
+           | Term.Var (y, _) -> Some (x, Heaplang.Ast.Sym y)
+           | Term.Int_lit n -> Some (x, Heaplang.Ast.Int n)
+           | _ -> None)
+  in
+  let complex =
+    Smap.bindings map
+    |> List.filter (fun (_, t) ->
+           match t with Term.Var _ | Term.Int_lit _ -> false | _ -> true)
+    |> List.map fst
+  in
+  let free = expr_syms e in
+  List.iter
+    (fun x ->
+      if List.mem x free then
+        raise
+          (Subst_error
+             (Printf.sprintf
+                "cannot substitute a compound term for program symbol %s" x)))
+    complex;
+  Heaplang.Subst.close_expr bindings e
+
+(** Substitute term variables. Binders ([Exists], [Forall], [Wp]'s
+    result binder) shadow; we do not rename because substituted terms
+    in practice contain only fresh symbolic names, and the test suite
+    checks the no-capture precondition where it matters. Substitution
+    descends into the program of a [Wp] (replacing [Sym] leaves), so a
+    let-bound result can be instantiated consistently in both the
+    program and its postcondition. *)
+let rec subst (map : Term.t Smap.t) (a : t) : t =
+  if Smap.is_empty map then a
+  else
+    match a with
+    | Pure t -> Pure (Term.subst map t)
+    | Emp -> Emp
+    | Points_to { loc; frac; value } ->
+        Points_to
+          { loc = Term.subst map loc; frac; value = Term.subst map value }
+    | Pred (p, args) -> Pred (p, List.map (Term.subst map) args)
+    | Ghost (g, v) -> Ghost (g, subst_ghost_val map v)
+    | Sep (p, q) -> Sep (subst map p, subst map q)
+    | Wand (p, q) -> Wand (subst map p, subst map q)
+    | And (p, q) -> And (subst map p, subst map q)
+    | Or (p, q) -> Or (subst map p, subst map q)
+    | Exists (x, p) -> Exists (x, subst (Smap.remove x map) p)
+    | Forall (x, p) -> Forall (x, subst (Smap.remove x map) p)
+    | Persistently p -> Persistently (subst map p)
+    | Later p -> Later (subst map p)
+    | Upd p -> Upd (subst map p)
+    | Stabilize p -> Stabilize (subst map p)
+    | Wp (e, v, q) -> Wp (subst_expr map e, v, subst (Smap.remove v map) q)
+
+let subst1 x t a = subst (Smap.of_list [ (x, t) ]) a
+
+(* ------------------------------------------------------------------ *)
+(* Free term variables *)
+
+let ghost_val_terms = function
+  | Ghost_val.Excl t | Ghost_val.Agree t | Ghost_val.Max_nat t -> [ t ]
+  | Ghost_val.Frac_tok _ | Ghost_val.Token -> []
+  | Ghost_val.Auth_nat { auth; frag } -> frag :: Option.to_list auth
+
+(** Free term variables of an assertion. *)
+let free_vars (a : t) : string list =
+  let module S = Set.Make (String) in
+  let tvars t = List.map fst (Term.vars t) in
+  let rec go bound acc = function
+    | Pure t -> List.fold_left (fun acc x ->
+        if S.mem x bound then acc else S.add x acc) acc (tvars t)
+    | Emp -> acc
+    | Points_to { loc; value; _ } ->
+        List.fold_left (fun acc x ->
+            if S.mem x bound then acc else S.add x acc)
+          acc (tvars loc @ tvars value)
+    | Pred (_, args) ->
+        List.fold_left (fun acc x ->
+            if S.mem x bound then acc else S.add x acc)
+          acc (List.concat_map tvars args)
+    | Ghost (_, v) ->
+        List.fold_left (fun acc x ->
+            if S.mem x bound then acc else S.add x acc)
+          acc (List.concat_map tvars (ghost_val_terms v))
+    | Sep (p, q) | Wand (p, q) | And (p, q) | Or (p, q) ->
+        go bound (go bound acc p) q
+    | Exists (x, p) | Forall (x, p) -> go (S.add x bound) acc p
+    | Persistently p | Later p | Upd p | Stabilize p -> go bound acc p
+    | Wp (e, v, q) ->
+        let acc =
+          List.fold_left
+            (fun acc x -> if S.mem x bound then acc else S.add x acc)
+            acc (expr_syms e)
+        in
+        go (S.add v bound) acc q
+  in
+  S.elements (go S.empty S.empty a)
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic judgments *)
+
+(** Persistence: persistent assertions are duplicable and survive
+    [Persistently]. Sound approximation. *)
+let rec persistent = function
+  | Pure _ -> true  (* even heap-dependent: knowledge, not ownership *)
+  | Emp -> true
+  | Points_to _ -> false
+  | Pred _ -> false  (* conservatively; could consult the environment *)
+  | Ghost (_, v) -> Ghost_val.persistent v
+  | Sep (p, q) | And (p, q) | Or (p, q) -> persistent p && persistent q
+  | Wand _ -> false
+  | Exists (_, p) | Forall (_, p) -> persistent p
+  | Persistently _ -> true
+  | Later p -> persistent p
+  | Upd _ -> false
+  | Stabilize p -> persistent p
+  | Wp _ -> false
+
+(** The heap locations an assertion's pure parts read. Pure assertions
+    are *stable* only when their reads are covered by points-to
+    footprint in the same separating context; this function feeds that
+    analysis (see {!stable} and the verifier's stability checker). *)
+let rec heap_reads acc = function
+  | Pure t -> Hterm.heap_reads t @ acc
+  | Emp -> acc
+  | Points_to { loc; value; _ } ->
+      Hterm.heap_reads loc @ Hterm.heap_reads value @ acc
+  | Pred (_, args) -> List.concat_map Hterm.heap_reads args @ acc
+  | Ghost _ -> acc
+  | Sep (p, q) | Wand (p, q) | And (p, q) | Or (p, q) ->
+      heap_reads (heap_reads acc p) q
+  | Exists (_, p) | Forall (_, p) | Persistently p | Later p | Upd p
+  | Stabilize p ->
+      heap_reads acc p
+  | Wp (_, _, q) -> heap_reads acc q
+
+(** The syntactic footprint: location terms for which the assertion
+    itself owns a points-to chunk (any fraction). *)
+let rec footprint acc = function
+  | Points_to { loc; _ } -> loc :: acc
+  | Sep (p, q) | And (p, q) -> footprint (footprint acc p) q
+  | Exists (_, p) | Later p | Stabilize p -> footprint acc p
+  | _ -> acc
+
+(** Syntactic stability: no heap read escapes the assertion's own
+    footprint. [Stabilize _] is stable by construction; connectives
+    are stable when their parts are. This is the judgment the paper
+    (as reconstructed) uses to admit unstable assertions into frames
+    only after stabilization. *)
+let stable (a : t) : bool =
+  let fp = footprint [] a in
+  let covered l = List.exists (Term.equal l) fp in
+  let rec go = function
+    | Pure t -> List.for_all covered (Hterm.heap_reads t)
+    | Emp | Points_to _ | Ghost _ -> true
+    | Pred _ -> true  (* definitions are checked stable at declaration *)
+    | Sep (p, q) | And (p, q) | Or (p, q) -> go p && go q
+    | Wand (_, q) -> go q
+    | Exists (_, p) | Forall (_, p) | Persistently p | Later p | Upd p -> go p
+    | Stabilize _ -> true
+    | Wp _ -> true  (* WP quantifies over the global state itself *)
+  in
+  go a
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and sugar *)
+
+let pure t = Pure t
+let tru = Pure Term.tru
+let fls = Pure Term.fls
+let points_to ?(frac = Q.one) loc value = Points_to { loc; frac; value }
+let sep a b = match (a, b) with Emp, x | x, Emp -> x | _ -> Sep (a, b)
+
+(** Right-nested separating conjunction of a list, so that
+    [seps (x :: xs) = Sep (x, seps xs)] whenever [xs] is nonempty —
+    the proof-mode tactics rely on this definitional equality. *)
+let rec seps = function [] -> Emp | [ x ] -> x | x :: xs -> Sep (x, seps xs)
+let wand a b = Wand (a, b)
+let exists x p = Exists (x, p)
+let later p = Later p
+let upd p = Upd p
+let stabilize p = Stabilize p
+let wp e v q = Wp (e, v, q)
+let own g v = Ghost (g, v)
+
+(** Flatten top-level separating conjunctions. *)
+let rec conjuncts = function
+  | Sep (a, b) -> conjuncts a @ conjuncts b
+  | Emp -> []
+  | a -> [ a ]

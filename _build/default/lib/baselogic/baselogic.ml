@@ -1,0 +1,13 @@
+(** The destabilized Iris base logic.
+
+    - {!Hterm}: heap-dependent terms ([!l] inside pure assertions);
+    - {!Ghost_val}: symbolic camera elements;
+    - {!Assertion}: the assertion language with [Stabilize];
+    - {!Semantics}: finite-model semantics used to model-check rules;
+    - {!Kernel}: the LCF-style proof kernel. *)
+
+module Hterm = Hterm
+module Ghost_val = Ghost_val
+module Assertion = Assertion
+module Semantics = Semantics
+module Kernel = Kernel

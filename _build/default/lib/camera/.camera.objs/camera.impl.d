@@ -1,0 +1,1 @@
+lib/camera/camera.ml: Agree Auth Camera_intf Excl Frac Gmap Gset_disj Max_nat Nat_add Option_ra Prod Registry Sum Updates

@@ -1,0 +1,1 @@
+lib/camera/agree.ml: Fmt List Stdx

@@ -1,0 +1,1 @@
+lib/camera/auth.ml: Camera_intf Fmt

@@ -1,0 +1,1 @@
+lib/camera/camera_intf.ml: Fmt

@@ -1,0 +1,1 @@
+lib/camera/excl.ml: Fmt

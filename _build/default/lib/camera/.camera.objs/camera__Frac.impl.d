@@ -1,0 +1,1 @@
+lib/camera/frac.ml: Q Stdx

@@ -1,0 +1,1 @@
+lib/camera/gmap.ml: Camera_intf Smap Stdx

@@ -1,0 +1,1 @@
+lib/camera/gset_disj.ml: Fmt Set String

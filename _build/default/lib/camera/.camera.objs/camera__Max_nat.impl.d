@@ -1,0 +1,1 @@
+lib/camera/max_nat.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/camera/nat_add.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/camera/option_ra.ml: Camera_intf Fmt Option

@@ -1,0 +1,1 @@
+lib/camera/prod.ml: Camera_intf Fmt

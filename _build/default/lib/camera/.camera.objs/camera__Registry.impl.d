@@ -1,0 +1,1 @@
+lib/camera/registry.ml: Array Camera_intf Fmt Gmap Option Smap Stdx

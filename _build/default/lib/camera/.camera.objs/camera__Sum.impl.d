@@ -1,0 +1,1 @@
+lib/camera/sum.ml: Camera_intf Fmt Option

@@ -1,0 +1,1 @@
+lib/camera/updates.ml: Camera_intf List

@@ -1,0 +1,38 @@
+(** The (discrete) agreement camera [Ag A].
+
+    [Ag a] asserts knowledge of a value that all parties agree on;
+    composition records every claimed value and is valid only when they
+    all coincide. Every element is its own core: agreement is freely
+    duplicable. *)
+
+module type ELT = sig
+  type t
+
+  val pp : t Fmt.t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+end
+
+module Make (E : ELT) = struct
+  type t = { claims : E.t list (* sorted, deduplicated, nonempty *) }
+
+  let of_elt a = { claims = [ a ] }
+
+  let pp ppf t =
+    Fmt.pf ppf "ag(%a)" (Fmt.list ~sep:(Fmt.any ",") E.pp) t.claims
+
+  let equal a b = List.equal E.equal a.claims b.claims
+  let valid t = match t.claims with [ _ ] -> true | _ -> false
+
+  let op a b =
+    { claims = Stdx.Listx.dedup ~compare:E.compare (a.claims @ b.claims) }
+
+  let pcore t = Some t
+
+  let included a b =
+    (* a ≼ b iff a ⋅ b = b, i.e. every claim of a is a claim of b. *)
+    List.for_all (fun c -> List.exists (E.equal c) b.claims) a.claims
+
+  (** [value t] is the agreed value of a valid element. *)
+  let value t = match t.claims with [ a ] -> Some a | _ -> None
+end

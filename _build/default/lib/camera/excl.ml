@@ -1,0 +1,35 @@
+(** The exclusive camera [Excl A].
+
+    Ownership of [Excl a] is full ownership: composing two exclusive
+    elements is invalid ([Bot]). There is no core — exclusive ownership
+    is never duplicable. *)
+
+module type ELT = sig
+  type t
+
+  val pp : t Fmt.t
+  val equal : t -> t -> bool
+end
+
+module Make (E : ELT) = struct
+  type t = Excl of E.t | Bot
+
+  let pp ppf = function
+    | Excl a -> Fmt.pf ppf "excl(%a)" E.pp a
+    | Bot -> Fmt.string ppf "excl:⊥"
+
+  let equal a b =
+    match (a, b) with
+    | Excl x, Excl y -> E.equal x y
+    | Bot, Bot -> true
+    | _ -> false
+
+  let valid = function Excl _ -> true | Bot -> false
+  let op _ _ = Bot
+  let pcore _ = None
+
+  (* [Excl a ≼ Bot] holds: any witness composes to [Bot]. Within valid
+     elements nothing is included in anything (no unit). *)
+  let included a b =
+    match (a, b) with Bot, Bot -> true | _, Bot -> true | _ -> false
+end

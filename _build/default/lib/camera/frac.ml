@@ -1,0 +1,21 @@
+(** The fractional camera: rationals in (0, 1], composed by addition.
+
+    The canonical permission camera: [1] is full ownership, any positive
+    fraction grants read access, and fractions recombine by addition.
+    Sums above [1] are invalid. *)
+
+open Stdx
+
+type t = Q.t
+
+let pp = Q.pp
+let equal = Q.equal
+let valid q = Q.gt q Q.zero && Q.leq q Q.one
+let op = Q.add
+let pcore _ = None
+
+let included a b = Q.lt a b
+(* ∃ c > 0. a + c = b iff a < b. *)
+
+let full = Q.one
+let half = Q.half

@@ -1,0 +1,39 @@
+(** The finite-map camera [gmap K A]: pointwise composition.
+
+    Absent keys act as units, so the map camera is unital with the empty
+    map even when the value camera is not. Keys are strings (ghost
+    names, printed locations); richer key types go through their printed
+    form. *)
+
+open Stdx
+
+module Make (C : Camera_intf.S) = struct
+  type t = C.t Smap.t
+
+  let pp ppf m = Smap.pp C.pp ppf m
+  let equal a b = Smap.equal C.equal a b
+  let valid m = Smap.for_all (fun _ v -> C.valid v) m
+
+  let op a b =
+    Smap.union (fun _ x y -> Some (C.op x y)) a b
+
+  let pcore m =
+    (* Pointwise cores; keys without a core simply drop out (their core
+       is the absent-key unit). *)
+    Some (Smap.filter_map (fun _ v -> C.pcore v) m)
+
+  let included a b =
+    Smap.for_all
+      (fun k va ->
+        match Smap.find_opt k b with
+        | None -> false
+        | Some vb -> C.included va vb || C.equal va vb)
+      a
+
+  let unit = Smap.empty
+  let singleton k v = Smap.add k v Smap.empty
+  let find = Smap.find_opt
+  let add = Smap.add
+  let remove = Smap.remove
+  let bindings = Smap.bindings
+end

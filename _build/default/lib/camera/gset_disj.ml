@@ -1,0 +1,39 @@
+(** The disjoint-set camera [GSet K].
+
+    Ownership of a set of tokens; composition of overlapping sets is
+    invalid. Used for namespaces and one-shot tokens. *)
+
+module SSet = Set.Make (String)
+
+type t = Set of SSet.t | Bot
+
+let pp ppf = function
+  | Set s ->
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") Fmt.string)
+        (SSet.elements s)
+  | Bot -> Fmt.string ppf "gset:⊥"
+
+let equal a b =
+  match (a, b) with
+  | Set x, Set y -> SSet.equal x y
+  | Bot, Bot -> true
+  | _ -> false
+
+let valid = function Set _ -> true | Bot -> false
+
+let op a b =
+  match (a, b) with
+  | Set x, Set y when SSet.disjoint x y -> Set (SSet.union x y)
+  | _ -> Bot
+
+let pcore = function Set _ -> Some (Set SSet.empty) | Bot -> Some Bot
+
+let included a b =
+  match (a, b) with
+  | Set x, Set y -> SSet.subset x y
+  | _, Bot -> true
+  | Bot, Set _ -> false
+
+let unit = Set SSet.empty
+let singleton k = Set (SSet.singleton k)
+let of_list ks = Set (SSet.of_list ks)

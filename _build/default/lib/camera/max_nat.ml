@@ -1,0 +1,14 @@
+(** Natural numbers under maximum — the monotone-counter camera.
+
+    [MaxNat n] is persistent knowledge of a lower bound: composition
+    takes the maximum, and every element is its own core. *)
+
+type t = int
+
+let pp = Fmt.int
+let equal = Int.equal
+let valid n = n >= 0
+let op = max
+let pcore n = Some n
+let included a b = a <= b
+let unit = 0

@@ -1,0 +1,15 @@
+(** Natural numbers under addition — the contribution camera.
+
+    Used as the fragment camera of authoritative counters: each party
+    owns its contribution, and the sum of contributions is bounded by
+    the authoritative total. Unital with unit [0]. *)
+
+type t = int
+
+let pp = Fmt.int
+let equal = Int.equal
+let valid n = n >= 0
+let op = ( + )
+let pcore _ = Some 0
+let included a b = a <= b
+let unit = 0

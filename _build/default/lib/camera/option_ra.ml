@@ -1,0 +1,36 @@
+(** The option camera: adjoins a unit to any camera.
+
+    [None] is the unit; [Some a] embeds the underlying camera. This is
+    how non-unital cameras (exclusive, fractional, agreement) become
+    usable as values of unital finite-map cameras. *)
+
+module Make (C : Camera_intf.S) = struct
+  type t = C.t option
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "ε"
+    | Some a -> C.pp ppf a
+
+  let equal a b = Option.equal C.equal a b
+  let valid = function None -> true | Some a -> C.valid a
+
+  let op a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (C.op a b)
+
+  let pcore = function
+    | None -> Some None
+    | Some a -> (
+        match C.pcore a with None -> Some None | Some c -> Some (Some c))
+
+  let included a b =
+    match (a, b) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some a, Some b -> C.included a b || C.equal a b
+  (* In option, [Some a ≼ Some b] iff [a ≼ b] in C *or* [a ≡ b]
+     (witness [None]). *)
+
+  let unit = None
+end

@@ -1,0 +1,43 @@
+(** The sum camera [A + B].
+
+    An element is either a left injection, a right injection, or the
+    invalid mixture [SumBot] produced by composing across sides. *)
+
+module Make (A : Camera_intf.S) (B : Camera_intf.S) = struct
+  type t = Inl of A.t | Inr of B.t | SumBot
+
+  let pp ppf = function
+    | Inl a -> Fmt.pf ppf "inl(%a)" A.pp a
+    | Inr b -> Fmt.pf ppf "inr(%a)" B.pp b
+    | SumBot -> Fmt.string ppf "sum:⊥"
+
+  let equal x y =
+    match (x, y) with
+    | Inl a, Inl b -> A.equal a b
+    | Inr a, Inr b -> B.equal a b
+    | SumBot, SumBot -> true
+    | _ -> false
+
+  let valid = function
+    | Inl a -> A.valid a
+    | Inr b -> B.valid b
+    | SumBot -> false
+
+  let op x y =
+    match (x, y) with
+    | Inl a, Inl b -> Inl (A.op a b)
+    | Inr a, Inr b -> Inr (B.op a b)
+    | _ -> SumBot
+
+  let pcore = function
+    | Inl a -> Option.map (fun c -> Inl c) (A.pcore a)
+    | Inr b -> Option.map (fun c -> Inr c) (B.pcore b)
+    | SumBot -> Some SumBot
+
+  let included x y =
+    match (x, y) with
+    | Inl a, Inl b -> A.included a b
+    | Inr a, Inr b -> B.included a b
+    | _, SumBot -> true
+    | _ -> false
+end

@@ -1,0 +1,28 @@
+(** The paper's primary contribution, as one façade library.
+
+    [Core] re-exports the destabilized base logic and the two
+    verification layers built on it, so downstream users can depend on
+    a single library:
+
+    - {!Logic} — the assertion language, semantics, and proof kernel
+      ({!Baselogic});
+    - {!Auto} — the SMT-backed automated verifier ({!Verifier});
+    - {!Certified} — the proof-producing baseline ({!Proofmode}).
+
+    The substrates ([Camera], [Smt], [Heaplang], [Stdx]) remain
+    separately usable libraries. *)
+
+module Logic = Baselogic
+module Auto = Verifier
+module Certified = Proofmode
+
+(** One-call convenience: verify a single procedure automatically. *)
+let verify_proc ?heap_dep ?(preds = Stdx.Smap.empty) (proc : Verifier.Exec.proc) :
+    Verifier.Exec.outcome =
+  Verifier.Exec.verify_proc ?heap_dep
+    { Verifier.Exec.procs = [ proc ]; preds }
+    proc
+
+(** One-call convenience: prove a triple with the certified baseline.
+    Returns the kernel theorem [pre ⊢ WP body {result. post}]. *)
+let prove_triple = Proofmode.Prove.prove_triple

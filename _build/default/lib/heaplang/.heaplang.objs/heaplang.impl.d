@@ -1,0 +1,1 @@
+lib/heaplang/heaplang.ml: Ast Heap Interp Lexer Parser Step Subst

@@ -1,0 +1,1 @@
+lib/heaplang/ast.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/heaplang/heap.ml: Ast Fmt Int Map

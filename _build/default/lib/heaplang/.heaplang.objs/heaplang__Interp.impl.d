@@ -1,0 +1,1 @@
+lib/heaplang/interp.ml: Ast Fmt List Stdx Step String Subst

@@ -1,0 +1,1 @@
+lib/heaplang/lexer.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/heaplang/parser.ml: Ast Fmt Lexer List Printf

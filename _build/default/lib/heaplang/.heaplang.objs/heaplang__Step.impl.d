@@ -1,0 +1,1 @@
+lib/heaplang/step.ml: Ast Fmt Heap Subst

@@ -1,0 +1,1 @@
+lib/heaplang/subst.ml: Ast List Set String

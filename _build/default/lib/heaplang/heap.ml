@@ -1,0 +1,34 @@
+(** The physical heap: a finite map from locations to values, with an
+    allocation counter. Persistent, so the small-step semantics can
+    branch without copying. *)
+
+open Ast
+
+module Imap = Map.Make (Int)
+
+type t = { cells : value Imap.t; next : loc }
+
+let empty = { cells = Imap.empty; next = 0 }
+
+let alloc (h : t) (v : value) : t * loc =
+  let l = h.next in
+  ({ cells = Imap.add l v h.cells; next = l + 1 }, l)
+
+let lookup (h : t) (l : loc) : value option = Imap.find_opt l h.cells
+
+let store (h : t) (l : loc) (v : value) : t option =
+  if Imap.mem l h.cells then Some { h with cells = Imap.add l v h.cells }
+  else None
+
+let free (h : t) (l : loc) : t option =
+  if Imap.mem l h.cells then Some { h with cells = Imap.remove l h.cells }
+  else None
+
+let size (h : t) = Imap.cardinal h.cells
+let bindings (h : t) = Imap.bindings h.cells
+
+let pp ppf h =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ";@ ") (fun ppf (l, v) ->
+         Fmt.pf ppf "#%d ↦ %a" l pp_value v))
+    (bindings h)

@@ -1,0 +1,10 @@
+(** A HeapLang-style language: untyped lambda calculus with a mutable
+    higher-order heap, small-step semantics, and a fast interpreter. *)
+
+module Ast = Ast
+module Subst = Subst
+module Heap = Heap
+module Step = Step
+module Interp = Interp
+module Lexer = Lexer
+module Parser = Parser

@@ -1,0 +1,113 @@
+(** A hand-rolled lexer for the surface syntax (menhir/ocamllex are not
+    available in the sealed environment, and the token language is
+    small enough that a direct scanner is clearer anyway). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | SYM of string  (** [?x] — a specification-level symbol *)
+  | KW of string  (** keywords: let, in, while, do, done, if, … *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI  (** ; *)
+  | ARROW  (** -> *)
+  | LARROW  (** <- *)
+  | BANG  (** ! *)
+  | OP of string  (** infix operators *)
+  | EOF
+
+let pp_token ppf = function
+  | INT n -> Fmt.pf ppf "%d" n
+  | IDENT x -> Fmt.pf ppf "%s" x
+  | SYM x -> Fmt.pf ppf "?%s" x
+  | KW k -> Fmt.pf ppf "%s" k
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf ","
+  | SEMI -> Fmt.string ppf ";"
+  | ARROW -> Fmt.string ppf "->"
+  | LARROW -> Fmt.string ppf "<-"
+  | BANG -> Fmt.string ppf "!"
+  | OP s -> Fmt.string ppf s
+  | EOF -> Fmt.string ppf "<eof>"
+
+exception Lex_error of string * int  (** message, offset *)
+
+let keywords =
+  [
+    "let"; "in"; "while"; "do"; "done"; "if"; "then"; "else"; "fun"; "rec";
+    "ref"; "free"; "assert"; "ghost"; "true"; "false"; "fst"; "snd"; "inl";
+    "inr"; "match"; "with"; "end"; "CAS"; "FAA";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_alpha c || is_digit c || c = '\''
+
+(** Tokenize a whole string; positions are byte offsets (used in error
+    messages). *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment: scan to closing, no nesting *)
+      let j = ref (!i + 2) in
+      while
+        !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = ')')
+      do
+        incr j
+      done;
+      if !j + 1 >= n then raise (Lex_error ("unterminated comment", pos));
+      i := !j + 2
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do incr j done;
+      emit (INT (int_of_string (String.sub src !i (!j - !i)))) pos;
+      i := !j
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && is_ident src.[!j] do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      emit (if List.mem word keywords then KW word else IDENT word) pos;
+      i := !j
+    end
+    else if c = '?' && !i + 1 < n && is_alpha src.[!i + 1] then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident src.[!j] do incr j done;
+      emit (SYM (String.sub src (!i + 1) (!j - !i - 1))) pos;
+      i := !j
+    end
+    else begin
+      (* punctuation and operators, longest match first *)
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "->" -> emit ARROW pos; i := !i + 2
+      | "<-" -> emit LARROW pos; i := !i + 2
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+          emit (OP two) pos;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' -> emit LPAREN pos; incr i
+          | ')' -> emit RPAREN pos; incr i
+          | ',' -> emit COMMA pos; incr i
+          | ';' -> emit SEMI pos; incr i
+          | '!' -> emit BANG pos; incr i
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' ->
+              emit (OP (String.make 1 c)) pos;
+              incr i
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %c" c, pos)))
+    end
+  done;
+  List.rev ((EOF, n) :: !toks)

@@ -1,0 +1,267 @@
+(** A recursive-descent parser for the surface syntax.
+
+    Grammar (lowest to highest precedence):
+    {v
+    expr    ::= "let" x "=" expr "in" expr
+              | "fun" x "->" expr | "rec" f x "->" expr
+              | "if" expr "then" expr "else" expr
+              | "while" expr "do" expr "done"
+              | seq
+    seq     ::= assign (";" expr)?            — right-associated
+    assign  ::= disj ("<-" disj)?             — store
+    disj    ::= conj ("||" conj)*
+    conj    ::= cmp ("&&" cmp)*
+    cmp     ::= arith (("=="|"!="|"<"|"<="|">"|">=") arith)?
+    arith   ::= term (("+"|"-") term)*
+    term    ::= prefix (("*"|"/"|"%") prefix)*
+    prefix  ::= "!" prefix | "-" prefix | app
+    app     ::= atom atom*                    — application, also the
+                keyword applications ref/free/assert/fst/snd/inl/inr
+    atom    ::= int | "true" | "false" | "(" ")" | ident | ?sym
+              | "ghost" ident
+              | "CAS" "(" expr "," expr "," expr ")"
+              | "FAA" "(" expr "," expr ")"
+              | "match" expr "with" "inl" x "->" expr "|" … — omitted;
+                use [Ast.Case] directly for sums
+              | "(" expr ("," expr)? ")"
+    v}
+
+    The parser produces plain {!Ast.expr}; `?x` symbols become [Sym]
+    values, so parsed programs plug directly into the verifier. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+let fail_at pos fmt = Fmt.kstr (fun m -> raise (Parse_error (m, pos))) fmt
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st
+  else fail_at pos "expected %s, found %a" what Lexer.pp_token t
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT x, _ ->
+      advance st;
+      x
+  | t, pos -> fail_at pos "expected %s, found %a" what Lexer.pp_token t
+
+let bin_of_string = function
+  | "+" -> Add
+  | "-" -> Sub
+  | "*" -> Mul
+  | "/" -> Div
+  | "%" -> Rem
+  | "==" -> Eq
+  | "!=" -> Ne
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | "&&" -> AndOp
+  | "||" -> OrOp
+  | s -> invalid_arg ("bin_of_string: " ^ s)
+
+let rec expr st : expr =
+  (* any construct may be followed by `; rest` *)
+  let e = head st in
+  match peek st with
+  | Lexer.SEMI, _ ->
+      advance st;
+      Seq (e, expr st)
+  | _ -> e
+
+and head st : expr =
+  match peek st with
+  | Lexer.KW "let", _ ->
+      advance st;
+      let x = expect_ident st "binder" in
+      expect st (Lexer.OP "=") "'='";
+      let e1 = expr st in
+      expect st (Lexer.KW "in") "'in'";
+      let e2 = expr st in
+      Let (x, e1, e2)
+  | Lexer.KW "fun", _ ->
+      advance st;
+      let x = expect_ident st "parameter" in
+      expect st Lexer.ARROW "'->'";
+      Rec (None, x, expr st)
+  | Lexer.KW "rec", _ ->
+      advance st;
+      let f = expect_ident st "function name" in
+      let x = expect_ident st "parameter" in
+      expect st Lexer.ARROW "'->'";
+      Rec (Some f, x, expr st)
+  | Lexer.KW "if", _ ->
+      advance st;
+      let c = expr st in
+      expect st (Lexer.KW "then") "'then'";
+      let a = head st in
+      expect st (Lexer.KW "else") "'else'";
+      let b = head st in
+      If (c, a, b)
+  | Lexer.KW "while", _ ->
+      advance st;
+      let c = expr st in
+      expect st (Lexer.KW "do") "'do'";
+      let b = expr st in
+      expect st (Lexer.KW "done") "'done'";
+      While (c, b)
+  | _ -> assign st
+
+and assign st : expr =
+  let e1 = disj st in
+  match peek st with
+  | Lexer.LARROW, _ ->
+      advance st;
+      Store (e1, disj st)
+  | _ -> e1
+
+and binlevel ops next st : expr =
+  let rec go acc =
+    match peek st with
+    | Lexer.OP o, _ when List.mem o ops ->
+        advance st;
+        go (BinOp (bin_of_string o, acc, next st))
+    | _ -> acc
+  in
+  go (next st)
+
+and disj st = binlevel [ "||" ] conj st
+and conj st = binlevel [ "&&" ] cmp st
+
+and cmp st : expr =
+  let e1 = arith st in
+  match peek st with
+  | Lexer.OP o, _ when List.mem o [ "=="; "!="; "<"; "<="; ">"; ">=" ] ->
+      advance st;
+      BinOp (bin_of_string o, e1, arith st)
+  | _ -> e1
+
+and arith st = binlevel [ "+"; "-" ] term st
+and term st = binlevel [ "*"; "/"; "%" ] prefix st
+
+and prefix st : expr =
+  match peek st with
+  | Lexer.BANG, _ ->
+      advance st;
+      Load (prefix st)
+  | Lexer.OP "-", _ ->
+      advance st;
+      UnOp (Neg, prefix st)
+  | _ -> app st
+
+and app st : expr =
+  match peek st with
+  | Lexer.KW "ref", _ ->
+      advance st;
+      Alloc (atom st)
+  | Lexer.KW "free", _ ->
+      advance st;
+      Free (atom st)
+  | Lexer.KW "assert", _ ->
+      advance st;
+      Assert (atom st)
+  | Lexer.KW "fst", _ ->
+      advance st;
+      Fst (atom st)
+  | Lexer.KW "snd", _ ->
+      advance st;
+      Snd (atom st)
+  | Lexer.KW "inl", _ ->
+      advance st;
+      InjLE (atom st)
+  | Lexer.KW "inr", _ ->
+      advance st;
+      InjRE (atom st)
+  | _ ->
+      let rec go acc =
+        match peek st with
+        | (Lexer.INT _ | Lexer.IDENT _ | Lexer.SYM _ | Lexer.LPAREN
+          | Lexer.KW ("true" | "false" | "ghost" | "CAS" | "FAA")), _ ->
+            go (App (acc, atom st))
+        | _ -> acc
+      in
+      go (atom st)
+
+and atom st : expr =
+  match peek st with
+  | Lexer.INT n, _ ->
+      advance st;
+      Val (Int n)
+  | Lexer.KW "true", _ ->
+      advance st;
+      Val (Bool true)
+  | Lexer.KW "false", _ ->
+      advance st;
+      Val (Bool false)
+  | Lexer.IDENT x, _ ->
+      advance st;
+      Var x
+  | Lexer.SYM x, _ ->
+      advance st;
+      Val (Sym x)
+  | Lexer.KW "ghost", _ ->
+      advance st;
+      GhostMark (expect_ident st "ghost key")
+  | Lexer.KW "CAS", _ ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let l = expr st in
+      expect st Lexer.COMMA "','";
+      let a = expr st in
+      expect st Lexer.COMMA "','";
+      let b = expr st in
+      expect st Lexer.RPAREN "')'";
+      Cas (l, a, b)
+  | Lexer.KW "FAA", _ ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let l = expr st in
+      expect st Lexer.COMMA "','";
+      let d = expr st in
+      expect st Lexer.RPAREN "')'";
+      Faa (l, d)
+  | Lexer.LPAREN, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.RPAREN, _ ->
+          advance st;
+          Val Unit
+      | _ -> (
+          let e = expr st in
+          match peek st with
+          | Lexer.COMMA, _ ->
+              advance st;
+              let e2 = expr st in
+              expect st Lexer.RPAREN "')'";
+              PairE (e, e2)
+          | _ ->
+              expect st Lexer.RPAREN "')'";
+              e))
+  | t, pos -> fail_at pos "expected an expression, found %a" Lexer.pp_token t
+
+(** Parse a complete program. *)
+let parse (src : string) : expr =
+  let st = { toks = Lexer.tokenize src } in
+  let e = expr st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, pos -> fail_at pos "trailing input: %a" Lexer.pp_token t);
+  e
+
+(** Parse, raising [Failure] with a readable message on errors. *)
+let parse_exn src =
+  try parse src with
+  | Parse_error (m, pos) ->
+      failwith (Printf.sprintf "parse error at offset %d: %s" pos m)
+  | Lexer.Lex_error (m, pos) ->
+      failwith (Printf.sprintf "lex error at offset %d: %s" pos m)

@@ -1,0 +1,1 @@
+lib/proofmode/proofmode.ml: Prove

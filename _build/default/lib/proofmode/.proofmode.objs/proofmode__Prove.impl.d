@@ -1,0 +1,1 @@
+lib/proofmode/prove.ml: Baselogic Fmt Gensym Heaplang List Printf Q Smap Smt Stdx

@@ -1,0 +1,6 @@
+(** The proof mode: the baseline, fully-certified verification layer.
+
+    {!Prove} turns annotated A-normal-form programs into kernel
+    theorems [pre ⊢ WP e {x. post}], one kernel rule at a time. *)
+
+module Prove = Prove

@@ -1,0 +1,435 @@
+(** The proof-producing baseline verifier.
+
+    Walks a program in A-normal form, applying one kernel WP rule per
+    construct and discharging every side entailment through
+    {!Baselogic.Kernel.entail_auto}. The result is a genuine
+    {!Baselogic.Kernel.theorem}
+
+    [pre ⊢ WP e {x. post}],
+
+    with every step certified — which is also why this verifier is
+    slower and chattier (in kernel-rule count) than the SMT-only
+    verifier in [lib/verifier]: it pays for explicit resource
+    threading at every program point, where the automated verifier
+    discharges one first-order VC per obligation. That cost difference
+    is precisely what the paper's comparison (as reconstructed)
+    measures.
+
+    Loops must be annotated: supply an invariant for each [While] node
+    (matched by physical equality). *)
+
+open Stdx
+module A = Baselogic.Assertion
+module K = Baselogic.Kernel
+module T = Smt.Term
+module HL = Heaplang.Ast
+
+exception Tactic_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Tactic_error s)) fmt
+
+(** A loop annotation: the invariant, plus (optionally) the loop guard
+    as a heap-dependent formula — e.g. [!i < n] — which becomes the
+    body's extra precondition. Heap reads in the guard are resolved
+    against the invariant's chunks when the body proof starts, so this
+    is exactly the destabilized-logic idiom for carrying the guard. *)
+type loop_annot = { inv : A.t; guard : T.t option }
+
+type st = {
+  penv : A.pred_env;
+  gensym : Gensym.t;
+  hyps : A.t list;
+  invariants : (HL.expr * loop_annot) list;  (** While node ↦ annotation *)
+  witnesses : (string * T.t) list;  (** hints for existential goals *)
+}
+
+let init ?(penv = Smap.empty) ?(invariants = []) ?(witnesses = []) hyps =
+  { penv; gensym = Gensym.create ~prefix:"z" (); hyps; invariants; witnesses }
+
+let entail st goal =
+  try K.entail_auto ~penv:st.penv ~witnesses:st.witnesses st.hyps goal
+  with K.Rule_error m -> fail "%s" m
+
+(** Close a wand goal: from a proof of [K] under [hyps @ conjuncts p],
+    build [seps hyps ⊢ p -∗ K]. *)
+let prove_wand st (p : A.t) (k_thm : K.theorem) : K.theorem =
+  (* k_thm : seps (hyps @ conjuncts p) ⊢ K *)
+  let extra = A.conjuncts p in
+  let g =
+    K.entail_auto ~penv:st.penv
+      [ A.seps st.hyps; p ]
+      (A.seps (st.hyps @ extra))
+  in
+  K.wand_intro (K.trans g k_thm)
+
+let rec continue st (goal : A.t) : K.theorem =
+  match goal with
+  | A.Wp (e, x, q) -> wp st e x q
+  | A.And (p, q) -> K.and_intro (continue st p) (continue st q)
+  | A.Or (A.Pure phi, rhs) -> (
+      (* Prefer the pure side when it is entailed; otherwise prove the
+         right side classically under ¬φ. *)
+      match entail st (A.Pure phi) with
+      | th -> K.trans th (K.or_intro_l ~penv:st.penv (A.Pure phi) rhs)
+      | exception Tactic_error _ ->
+          let th =
+            continue
+              { st with hyps = st.hyps @ [ A.Pure (T.not_ phi) ] }
+              rhs
+          in
+          K.or_classical st.hyps phi rhs th)
+  | g -> entail st g
+
+(** Destruct existential hypotheses: open each [∃x.P] with a fresh
+    name, run the proof, and wrap with existential elimination. Also
+    strips [⌊·⌋] and [|==>]-free structure by flattening [Sep]s. *)
+and with_open_hyps st (k : st -> K.theorem) : K.theorem =
+  let rec split before = function
+    | [] -> None
+    | A.Exists (x, p) :: after -> Some (List.rev before, x, p, after)
+    | h :: after -> split (h :: before) after
+  in
+  match split [] st.hyps with
+  | None -> k st
+  | Some (before, x, p, after) ->
+      let y = Gensym.fresh ~hint:x st.gensym in
+      let p' = A.subst1 x (T.var y) p in
+      let opened_flat = before @ A.conjuncts p' @ after in
+      let th = with_open_hyps { st with hyps = opened_flat } k in
+      let opened = before @ [ p' ] @ after in
+      let bridge =
+        K.entail_auto ~penv:st.penv opened (A.seps opened_flat)
+      in
+      K.exists_elim_ctx ~before x y p ~after (K.trans bridge th)
+
+(** Prove [seps st.hyps ⊢ WP e {x. q}]. *)
+and wp st (e : HL.expr) (x : string) (q : A.t) : K.theorem =
+  if List.exists (function A.Exists _ -> true | _ -> false) st.hyps then
+    with_open_hyps st (fun st -> wp st e x q)
+  else if List.exists (fun h -> not (A.stable h)) st.hyps then begin
+    (* Stabilize the context: heap-dependent facts are resolved against
+       the owned chunks (or lost) before any wand is introduced. *)
+    let scrubbed = K.scrub st.hyps in
+    let bridge = K.entail_auto ~penv:st.penv st.hyps (A.seps scrubbed) in
+    K.trans bridge (wp { st with hyps = scrubbed } e x q)
+  end
+  else
+  match e with
+  | HL.Val v -> (
+      match K.value_term v with
+      | Some t ->
+          let g = A.subst1 x t q in
+          K.trans (continue st g) (K.wp_value ~penv:st.penv v x q)
+      | None -> fail "wp: value %a has no term encoding" HL.pp_value v)
+  | HL.Let (xp, e1, e2) ->
+      let y = Gensym.fresh st.gensym in
+      let e2' = Heaplang.Subst.subst xp (HL.Sym y) e2 in
+      let inner = A.Wp (e2', x, q) in
+      K.trans (wp st e1 y inner) (K.wp_let ~penv:st.penv xp e1 e2 y x q)
+  | HL.Seq (e1, e2) ->
+      let y = Gensym.fresh st.gensym in
+      let inner = A.Wp (e2, x, q) in
+      K.trans (wp st e1 y inner) (K.wp_seq ~penv:st.penv e1 e2 y x q)
+  | HL.BinOp (op, HL.Val a, HL.Val b)
+    when (match (a, b) with
+         | (HL.Sym _, _ | _, HL.Sym _) -> true
+         | _ -> false) -> (
+      match (K.value_term a, K.value_term b) with
+      | Some ta, Some tb -> (
+          match K.binop_term op ta tb with
+          | Some t ->
+              let z = Gensym.fresh st.gensym in
+              let eqn = A.Pure (T.eq (T.var z) t) in
+              let k_goal = A.subst1 x (T.var z) q in
+              let k_thm = continue { st with hyps = st.hyps @ [ eqn ] } k_goal in
+              let g =
+                K.entail_auto ~penv:st.penv
+                  [ A.seps st.hyps; eqn ]
+                  (A.seps (st.hyps @ [ eqn ]))
+              in
+              let wand = K.wand_intro (K.trans g k_thm) in
+              let forall = K.forall_intro z wand in
+              K.trans forall (K.wp_binop_n ~penv:st.penv op ta tb z x q)
+          | None -> fail "wp: binop %a has no symbolic meaning" HL.pp_bin_op op)
+      | _ -> fail "wp: binop on non-first-order values")
+  | HL.Load (HL.Val (HL.Sym l)) ->
+      let focus_thm, frac, v, rest =
+        try K.focus_points_to ~penv:st.penv st.hyps (T.var l)
+        with K.Rule_error m -> fail "%s" m
+      in
+      let pt = A.points_to ~frac (T.var l) v in
+      let z = Gensym.fresh st.gensym in
+      let eqn = A.Pure (T.eq (T.var z) v) in
+      let st_in = { st with hyps = rest @ [ pt ] } in
+      let k_thm =
+        continue { st_in with hyps = st_in.hyps @ [ eqn ] }
+          (A.subst1 x (T.var z) q)
+      in
+      let wand_inner = prove_wand st_in eqn k_thm in
+      (* wand_inner : seps (rest @ [pt]) ⊢ ⌜z=v⌝ -∗ Q[z/x] *)
+      let forall = K.forall_intro z wand_inner in
+      let outer = prove_wand_from st rest pt forall in
+      (* outer : seps rest ⊢ pt -∗ ∀z.… *)
+      let pair = K.trans focus_thm (K.sep_mono (K.refl ~penv:st.penv pt) outer) in
+      K.trans pair (K.wp_load_n ~penv:st.penv frac l v z x q)
+  | HL.Store (HL.Val (HL.Sym l), HL.Val w) ->
+      let focus_thm, frac, v, rest =
+        try K.focus_points_to ~penv:st.penv st.hyps (T.var l)
+        with K.Rule_error m -> fail "%s" m
+      in
+      if not (Q.equal frac Q.one) then
+        fail "wp: store to %s needs the full fraction" l;
+      let wt =
+        match K.value_term w with
+        | Some t -> t
+        | None -> fail "wp: stored value has no term encoding"
+      in
+      let pt = A.points_to (T.var l) v in
+      let pt' = A.points_to (T.var l) wt in
+      let k_thm =
+        continue { st with hyps = rest @ [ pt' ] } (A.subst1 x (T.int 0) q)
+      in
+      let wand = prove_wand_from st rest pt' k_thm in
+      let pair =
+        K.trans focus_thm (K.sep_mono (K.refl ~penv:st.penv pt) wand)
+      in
+      K.trans pair (K.wp_store ~penv:st.penv l v w wt x q)
+  | HL.Alloc (HL.Val v) -> (
+      match K.value_term v with
+      | Some vt ->
+          let lname = Gensym.fresh ~hint:"l" st.gensym in
+          let pt = A.points_to (T.var lname) vt in
+          let k_thm =
+            continue { st with hyps = st.hyps @ [ pt ] }
+              (A.subst1 x (T.var lname) q)
+          in
+          let wand = prove_wand st pt k_thm in
+          let forall = K.forall_intro lname wand in
+          K.trans forall (K.wp_alloc ~penv:st.penv v vt lname x q)
+      | None -> fail "wp: allocated value has no term encoding")
+  | HL.Free (HL.Val (HL.Sym l)) ->
+      let focus_thm, frac, v, rest =
+        try K.focus_points_to ~penv:st.penv st.hyps (T.var l)
+        with K.Rule_error m -> fail "%s" m
+      in
+      if not (Q.equal frac Q.one) then
+        fail "wp: free of %s needs the full fraction" l;
+      let pt = A.points_to (T.var l) v in
+      let k_thm = continue { st with hyps = rest } (A.subst1 x (T.int 0) q) in
+      let pair =
+        K.trans focus_thm (K.sep_mono (K.refl ~penv:st.penv pt) k_thm)
+      in
+      K.trans pair (K.wp_free ~penv:st.penv l v x q)
+  | HL.Faa (HL.Val (HL.Sym l), HL.Val d) ->
+      let dt =
+        match K.value_term d with
+        | Some t -> t
+        | None -> fail "wp: FAA delta has no term encoding"
+      in
+      let focus_thm, frac, v, rest =
+        try K.focus_points_to ~penv:st.penv st.hyps (T.var l)
+        with K.Rule_error m -> fail "%s" m
+      in
+      if not (Q.equal frac Q.one) then
+        fail "wp: FAA on %s needs the full fraction" l;
+      let pt = A.points_to (T.var l) v in
+      let pt' = A.points_to (T.var l) (T.add v dt) in
+      let z = Gensym.fresh st.gensym in
+      let eqn = A.Pure (T.eq (T.var z) v) in
+      let st_in = { st with hyps = rest @ [ pt' ] } in
+      let k_thm =
+        continue { st_in with hyps = st_in.hyps @ [ eqn ] }
+          (A.subst1 x (T.var z) q)
+      in
+      let wand_inner = prove_wand st_in eqn k_thm in
+      let forall = K.forall_intro z wand_inner in
+      let wand = prove_wand_from st rest pt' forall in
+      let pair =
+        K.trans focus_thm (K.sep_mono (K.refl ~penv:st.penv pt) wand)
+      in
+      K.trans pair (K.wp_faa_n ~penv:st.penv l v dt z x q)
+  | HL.If (HL.Val (HL.Sym b), e1, e2) ->
+      let tb = T.var b in
+      let zero = T.eq tb (T.int 0) in
+      let th1 =
+        let cond = A.Pure (T.not_ zero) in
+        prove_wand st cond
+          (wp { st with hyps = st.hyps @ [ cond ] } e1 x q)
+      in
+      let th2 =
+        let cond = A.Pure zero in
+        prove_wand st cond
+          (wp { st with hyps = st.hyps @ [ cond ] } e2 x q)
+      in
+      K.trans (K.and_intro th1 th2) (K.wp_if_wand ~penv:st.penv tb e1 e2 x q)
+  | HL.Assert (HL.Val (HL.Sym b)) ->
+      let tb = T.var b in
+      let th_cond = entail st (A.Pure (T.not_ (T.eq tb (T.int 0)))) in
+      let th_post = continue st (A.subst1 x (T.int 0) q) in
+      K.trans (K.and_intro th_cond th_post)
+        (K.wp_assert ~penv:st.penv tb x q)
+  | HL.While (cond, body) as loop ->
+      let { inv; guard } =
+        match
+          List.find_opt (fun (n, _) -> n == loop) st.invariants
+        with
+        | Some (_, annot) -> annot
+        | None -> fail "wp: while loop without an invariant annotation"
+      in
+      let bb = Gensym.fresh ~hint:"b" st.gensym in
+      let guard =
+        match guard with
+        | Some g -> g
+        | None -> T.not_ (T.eq (T.var bb) (T.int 0))
+      in
+      let body_pre = A.Sep (A.Pure guard, inv) in
+      let q0 = A.subst1 x (T.int 0) q in
+      let expected =
+        A.And
+          ( A.Or (A.Pure (T.eq (T.var bb) (T.int 0)), body_pre),
+            A.Or (A.Pure (T.not_ (T.eq (T.var bb) (T.int 0))), q0) )
+      in
+      let cond_thm =
+        wp { st with hyps = A.conjuncts inv } cond bb expected
+      in
+      (* cond_thm : seps (conjuncts inv) ⊢ …; wp_while wants lhs inv. *)
+      let cond_thm =
+        K.trans (K.entail_auto ~penv:st.penv [ inv ] (A.seps (A.conjuncts inv)))
+          cond_thm
+      in
+      let y = Gensym.fresh st.gensym in
+      let body_thm =
+        wp { st with hyps = A.conjuncts body_pre } body y inv
+      in
+      let body_thm =
+        K.trans
+          (K.entail_auto ~penv:st.penv [ body_pre ]
+             (A.seps (A.conjuncts body_pre)))
+          body_thm
+      in
+      let while_thm =
+        K.wp_while ~penv:st.penv ~inv ~body_pre ~cond ~body ~cond_thm
+          ~body_thm x q
+      in
+      K.trans (entail st inv) while_thm
+  | _ -> (
+      (* Anything else: try a deterministic pure head step. *)
+      match K.pure_head_step e with
+      | Some e' -> K.trans (wp st e' x q) (K.wp_pure_step ~penv:st.penv e e' x q)
+      | None -> fail "wp: unsupported expression %a (not in ANF?)" HL.pp_expr e)
+
+(** [prove_wand_from st rest p k_thm]: like {!prove_wand} but with an
+    explicit remaining-hypothesis list. *)
+and prove_wand_from st (rest : A.t list) (p : A.t) (k_thm : K.theorem) :
+    K.theorem =
+  let extra = A.conjuncts p in
+  let g =
+    K.entail_auto ~penv:st.penv
+      [ A.seps rest; p ]
+      (A.seps (rest @ extra))
+  in
+  K.wand_intro (K.trans g k_thm)
+
+(* ------------------------------------------------------------------ *)
+(* A-normal form *)
+
+(** Convert a program to A-normal form: every operand of a primitive
+    becomes a variable or literal, with [let]-bindings introduced for
+    intermediate results. The tactics (and the automated verifier)
+    both work on ANF; use {!loops} on the *normalized* program to key
+    loop invariants. *)
+let anf (e : HL.expr) : HL.expr =
+  let ctr = ref 0 in
+  let fresh () =
+    incr ctr;
+    Printf.sprintf "a%d" !ctr
+  in
+  let atomize e k =
+    match e with
+    | HL.Val _ | HL.Var _ -> k e
+    | e ->
+        let x = fresh () in
+        HL.Let (x, e, k (HL.Var x))
+  in
+  let rec go (e : HL.expr) : HL.expr =
+    match e with
+    | HL.Val _ | HL.Var _ | HL.GhostMark _ -> e
+    | HL.Rec (f, x, b) -> HL.Rec (f, x, go b)
+    | HL.App (f, a) ->
+        atomize (go f) (fun vf -> atomize (go a) (fun va -> HL.App (vf, va)))
+    | HL.UnOp (op, a) -> atomize (go a) (fun v -> HL.UnOp (op, v))
+    | HL.BinOp (op, a, b) ->
+        atomize (go a) (fun va ->
+            atomize (go b) (fun vb -> HL.BinOp (op, va, vb)))
+    | HL.If (c, a, b) -> atomize (go c) (fun vc -> HL.If (vc, go a, go b))
+    | HL.Let (x, a, b) -> HL.Let (x, go a, go b)
+    | HL.Seq (a, b) -> HL.Seq (go a, go b)
+    | HL.While (c, b) -> HL.While (go c, go b)
+    | HL.PairE (a, b) ->
+        atomize (go a) (fun va -> atomize (go b) (fun vb -> HL.PairE (va, vb)))
+    | HL.Fst a -> atomize (go a) (fun v -> HL.Fst v)
+    | HL.Snd a -> atomize (go a) (fun v -> HL.Snd v)
+    | HL.InjLE a -> atomize (go a) (fun v -> HL.InjLE v)
+    | HL.InjRE a -> atomize (go a) (fun v -> HL.InjRE v)
+    | HL.Case (a, (x, l), (y, r)) ->
+        atomize (go a) (fun v -> HL.Case (v, (x, go l), (y, go r)))
+    | HL.Alloc a -> atomize (go a) (fun v -> HL.Alloc v)
+    | HL.Load a -> atomize (go a) (fun v -> HL.Load v)
+    | HL.Store (a, b) ->
+        atomize (go a) (fun va -> atomize (go b) (fun vb -> HL.Store (va, vb)))
+    | HL.Free a -> atomize (go a) (fun v -> HL.Free v)
+    | HL.Cas (a, b, c) ->
+        atomize (go a) (fun va ->
+            atomize (go b) (fun vb ->
+                atomize (go c) (fun vc -> HL.Cas (va, vb, vc))))
+    | HL.Faa (a, b) ->
+        atomize (go a) (fun va -> atomize (go b) (fun vb -> HL.Faa (va, vb)))
+    | HL.Assert a -> atomize (go a) (fun v -> HL.Assert v)
+  in
+  go e
+
+(** The [While] nodes of a program in pre-order — for keying loop
+    invariants (by physical equality) after {!anf}. *)
+let loops (e : HL.expr) : HL.expr list =
+  let acc = ref [] in
+  let rec go (e : HL.expr) =
+    match e with
+    | HL.While (c, b) ->
+        acc := e :: !acc;
+        go c;
+        go b
+    | HL.Val _ | HL.Var _ | HL.GhostMark _ -> ()
+    | HL.Rec (_, _, b) -> go b
+    | HL.App (a, b)
+    | HL.BinOp (_, a, b)
+    | HL.Let (_, a, b)
+    | HL.Seq (a, b)
+    | HL.PairE (a, b)
+    | HL.Store (a, b)
+    | HL.Faa (a, b) ->
+        go a;
+        go b
+    | HL.UnOp (_, a)
+    | HL.Fst a | HL.Snd a | HL.InjLE a | HL.InjRE a
+    | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a ->
+        go a
+    | HL.If (a, b, c) | HL.Cas (a, b, c) ->
+        go a;
+        go b;
+        go c
+    | HL.Case (a, (_, b), (_, c)) ->
+        go a;
+        go b;
+        go c
+  in
+  go e;
+  List.rev !acc
+
+(** Top-level entry: prove the Hoare triple
+    [{pre} e {x. post}] as the kernel theorem [pre ⊢ WP e {x. post}]. *)
+let prove_triple ?(penv = Smap.empty) ?(invariants = []) ?(witnesses = [])
+    ~(pre : A.t) (e : HL.expr) (x : string) (post : A.t) : K.theorem =
+  let st = init ~penv ~invariants ~witnesses (A.conjuncts pre) in
+  let th = wp st e x post in
+  (* th : seps (conjuncts pre) ⊢ WP e {x. post}; re-attach pre. *)
+  K.trans (K.entail_auto ~penv [ pre ] (A.seps (A.conjuncts pre))) th

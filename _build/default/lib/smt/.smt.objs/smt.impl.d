@@ -1,0 +1,1 @@
+lib/smt/smt.ml: Cc Sat Simplex Solver Sort Stats Term Theory

@@ -1,0 +1,1 @@
+lib/smt/cc.ml: Array Fmt Hashtbl List Stdx Term Union_find

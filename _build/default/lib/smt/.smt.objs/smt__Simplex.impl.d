@@ -1,0 +1,1 @@
+lib/smt/simplex.ml: Array Fmt Hashtbl List Option Q Smap Stdx

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Fmt Gensym Hashtbl List Option Sat Smap Smt__ Sort Stats Stdx String Sys Term Theory

@@ -1,0 +1,1 @@
+lib/smt/term.ml: Fmt List Option Sort Stdlib Stdx String

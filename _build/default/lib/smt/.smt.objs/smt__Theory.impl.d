@@ -1,0 +1,1 @@
+lib/smt/theory.ml: Cc Fmt Gensym Hashtbl List Listx Q Simplex Smap Sort Stats Stdx Sys Term

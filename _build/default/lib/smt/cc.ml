@@ -1,0 +1,152 @@
+(** Congruence closure for ground equality with uninterpreted functions.
+
+    Operates on *purified* terms: variables, integer literals, and
+    applications of uninterpreted symbols (arithmetic has been replaced
+    by proxy variables before terms reach this module). Terms are
+    interned into dense node ids; merging maintains a signature table
+    so congruence ([x = y] implies [f x = f y]) propagates to parents.
+
+    Distinct integer literals are pairwise disequal by construction:
+    merging two of them is an immediate conflict. *)
+
+open Stdx
+
+type node_kind =
+  | Const of string  (** variable or nullary symbol *)
+  | Num of int  (** integer literal — distinct literals never merge *)
+  | Fapp of string * int list  (** symbol + argument node ids *)
+
+type t = {
+  uf : Union_find.t;
+  mutable kinds : node_kind array;
+  mutable n_nodes : int;
+  intern : (node_kind, int) Hashtbl.t;
+  signatures : (string * int list, int) Hashtbl.t;
+  mutable parents : int list array;  (* rep -> parent application nodes *)
+  mutable num_of_class : int option array;  (* rep -> literal value if any *)
+  mutable diseqs : (int * int) list;
+  mutable inconsistent : bool;
+}
+
+let create () =
+  {
+    uf = Union_find.create ();
+    kinds = Array.make 64 (Const "");
+    n_nodes = 0;
+    intern = Hashtbl.create 64;
+    signatures = Hashtbl.create 64;
+    parents = Array.make 64 [];
+    num_of_class = Array.make 64 None;
+    diseqs = [];
+    inconsistent = false;
+  }
+
+let grow t n =
+  if n >= Array.length t.kinds then begin
+    let cap = max (n + 1) (2 * Array.length t.kinds) in
+    let kinds = Array.make cap (Const "") in
+    let parents = Array.make cap [] in
+    let nums = Array.make cap None in
+    Array.blit t.kinds 0 kinds 0 t.n_nodes;
+    Array.blit t.parents 0 parents 0 t.n_nodes;
+    Array.blit t.num_of_class 0 nums 0 t.n_nodes;
+    t.kinds <- kinds;
+    t.parents <- parents;
+    t.num_of_class <- nums
+  end
+
+let find t n = Union_find.find t.uf n
+
+let signature t f args = (f, List.map (find t) args)
+
+let rec alloc t kind =
+  match Hashtbl.find_opt t.intern kind with
+  | Some id -> id
+  | None ->
+      let id = Union_find.make t.uf in
+      grow t id;
+      t.n_nodes <- id + 1;
+      t.kinds.(id) <- kind;
+      Hashtbl.add t.intern kind id;
+      (match kind with
+      | Num v -> t.num_of_class.(id) <- Some v
+      | Const _ -> ()
+      | Fapp (f, args) ->
+          (* Register in the signature table, merging on collision. *)
+          List.iter
+            (fun a ->
+              let r = find t a in
+              t.parents.(r) <- id :: t.parents.(r))
+            args;
+          let s = signature t f args in
+          (match Hashtbl.find_opt t.signatures s with
+          | Some id' -> merge t id id'
+          | None -> Hashtbl.add t.signatures s id));
+      id
+
+and merge t a b =
+  if t.inconsistent then ()
+  else
+    let ra = find t a and rb = find t b in
+    if ra <> rb then begin
+      (* Numeric consistency. *)
+      (match (t.num_of_class.(ra), t.num_of_class.(rb)) with
+      | Some x, Some y when x <> y -> t.inconsistent <- true
+      | _ -> ());
+      if not t.inconsistent then begin
+        let pa = t.parents.(ra) and pb = t.parents.(rb) in
+        let na = t.num_of_class.(ra) and nb = t.num_of_class.(rb) in
+        let r = Union_find.union t.uf ra rb in
+        t.parents.(r) <- List.rev_append pa pb;
+        t.num_of_class.(r) <- (match na with Some _ -> na | None -> nb);
+        (* Recompute signatures of parents; merge on collisions. *)
+        let to_merge = ref [] in
+        List.iter
+          (fun p ->
+            match t.kinds.(p) with
+            | Fapp (f, args) -> (
+                let s = signature t f args in
+                match Hashtbl.find_opt t.signatures s with
+                | Some q when find t q <> find t p ->
+                    to_merge := (p, q) :: !to_merge
+                | Some _ -> ()
+                | None -> Hashtbl.add t.signatures s p)
+            | _ -> ())
+          t.parents.(r);
+        List.iter (fun (p, q) -> merge t p q) !to_merge
+      end
+    end
+
+(** Intern a purified term. Arithmetic constructors are rejected — the
+    caller must purify first. *)
+let rec node_of_term t (tm : Term.t) =
+  match tm with
+  | Term.Var (x, _) -> alloc t (Const x)
+  | Term.Int_lit n -> alloc t (Num n)
+  | Term.App (f, args) ->
+      let args = List.map (node_of_term t) args in
+      alloc t (Fapp (f, args))
+  | _ ->
+      invalid_arg
+        (Fmt.str "Cc.node_of_term: unpurified term %a" Term.pp tm)
+
+let assert_eq t a b = merge t a b
+
+let assert_neq t a b = t.diseqs <- (a, b) :: t.diseqs
+
+let are_equal t a b = find t a = find t b
+
+(** Consistency of everything asserted so far. *)
+let consistent t =
+  (not t.inconsistent)
+  && List.for_all (fun (a, b) -> not (are_equal t a b)) t.diseqs
+
+(** All interned nodes whose kind is a constant with the given name
+    predicate — used for equality propagation across theories. *)
+let const_nodes t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun kind id ->
+      match kind with Const x -> acc := (x, id) :: !acc | _ -> ())
+    t.intern;
+  !acc

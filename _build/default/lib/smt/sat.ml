@@ -1,0 +1,385 @@
+(** A CDCL SAT solver.
+
+    Classic architecture: two-watched-literal propagation, first-UIP
+    conflict analysis with clause learning, VSIDS-style activity
+    ordering, Luby restarts, and phase saving. The solver is
+    incremental in the sense needed by lazy SMT: after a model is
+    found, new (blocking) clauses may be added and solving resumed.
+
+    Literal encoding: variable [v] yields literals [2*v] (positive) and
+    [2*v+1] (negative). *)
+
+type lit = int
+
+let lit_of_var ?(neg = false) v = (2 * v) lor if neg then 1 else 0
+let var_of_lit l = l lsr 1
+let neg_lit l = l lxor 1
+let is_pos l = l land 1 = 0
+
+type result = Sat | Unsat | Unknown
+
+type clause = { lits : lit array; mutable activity : float; learnt : bool }
+
+type t = {
+  mutable n_vars : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable watches : clause list array;  (* indexed by literal *)
+  mutable assign : int array;  (* var -> -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;  (* var -> decision level *)
+  mutable reason : clause option array;  (* var -> antecedent clause *)
+  mutable phase : bool array;  (* var -> saved phase *)
+  mutable activity : float array;  (* var -> VSIDS activity *)
+  mutable var_inc : float;
+  mutable trail : lit array;
+  mutable trail_len : int;
+  mutable trail_lim : int list;  (* decision-level markers *)
+  mutable prop_head : int;
+  mutable ok : bool;  (* false once toplevel conflict found *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    n_vars = 0;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 16 [];
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    phase = Array.make 8 false;
+    activity = Array.make 8 0.0;
+    var_inc = 1.0;
+    trail = Array.make 8 0;
+    trail_len = 0;
+    trail_lim = [];
+    prop_head = 0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let grow_arrays t n =
+  let cap a fill =
+    let len = Array.length a in
+    if n <= len then a
+    else begin
+      let a' = Array.make (max n (2 * len)) fill in
+      Array.blit a 0 a' 0 len;
+      a'
+    end
+  in
+  t.assign <- cap t.assign (-1);
+  t.level <- cap t.level 0;
+  t.reason <- cap t.reason None;
+  t.phase <- cap t.phase false;
+  t.activity <- cap t.activity 0.0;
+  t.trail <- cap t.trail 0;
+  let wlen = Array.length t.watches in
+  if 2 * n > wlen then begin
+    let w = Array.make (max (2 * n) (2 * wlen)) [] in
+    Array.blit t.watches 0 w 0 wlen;
+    t.watches <- w
+  end
+
+(** Allocate variables up to id [v]. *)
+let ensure_var t v =
+  if v >= t.n_vars then begin
+    grow_arrays t (v + 1);
+    t.n_vars <- v + 1
+  end
+
+let new_var t =
+  let v = t.n_vars in
+  ensure_var t v;
+  v
+
+let value_lit t l =
+  let a = t.assign.(var_of_lit l) in
+  if a < 0 then -1 else if is_pos l then a else 1 - a
+
+let decision_level t = List.length t.trail_lim
+
+let enqueue t l reason =
+  let v = var_of_lit l in
+  t.assign.(v) <- (if is_pos l then 1 else 0);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- is_pos l;
+  t.trail.(t.trail_len) <- l;
+  t.trail_len <- t.trail_len + 1
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.n_vars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let decay_var_activity t = t.var_inc <- t.var_inc /. 0.95
+
+(* ------------------------------------------------------------------ *)
+(* Propagation *)
+
+exception Conflict of clause
+
+let watch t l c = t.watches.(l) <- c :: t.watches.(l)
+
+(** Attach a clause of length >= 2 to the watch lists. *)
+let attach t c =
+  watch t (neg_lit c.lits.(0)) c;
+  watch t (neg_lit c.lits.(1)) c
+
+let propagate t =
+  try
+    while t.prop_head < t.trail_len do
+      let l = t.trail.(t.prop_head) in
+      t.prop_head <- t.prop_head + 1;
+      t.propagations <- t.propagations + 1;
+      (* [l] became true; visit clauses watching [neg l]. *)
+      let watching = t.watches.(l) in
+      t.watches.(l) <- [];
+      let rec go = function
+        | [] -> ()
+        | c :: rest -> (
+            (* Normalize: false watch at position 0/1 being neg l. *)
+            let lits = c.lits in
+            let falsified = neg_lit l in
+            if lits.(0) = falsified then begin
+              lits.(0) <- lits.(1);
+              lits.(1) <- falsified
+            end;
+            if value_lit t lits.(0) = 1 then begin
+              (* Clause already satisfied; keep watching. *)
+              watch t l c;
+              go rest
+            end
+            else
+              (* Find a new literal to watch. *)
+              let n = Array.length lits in
+              let rec find i =
+                if i >= n then None
+                else if value_lit t lits.(i) <> 0 then Some i
+                else find (i + 1)
+              in
+              match find 2 with
+              | Some i ->
+                  lits.(1) <- lits.(i);
+                  lits.(i) <- falsified;
+                  watch t (neg_lit lits.(1)) c;
+                  go rest
+              | None ->
+                  (* Unit or conflicting. *)
+                  watch t l c;
+                  if value_lit t lits.(0) = 0 then begin
+                    (* Conflict: restore remaining watches first. *)
+                    List.iter (fun c' -> watch t l c') rest;
+                    raise (Conflict c)
+                  end
+                  else begin
+                    enqueue t lits.(0) (Some c);
+                    go rest
+                  end)
+      in
+      go watching
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (first UIP) *)
+
+let analyze t confl =
+  let seen = Array.make t.n_vars false in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) (* literal being resolved on; -1 = conflict clause *) in
+  let confl = ref (Some confl) in
+  let idx = ref (t.trail_len - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+    | None -> invalid_arg "analyze: missing antecedent"
+    | Some c ->
+        Array.iter
+          (fun q ->
+            if q <> !p then
+              let v = var_of_lit q in
+              if (not seen.(v)) && t.level.(v) > 0 then begin
+                seen.(v) <- true;
+                bump_var t v;
+                if t.level.(v) >= decision_level t then incr counter
+                else begin
+                  learnt := q :: !learnt;
+                  btlevel := max !btlevel t.level.(v)
+                end
+              end)
+          c.lits);
+    (* Find next literal on the trail to resolve. *)
+    let rec next () =
+      let l = t.trail.(!idx) in
+      decr idx;
+      if seen.(var_of_lit l) then l else next ()
+    in
+    let l = next () in
+    decr counter;
+    if !counter = 0 then begin
+      learnt := neg_lit l :: !learnt;
+      continue := false
+    end
+    else begin
+      p := l;
+      seen.(var_of_lit l) <- false;
+      confl := t.reason.(var_of_lit l)
+    end
+  done;
+  (* The asserting literal must be first. *)
+  let lits =
+    match !learnt with
+    | uip :: rest -> Array.of_list (uip :: rest)
+    | [] -> invalid_arg "analyze: empty learnt clause"
+  in
+  (lits, !btlevel)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let rec marker lim n = match lim with
+      | [] -> 0
+      | m :: rest -> if n = lvl + 1 then m else marker rest (n - 1)
+    in
+    let bound = marker t.trail_lim (decision_level t) in
+    for i = t.trail_len - 1 downto bound do
+      let v = var_of_lit t.trail.(i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- None
+    done;
+    t.trail_len <- bound;
+    t.prop_head <- bound;
+    let rec drop lim n = if n = lvl then lim else match lim with
+      | _ :: rest -> drop rest (n - 1)
+      | [] -> []
+    in
+    t.trail_lim <- drop t.trail_lim (decision_level t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause addition *)
+
+(** Add a clause; returns [false] if the solver became trivially
+    inconsistent. May be called between [solve] invocations (blocking
+    clauses); the solver backtracks to level 0 first. *)
+let add_clause t lits =
+  if not t.ok then false
+  else begin
+    cancel_until t 0;
+    List.iter (fun l -> ensure_var t (var_of_lit l)) lits;
+    (* Simplify: drop duplicate and false literals, detect tautology. *)
+    let lits = List.sort_uniq compare lits in
+    let taut =
+      List.exists (fun l -> List.mem (neg_lit l) lits) lits
+      || List.exists (fun l -> value_lit t l = 1) lits
+    in
+    if taut then true
+    else begin
+      let lits = List.filter (fun l -> value_lit t l <> 0) lits in
+      match lits with
+      | [] ->
+          t.ok <- false;
+          false
+      | [ l ] ->
+          enqueue t l None;
+          (match propagate t with
+          | Some _ ->
+              t.ok <- false;
+              false
+          | None -> true)
+      | l0 :: l1 :: _ ->
+          ignore l1;
+          ignore l0;
+          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false } in
+          t.clauses <- c :: t.clauses;
+          attach t c;
+          true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Search *)
+
+let pick_branch_var t =
+  let best = ref (-1) and best_act = ref neg_infinity in
+  for v = 0 to t.n_vars - 1 do
+    if t.assign.(v) < 0 && t.activity.(v) > !best_act then begin
+      best := v;
+      best_act := t.activity.(v)
+    end
+  done;
+  !best
+
+let luby i =
+  (* Luby restart sequence. *)
+  let rec go k i =
+    if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+    else if i < (1 lsl (k - 1)) - 1 then go (k - 1) i
+    else go (k - 1) (i - ((1 lsl (k - 1)) - 1))
+  in
+  let rec find_k k = if (1 lsl k) - 1 > i then k else find_k (k + 1) in
+  go (find_k 1) i
+
+(** Solve the current clause set. *)
+let solve ?(max_conflicts = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    let restart_count = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let budget = 64 * luby !restart_count in
+      incr restart_count;
+      let conflicts_here = ref 0 in
+      (try
+         while !result = None && !conflicts_here < budget do
+           match propagate t with
+           | Some confl ->
+               t.conflicts <- t.conflicts + 1;
+               incr conflicts_here;
+               if t.conflicts > max_conflicts then result := Some Unknown
+               else if decision_level t = 0 then begin
+                 t.ok <- false;
+                 result := Some Unsat
+               end
+               else begin
+                 let lits, btlevel = analyze t confl in
+                 cancel_until t btlevel;
+                 decay_var_activity t;
+                 if Array.length lits = 1 then enqueue t lits.(0) None
+                 else begin
+                   let c = { lits; activity = 0.0; learnt = true } in
+                   t.learnts <- c :: t.learnts;
+                   attach t c;
+                   enqueue t lits.(0) (Some c)
+                 end
+               end
+           | None ->
+               let v = pick_branch_var t in
+               if v < 0 then result := Some Sat
+               else begin
+                 t.decisions <- t.decisions + 1;
+                 t.trail_lim <- t.trail_len :: t.trail_lim;
+                 enqueue t (lit_of_var ~neg:(not t.phase.(v)) v) None
+               end
+         done
+       with Conflict _ -> invalid_arg "sat: uncaught conflict");
+      if !result = None then cancel_until t 0 (* restart *)
+    done;
+    Option.get !result
+  end
+
+(** Value of a variable in the current (SAT) assignment. *)
+let model_value t v = t.assign.(v) = 1

@@ -1,0 +1,432 @@
+(** Linear integer arithmetic via general simplex with branch-and-bound.
+
+    The rational core is the Dutertre–de Moura "general simplex" used
+    in DPLL(T) solvers: every constraint [Σ cᵢ·xᵢ ⋈ k] is turned into a
+    slack variable [s = Σ cᵢ·xᵢ] (a tableau row) plus a bound on [s].
+    Strict bounds are handled with δ-rationals (pairs [v + k·δ] for an
+    infinitesimal δ). Integrality is recovered by branch-and-bound on
+    the rational relaxation.
+
+    The solver is used *offline* by the lazy-SMT loop: assert a
+    conjunction of literals, call {!check}. *)
+
+open Stdx
+
+(* δ-rationals: v + d·δ, ordered lexicographically. *)
+module Dq = struct
+  type t = { v : Q.t; d : Q.t }
+
+  let of_q v = { v; d = Q.zero }
+  let zero = of_q Q.zero
+  let make v d = { v; d }
+  let add a b = { v = Q.add a.v b.v; d = Q.add a.d b.d }
+  let sub a b = { v = Q.sub a.v b.v; d = Q.sub a.d b.d }
+  let scale c a = { v = Q.mul c a.v; d = Q.mul c a.d }
+
+  let compare a b =
+    let c = Q.compare a.v b.v in
+    if c <> 0 then c else Q.compare a.d b.d
+
+  let leq a b = compare a b <= 0
+  let lt a b = compare a b < 0
+  let pp ppf a =
+    if Q.equal a.d Q.zero then Q.pp ppf a.v
+    else Fmt.pf ppf "%a+(%a)δ" Q.pp a.v Q.pp a.d
+end
+
+type op = Le | Lt | Ge | Gt | Eq
+
+(* A linear expression: coefficient map over variable ids. *)
+module Linexp = struct
+  type t = Q.t Smap.t
+
+  let empty : t = Smap.empty
+
+  let add_term x c (e : t) : t =
+    Smap.update x
+      (function
+        | None -> if Q.equal c Q.zero then None else Some c
+        | Some c' ->
+            let s = Q.add c c' in
+            if Q.equal s Q.zero then None else Some s)
+      e
+
+  let of_list l = List.fold_left (fun e (x, c) -> add_term x c e) empty l
+  let is_empty (e : t) = Smap.is_empty e
+end
+
+type t = {
+  mutable n : int;  (* number of solver variables *)
+  names : (string, int) Hashtbl.t;
+  mutable rows : (int * Q.t) list array;  (* basic var -> row over nonbasics *)
+  mutable is_basic : bool array;
+  mutable lower : Dq.t option array;
+  mutable upper : Dq.t option array;
+  mutable beta : Dq.t array;
+  mutable trivially_unsat : bool;
+}
+
+let create () =
+  {
+    n = 0;
+    names = Hashtbl.create 16;
+    rows = Array.make 16 [];
+    is_basic = Array.make 16 false;
+    lower = Array.make 16 None;
+    upper = Array.make 16 None;
+    beta = Array.make 16 Dq.zero;
+    trivially_unsat = false;
+  }
+
+let grow t n =
+  if n >= Array.length t.is_basic then begin
+    let cap = max (n + 1) (2 * Array.length t.is_basic) in
+    let copy a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 t.n;
+      a'
+    in
+    t.rows <- copy t.rows [];
+    t.is_basic <- copy t.is_basic false;
+    t.lower <- copy t.lower None;
+    t.upper <- copy t.upper None;
+    t.beta <- copy t.beta Dq.zero
+  end
+
+let fresh_var t =
+  let id = t.n in
+  grow t id;
+  t.n <- id + 1;
+  id
+
+let var_of_name t x =
+  match Hashtbl.find_opt t.names x with
+  | Some id -> id
+  | None ->
+      let id = fresh_var t in
+      Hashtbl.add t.names x id;
+      id
+
+let tighten_lower t x b =
+  match t.lower.(x) with
+  | Some l when Dq.leq b l -> ()
+  | _ -> t.lower.(x) <- Some b
+
+let tighten_upper t x b =
+  match t.upper.(x) with
+  | Some u when Dq.leq u b -> ()
+  | _ -> t.upper.(x) <- Some b
+
+(** Introduce a tableau row [s = e] for a fresh slack [s]. *)
+let slack_for t (e : Linexp.t) =
+  let s = fresh_var t in
+  t.is_basic.(s) <- true;
+  t.rows.(s) <- Smap.bindings e |> List.map (fun (x, c) -> (var_of_name t x, c));
+  s
+
+(** Assert [e ⋈ k]. Single-variable expressions bound the variable
+    directly; general expressions go through a slack variable. *)
+let assert_atom t (e : Linexp.t) (op : op) (k : Q.t) =
+  if Linexp.is_empty e then begin
+    (* Constant constraint: 0 ⋈ k. *)
+    let holds =
+      match op with
+      | Le -> Q.leq Q.zero k
+      | Lt -> Q.lt Q.zero k
+      | Ge -> Q.geq Q.zero k
+      | Gt -> Q.gt Q.zero k
+      | Eq -> Q.equal Q.zero k
+    in
+    if not holds then t.trivially_unsat <- true
+  end
+  else begin
+    let x, unit_coeff =
+      match Smap.bindings e with
+      | [ (x, c) ] -> (Some (var_of_name t x), c)
+      | _ -> (None, Q.one)
+    in
+    let target, scale =
+      match x with
+      | Some x -> (x, unit_coeff)
+      | None -> (slack_for t e, Q.one)
+    in
+    (* target·scale ⋈ k, i.e. target ⋈ k/scale (flipping on negative). *)
+    let k = Q.div k scale in
+    let op =
+      if Q.lt scale Q.zero then
+        match op with Le -> Ge | Lt -> Gt | Ge -> Le | Gt -> Lt | Eq -> Eq
+      else op
+    in
+    (* Integer tightening: every solver variable is integral (problem
+       variables by sorting, slacks as integer combinations when the
+       expression has integer coefficients), so strict bounds tighten
+       to non-strict ones on the adjacent integer and fractional
+       constants round inward. Without this, branch-and-bound cannot
+       refute facts like [x < n ∧ x + 1 > n] (no integer strictly
+       between consecutive integers) and diverges. *)
+    let integral =
+      (* A problem variable is integral by sorting; a slack is integral
+         when the expression's coefficients all are. *)
+      match x with
+      | Some _ -> true
+      | None -> Smap.for_all (fun _ c -> Q.is_int c) e
+    in
+    if integral then
+      match op with
+      | Le -> tighten_upper t target (Dq.of_q (Q.of_int (Q.floor k)))
+      | Lt ->
+          let b = if Q.is_int k then Q.num k - 1 else Q.floor k in
+          tighten_upper t target (Dq.of_q (Q.of_int b))
+      | Ge -> tighten_lower t target (Dq.of_q (Q.of_int (Q.ceil k)))
+      | Gt ->
+          let b = if Q.is_int k then Q.num k + 1 else Q.ceil k in
+          tighten_lower t target (Dq.of_q (Q.of_int b))
+      | Eq ->
+          if Q.is_int k then begin
+            tighten_lower t target (Dq.of_q k);
+            tighten_upper t target (Dq.of_q k)
+          end
+          else t.trivially_unsat <- true
+    else
+      match op with
+      | Le -> tighten_upper t target (Dq.of_q k)
+      | Lt -> tighten_upper t target (Dq.make k Q.minus_one)
+      | Ge -> tighten_lower t target (Dq.of_q k)
+      | Gt -> tighten_lower t target (Dq.make k Q.one)
+      | Eq ->
+          tighten_lower t target (Dq.of_q k);
+          tighten_upper t target (Dq.of_q k)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The simplex core *)
+
+let row_coeff row y =
+  match List.assoc_opt y row with Some c -> c | None -> Q.zero
+
+(** Recompute β for basic variables from nonbasic assignments. *)
+let recompute_basics t =
+  for x = 0 to t.n - 1 do
+    if t.is_basic.(x) then
+      t.beta.(x) <-
+        List.fold_left
+          (fun acc (y, c) -> Dq.add acc (Dq.scale c t.beta.(y)))
+          Dq.zero t.rows.(x)
+  done
+
+let init_assignment t =
+  for x = 0 to t.n - 1 do
+    if not t.is_basic.(x) then
+      t.beta.(x) <-
+        (match (t.lower.(x), t.upper.(x)) with
+        | Some l, _ -> l
+        | None, Some u -> u
+        | None, None -> Dq.zero)
+  done;
+  recompute_basics t
+
+let out_of_bounds t x =
+  (match t.lower.(x) with Some l -> Dq.lt t.beta.(x) l | None -> false)
+  || match t.upper.(x) with Some u -> Dq.lt u t.beta.(x) | None -> false
+
+(** [add_scaled base c extra] is the linear combination
+    [base + c·extra] as an association list without zero entries. *)
+let add_scaled base c extra =
+  List.fold_left
+    (fun acc (z, cz) ->
+      let cz = Q.mul c cz in
+      let merged = Q.add (row_coeff acc z) cz in
+      let acc = List.filter (fun (w, _) -> w <> z) acc in
+      if Q.equal merged Q.zero then acc else (z, merged) :: acc)
+    base extra
+
+(** Pivot basic [x] with nonbasic [y] (occurring in x's row) and move
+    β(x) to [v], adjusting β(y) so all rows stay satisfied. *)
+let pivot_and_update t x y v =
+  let row_x = t.rows.(x) in
+  let a_xy = row_coeff row_x y in
+  (* Solve x's row for y: y = x/a_xy - Σ_{z≠y} (a_xz/a_xy)·z. *)
+  let inv = Q.inv a_xy in
+  let row_y =
+    (x, inv)
+    :: List.filter_map
+         (fun (z, c) ->
+           if z = y then None else Some (z, Q.neg (Q.mul c inv)))
+         row_x
+  in
+  let theta = Dq.scale inv (Dq.sub v t.beta.(x)) in
+  t.beta.(x) <- v;
+  t.beta.(y) <- Dq.add t.beta.(y) theta;
+  t.is_basic.(x) <- false;
+  t.is_basic.(y) <- true;
+  t.rows.(x) <- [];
+  t.rows.(y) <- row_y;
+  (* Substitute y's definition into every other row. *)
+  for b = 0 to t.n - 1 do
+    if t.is_basic.(b) && b <> y then begin
+      let row = t.rows.(b) in
+      let c_y = row_coeff row y in
+      if not (Q.equal c_y Q.zero) then begin
+        let base = List.filter (fun (z, _) -> z <> y) row in
+        t.rows.(b) <- add_scaled base c_y row_y
+      end
+    end
+  done;
+  recompute_basics t
+
+type check_result = Sat | Unsat
+
+let bounds_consistent t =
+  let ok = ref true in
+  for x = 0 to t.n - 1 do
+    match (t.lower.(x), t.upper.(x)) with
+    | Some l, Some u when Dq.lt u l -> ok := false
+    | _ -> ()
+  done;
+  !ok
+
+(** Rational feasibility check (Bland's rule for termination). *)
+let check_rational t =
+  if t.trivially_unsat || not (bounds_consistent t) then Unsat
+  else begin
+    init_assignment t;
+    let result = ref None in
+    let steps = ref 0 in
+    while !result = None do
+      incr steps;
+      (* Bland's rule (smallest index both for the leaving and the
+         entering variable) guarantees termination; the assertion
+         guards against implementation bugs, not theory. *)
+      if !steps > 2_000_000 then failwith "Simplex.check_rational: cycling"
+      else begin
+        (* Smallest-index out-of-bounds basic variable. *)
+        let x = ref (-1) in
+        (try
+           for i = 0 to t.n - 1 do
+             if t.is_basic.(i) && out_of_bounds t i then begin
+               x := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !x < 0 then result := Some Sat
+        else begin
+          let x = !x in
+          let below =
+            match t.lower.(x) with
+            | Some l -> Dq.lt t.beta.(x) l
+            | None -> false
+          in
+          let target =
+            if below then Option.get t.lower.(x) else Option.get t.upper.(x)
+          in
+          (* Find a suitable nonbasic variable (smallest index). *)
+          let row = List.sort (fun (a, _) (b, _) -> compare a b) t.rows.(x) in
+          let suitable (y, c) =
+            if below then
+              (Q.gt c Q.zero
+              && (match t.upper.(y) with
+                 | None -> true
+                 | Some u -> Dq.lt t.beta.(y) u))
+              || (Q.lt c Q.zero
+                 && match t.lower.(y) with
+                    | None -> true
+                    | Some l -> Dq.lt l t.beta.(y))
+            else
+              (Q.lt c Q.zero
+              && (match t.upper.(y) with
+                 | None -> true
+                 | Some u -> Dq.lt t.beta.(y) u))
+              || (Q.gt c Q.zero
+                 && match t.lower.(y) with
+                    | None -> true
+                    | Some l -> Dq.lt l t.beta.(y))
+          in
+          match List.find_opt suitable row with
+          | None -> result := Some Unsat
+          | Some (y, _) -> pivot_and_update t x y target
+        end
+      end
+    done;
+    Option.get !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Concrete models and integrality *)
+
+(** Choose a concrete rational value for δ small enough that every
+    satisfied δ-rational bound stays satisfied concretely, then read
+    off the model. *)
+let concrete_model t =
+  let delta = ref Q.one in
+  (* [lo ≤ hi] holds lexicographically; make it hold for concrete δ:
+     lo.v + lo.d·δ ≤ hi.v + hi.d·δ, i.e. (lo.d - hi.d)·δ ≤ hi.v - lo.v.
+     Binding only when lo.d > hi.d, in which case hi.v - lo.v > 0. *)
+  let constrain (lo : Dq.t) (hi : Dq.t) =
+    let num = Q.sub hi.Dq.v lo.Dq.v and den = Q.sub lo.Dq.d hi.Dq.d in
+    if Q.gt den Q.zero && Q.gt num Q.zero then
+      delta := Q.min !delta (Q.div num den)
+  in
+  for x = 0 to t.n - 1 do
+    (match t.lower.(x) with Some l -> constrain l t.beta.(x) | None -> ());
+    match t.upper.(x) with Some u -> constrain t.beta.(x) u | None -> ()
+  done;
+  let d = !delta in
+  Array.init t.n (fun x ->
+      let b = t.beta.(x) in
+      Q.add b.Dq.v (Q.mul b.Dq.d d))
+
+let copy t =
+  {
+    n = t.n;
+    names = Hashtbl.copy t.names;
+    rows = Array.copy t.rows;
+    is_basic = Array.copy t.is_basic;
+    lower = Array.copy t.lower;
+    upper = Array.copy t.upper;
+    beta = Array.copy t.beta;
+    trivially_unsat = t.trivially_unsat;
+  }
+
+type int_result = IModel of int Smap.t | IUnsat | IUnknown
+
+(** Integer feasibility by branch-and-bound on the named (problem)
+    variables. With integer coefficients, integrality of the problem
+    variables forces integrality of slacks, so branching on problem
+    variables is complete. Running out of [fuel] reports [IUnknown] —
+    never silently [IUnsat], since the caller uses unsatisfiability to
+    claim entailments. *)
+let check_int ?(fuel = 10_000) t : int_result =
+  let fuel = ref fuel in
+  let rec go t =
+    if !fuel <= 0 then IUnknown
+    else begin
+      decr fuel;
+      match check_rational t with
+      | Unsat -> IUnsat
+      | Sat -> (
+          let model = concrete_model t in
+          let frac = ref None in
+          Hashtbl.iter
+            (fun name id ->
+              if !frac = None && not (Q.is_int model.(id)) then
+                frac := Some (name, id, model.(id)))
+            t.names;
+          match !frac with
+          | None ->
+              let m = ref Smap.empty in
+              Hashtbl.iter
+                (fun name id -> m := Smap.add name (Q.floor model.(id)) !m)
+                t.names;
+              IModel !m
+          | Some (_, id, q) -> (
+              let low = copy t and high = copy t in
+              tighten_upper low id (Dq.of_q (Q.of_int (Q.floor q)));
+              tighten_lower high id (Dq.of_q (Q.of_int (Q.ceil q)));
+              match go low with
+              | IModel m -> IModel m
+              | IUnsat -> go high
+              | IUnknown -> IUnknown))
+    end
+  in
+  go t

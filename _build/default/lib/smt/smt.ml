@@ -1,0 +1,16 @@
+(** An SMT solver for quantifier-free EUF + linear integer arithmetic.
+
+    Built from scratch as the automation engine of the verifier (the
+    stand-in for Z3 in the paper's toolchain): {!Sat} is a CDCL SAT
+    core, {!Cc} congruence closure, {!Simplex} a branch-and-bound
+    general simplex, {!Theory} the combination, {!Solver} the lazy
+    CDCL(T) loop, and {!Term} the input language. *)
+
+module Sort = Sort
+module Term = Term
+module Sat = Sat
+module Cc = Cc
+module Simplex = Simplex
+module Theory = Theory
+module Solver = Solver
+module Stats = Stats

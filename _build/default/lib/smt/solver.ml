@@ -1,0 +1,315 @@
+(** The lazy SMT(EUF + LIA) solver.
+
+    Pipeline: int-[ite] elimination → Tseitin CNF over theory atoms →
+    CDCL; every propositional model is checked by {!Theory}; theory
+    conflicts come back as blocking clauses over a greedily minimized
+    core. Equality atoms over integers get eager splitting lemmas
+    [a = b ∨ a < b ∨ b < a] so that negated equalities reach the
+    arithmetic solver as strict inequalities. *)
+
+open Stdx
+
+type model = { ints : int Smap.t; bools : bool Smap.t }
+
+type result = Sat of model | Unsat | Unknown
+
+let pp_model ppf m =
+  Fmt.pf ppf "@[<v>%a@ %a@]"
+    (Smap.pp Fmt.int) m.ints
+    (Smap.pp Fmt.bool) m.bools
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing: eliminate integer-sorted ite *)
+
+let elim_ite gensym (ts : Term.t list) : Term.t list =
+  let defs = ref [] in
+  let memo : (Term.t, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (t : Term.t) : Term.t =
+    match t with
+    | Term.Ite (c, a, b) when Sort.equal (Term.sort_of a) Sort.Int -> (
+        match Hashtbl.find_opt memo t with
+        | Some v -> v
+        | None ->
+            let c = go c and a = go a and b = go b in
+            let v = Term.var (Gensym.fresh ~hint:"ite" gensym) in
+            defs := Term.implies c (Term.eq v a) :: !defs;
+            defs := Term.implies (Term.not_ c) (Term.eq v b) :: !defs;
+            Hashtbl.add memo t v;
+            v)
+    | Term.Ite (c, a, b) ->
+        (* Boolean ite: expand propositionally. *)
+        Term.and_
+          [ Term.implies (go c) (go a); Term.implies (Term.not_ (go c)) (go b) ]
+    | Term.Var _ | Term.Int_lit _ | Term.True | Term.False -> t
+    | Term.App (f, args) -> Term.App (f, List.map go args)
+    | Term.Pred (f, args) -> Term.Pred (f, List.map go args)
+    | Term.Add (a, b) -> Term.add (go a) (go b)
+    | Term.Sub (a, b) -> Term.sub (go a) (go b)
+    | Term.Mul (a, b) -> Term.mul (go a) (go b)
+    | Term.Eq (a, b) -> Term.eq (go a) (go b)
+    | Term.Le (a, b) -> Term.le (go a) (go b)
+    | Term.Lt (a, b) -> Term.lt (go a) (go b)
+    | Term.Not a -> Term.not_ (go a)
+    | Term.And xs -> Term.and_ (List.map go xs)
+    | Term.Or xs -> Term.or_ (List.map go xs)
+    | Term.Implies (a, b) -> Term.implies (go a) (go b)
+    | Term.Iff (a, b) -> Term.iff (go a) (go b)
+  in
+  let ts = List.map go ts in
+  ts @ !defs
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin encoding *)
+
+type encoder = {
+  sat : Sat.t;
+  atom_vars : (Term.t, int) Hashtbl.t;
+  mutable atoms : (int * Term.t) list;  (* SAT var -> atom *)
+  memo : (Term.t, Sat.lit) Hashtbl.t;
+  mutable split_done : (Term.t, unit) Hashtbl.t;
+}
+
+let atom_var enc (t : Term.t) =
+  match Hashtbl.find_opt enc.atom_vars t with
+  | Some v -> v
+  | None ->
+      let v = Sat.new_var enc.sat in
+      Hashtbl.add enc.atom_vars t v;
+      enc.atoms <- (v, t) :: enc.atoms;
+      v
+
+let is_atom (t : Term.t) =
+  match t with
+  | Term.Eq _ | Term.Le _ | Term.Lt _ | Term.Pred _ -> true
+  | Term.Var (_, Sort.Bool) -> true
+  | _ -> false
+
+(** Eager integer-equality splitting: [a = b ∨ a < b ∨ b < a]. *)
+let rec add_split_lemma enc (t : Term.t) =
+  match t with
+  | Term.Eq (a, b)
+    when Sort.equal (Term.sort_of a) Sort.Int
+         && not (Hashtbl.mem enc.split_done t) ->
+      Hashtbl.add enc.split_done t ();
+      let v_eq = atom_var enc t in
+      let v_lt = atom_var enc (Term.Lt (a, b)) in
+      let v_gt = atom_var enc (Term.Lt (b, a)) in
+      ignore
+        (Sat.add_clause enc.sat
+           [ Sat.lit_of_var v_eq; Sat.lit_of_var v_lt; Sat.lit_of_var v_gt ])
+  | _ -> ()
+
+and encode enc (t : Term.t) : Sat.lit =
+  match Hashtbl.find_opt enc.memo t with
+  | Some l -> l
+  | None ->
+      let l =
+        match t with
+        | _ when is_atom t ->
+            add_split_lemma enc t;
+            Sat.lit_of_var (atom_var enc t)
+        | Term.True ->
+            let v = Sat.new_var enc.sat in
+            ignore (Sat.add_clause enc.sat [ Sat.lit_of_var v ]);
+            Sat.lit_of_var v
+        | Term.False ->
+            let v = Sat.new_var enc.sat in
+            ignore (Sat.add_clause enc.sat [ Sat.lit_of_var ~neg:true v ]);
+            Sat.lit_of_var v
+        | Term.Not a -> Sat.neg_lit (encode enc a)
+        | Term.And ts ->
+            let lits = List.map (encode enc) ts in
+            let v = Sat.new_var enc.sat in
+            let lv = Sat.lit_of_var v in
+            List.iter
+              (fun li ->
+                ignore (Sat.add_clause enc.sat [ Sat.neg_lit lv; li ]))
+              lits;
+            ignore
+              (Sat.add_clause enc.sat (lv :: List.map Sat.neg_lit lits));
+            lv
+        | Term.Or ts ->
+            let lits = List.map (encode enc) ts in
+            let v = Sat.new_var enc.sat in
+            let lv = Sat.lit_of_var v in
+            List.iter
+              (fun li ->
+                ignore (Sat.add_clause enc.sat [ lv; Sat.neg_lit li ]))
+              lits;
+            ignore (Sat.add_clause enc.sat (Sat.neg_lit lv :: lits));
+            lv
+        | Term.Implies (a, b) -> encode enc (Term.Or [ Term.not_ a; b ])
+        | Term.Iff (a, b) ->
+            let la = encode enc a and lb = encode enc b in
+            let v = Sat.new_var enc.sat in
+            let lv = Sat.lit_of_var v in
+            ignore
+              (Sat.add_clause enc.sat
+                 [ Sat.neg_lit lv; Sat.neg_lit la; lb ]);
+            ignore
+              (Sat.add_clause enc.sat
+                 [ Sat.neg_lit lv; la; Sat.neg_lit lb ]);
+            ignore (Sat.add_clause enc.sat [ lv; la; lb ]);
+            ignore
+              (Sat.add_clause enc.sat [ lv; Sat.neg_lit la; Sat.neg_lit lb ]);
+            lv
+        | _ ->
+            invalid_arg (Fmt.str "Solver.encode: unexpected term %a" Term.pp t)
+      in
+      Hashtbl.add enc.memo t l;
+      l
+
+(* ------------------------------------------------------------------ *)
+(* Theory interaction *)
+
+let theory_check ?eq_budget (lits : Theory.atom list) : Theory.result =
+  let st = Theory.create () in
+  match List.iter (Theory.assert_literal st) lits with
+  | () -> Theory.check ?eq_budget st
+  | exception Invalid_argument _ -> Theory.Unknown
+
+(** Unsat-core minimization by chunked deletion: first try dropping
+    whole blocks (an eighth of the literals at a time), then refine the
+    survivors one by one. Cost is O(k + n/k) theory checks, which pays
+    for itself many times over in avoided blocking-clause enumeration
+    (see ablation A2 in the benchmarks). *)
+let minimize_core (lits : Theory.atom list) : Theory.atom list =
+  (* Minimization only trusts Unsat, so the cheap bounded-propagation
+     theory check suffices: a spurious Sat just keeps a literal. *)
+  let check lits = theory_check ~eq_budget:8 lits in
+  let drop_block kept rest block =
+    let remaining = List.filter (fun l -> not (List.memq l block)) rest in
+    match check (kept @ remaining) with
+    | Theory.Unsat -> Some remaining
+    | _ -> None
+  in
+  let rec blocks kept rest size =
+    if rest = [] then kept
+    else
+      let block = Stdx.Listx.take size rest in
+      let rest' = Stdx.Listx.drop size rest in
+      match drop_block kept rest block with
+      | Some remaining -> blocks kept remaining size
+      | None -> blocks (kept @ block) rest' size
+  in
+  let rec singles kept = function
+    | [] -> kept
+    | l :: rest -> (
+        match check (kept @ rest) with
+        | Theory.Unsat -> singles kept rest
+        | _ -> singles (l :: kept) rest)
+  in
+  let n = List.length lits in
+  let coarse = if n > 12 then blocks [] lits (max 4 (n / 8)) else lits in
+  singles [] coarse
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+let check_sat ?(max_rounds = 5_000) ?(minimize = true)
+    (assertions : Term.t list) : result =
+  Stats.global.queries <- Stats.global.queries + 1;
+  let gensym = Gensym.create ~prefix:"%" () in
+  let assertions = elim_ite gensym assertions in
+  (* Fast path: no boolean structure and trivially true/false. *)
+  if List.exists (Term.equal Term.False) assertions then Unsat
+  else begin
+    let enc =
+      {
+        sat = Sat.create ();
+        atom_vars = Hashtbl.create 64;
+        atoms = [];
+        memo = Hashtbl.create 64;
+        split_done = Hashtbl.create 16;
+      }
+    in
+    let ok =
+      List.for_all
+        (fun t ->
+          Term.equal t Term.True
+          || Sat.add_clause enc.sat [ encode enc t ])
+        assertions
+    in
+    if not ok then Unsat
+    else begin
+      let result = ref None in
+      let rounds = ref 0 in
+      while !result = None do
+        incr rounds;
+        if !rounds > max_rounds then result := Some Unknown
+        else begin
+          match Sat.solve enc.sat with
+          | Sat.Unsat -> result := Some Unsat
+          | Sat.Unknown -> result := Some Unknown
+          | Sat.Sat -> (
+              let lits =
+                List.filter_map
+                  (fun (v, atom) ->
+                    Some { Theory.term = atom; pos = Sat.model_value enc.sat v })
+                  enc.atoms
+              in
+              match theory_check lits with
+              | Theory.Sat m ->
+                  let bools =
+                    List.fold_left
+                      (fun acc (v, atom) ->
+                        match atom with
+                        | Term.Var (x, Sort.Bool) ->
+                            Smap.add x (Sat.model_value enc.sat v) acc
+                        | _ -> acc)
+                      Smap.empty enc.atoms
+                  in
+                  let ints =
+                    Smap.filter (fun x _ -> x.[0] <> '%') m
+                  in
+                  result := Some (Sat { ints; bools })
+              | Theory.Unknown -> result := Some Unknown
+              | Theory.Unsat ->
+                  let core = if minimize then minimize_core lits else lits in
+                  (if Sys.getenv_opt "SMT_DEBUG" <> None then
+                     Fmt.epr "core(%d): %a@." (List.length core)
+                       (Fmt.list ~sep:Fmt.comma (fun ppf (a : Theory.atom) ->
+                            Fmt.pf ppf "%s%a" (if a.Theory.pos then "" else "¬")
+                              Smt__.Term.pp a.Theory.term))
+                       core);
+                  Stats.global.blocking_clauses <-
+                    Stats.global.blocking_clauses + 1;
+                  let clause =
+                    List.map
+                      (fun { Theory.term; pos } ->
+                        let v = atom_var enc term in
+                        Sat.lit_of_var ~neg:pos v)
+                      core
+                  in
+                  if not (Sat.add_clause enc.sat clause) then
+                    result := Some Unsat)
+        end
+      done;
+      Stats.global.sat_conflicts <-
+        Stats.global.sat_conflicts + enc.sat.Sat.conflicts;
+      Stats.global.sat_decisions <-
+        Stats.global.sat_decisions + enc.sat.Sat.decisions;
+      Stats.global.sat_propagations <-
+        Stats.global.sat_propagations + enc.sat.Sat.propagations;
+      Option.get !result
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entailment interface used by the verifier and the kernel *)
+
+type verdict = Valid | Invalid of model | Undecided
+
+(** Is [goal] entailed by [hyps]? Checks unsatisfiability of
+    [hyps ∧ ¬goal]. *)
+let entails ?(hyps = []) (goal : Term.t) : verdict =
+  match Term.and_ (hyps @ [ Term.not_ goal ]) with
+  | Term.False -> Valid
+  | t -> (
+      match check_sat [ t ] with
+      | Unsat -> Valid
+      | Sat m -> Invalid m
+      | Unknown -> Undecided)
+
+let entails_bool ?hyps goal =
+  match entails ?hyps goal with Valid -> true | _ -> false

@@ -1,0 +1,12 @@
+(** Sorts of the solver's term language.
+
+    The verifier encodes everything into [Int] and [Bool]: program
+    integers and booleans directly, heap locations as integers (the
+    allocator hands out distinct naturals), and opaque mathematical
+    values (sequences, etc.) as integers constrained only through
+    uninterpreted functions. *)
+
+type t = Bool | Int
+
+let equal (a : t) b = a = b
+let pp ppf = function Bool -> Fmt.string ppf "Bool" | Int -> Fmt.string ppf "Int"

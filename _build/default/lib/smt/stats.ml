@@ -1,0 +1,73 @@
+(** Global solver statistics, reset per benchmark run.
+
+    The benchmark harness (tables T2/F3) reads these counters to report
+    query counts and theory-check breakdowns. *)
+
+type t = {
+  mutable queries : int;  (** top-level [check_sat] calls *)
+  mutable sat_conflicts : int;
+  mutable sat_decisions : int;
+  mutable sat_propagations : int;
+  mutable theory_checks : int;  (** candidate models checked *)
+  mutable lia_checks : int;  (** simplex invocations *)
+  mutable euf_checks : int;  (** congruence-closure invocations *)
+  mutable blocking_clauses : int;
+  mutable eq_propagations : int;  (** cross-theory equalities *)
+}
+
+let global =
+  {
+    queries = 0;
+    sat_conflicts = 0;
+    sat_decisions = 0;
+    sat_propagations = 0;
+    theory_checks = 0;
+    lia_checks = 0;
+    euf_checks = 0;
+    blocking_clauses = 0;
+    eq_propagations = 0;
+  }
+
+let reset () =
+  global.queries <- 0;
+  global.sat_conflicts <- 0;
+  global.sat_decisions <- 0;
+  global.sat_propagations <- 0;
+  global.theory_checks <- 0;
+  global.lia_checks <- 0;
+  global.euf_checks <- 0;
+  global.blocking_clauses <- 0;
+  global.eq_propagations <- 0
+
+let snapshot () =
+  {
+    queries = global.queries;
+    sat_conflicts = global.sat_conflicts;
+    sat_decisions = global.sat_decisions;
+    sat_propagations = global.sat_propagations;
+    theory_checks = global.theory_checks;
+    lia_checks = global.lia_checks;
+    euf_checks = global.euf_checks;
+    blocking_clauses = global.blocking_clauses;
+    eq_propagations = global.eq_propagations;
+  }
+
+let diff a b =
+  {
+    queries = a.queries - b.queries;
+    sat_conflicts = a.sat_conflicts - b.sat_conflicts;
+    sat_decisions = a.sat_decisions - b.sat_decisions;
+    sat_propagations = a.sat_propagations - b.sat_propagations;
+    theory_checks = a.theory_checks - b.theory_checks;
+    lia_checks = a.lia_checks - b.lia_checks;
+    euf_checks = a.euf_checks - b.euf_checks;
+    blocking_clauses = a.blocking_clauses - b.blocking_clauses;
+    eq_propagations = a.eq_propagations - b.eq_propagations;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "queries=%d conflicts=%d decisions=%d theory=%d lia=%d euf=%d blocked=%d \
+     eqprop=%d"
+    s.queries s.sat_conflicts s.sat_decisions s.theory_checks s.lia_checks
+    s.euf_checks s.blocking_clauses s.eq_propagations

@@ -1,0 +1,260 @@
+(** The quantifier-free term language of the solver.
+
+    Smart constructors perform light simplification (constant folding,
+    flattening, double negation) so that callers can build terms
+    naively; the heavy lifting — CNF conversion, purification — happens
+    in {!Preprocess}. *)
+
+type t =
+  | Var of string * Sort.t
+  | Int_lit of int
+  | True
+  | False
+  | App of string * t list  (** uninterpreted function, int-sorted result *)
+  | Pred of string * t list  (** uninterpreted predicate, bool-sorted *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Ite of t * t * t  (** condition, then, else — branches int-sorted *)
+  | Eq of t * t
+  | Le of t * t
+  | Lt of t * t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+
+let rec pp ppf = function
+  | Var (x, _) -> Fmt.string ppf x
+  | Int_lit n -> Fmt.int ppf n
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | App (f, args) | Pred (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ",@ ") pp) args
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Ite (c, a, b) -> Fmt.pf ppf "(ite %a %a %a)" pp c pp a pp b
+  | Eq (a, b) -> Fmt.pf ppf "(%a = %a)" pp a pp b
+  | Le (a, b) -> Fmt.pf ppf "(%a <= %a)" pp a pp b
+  | Lt (a, b) -> Fmt.pf ppf "(%a < %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "¬%a" pp a
+  | And ts -> Fmt.pf ppf "(@[%a@])" (Fmt.list ~sep:(Fmt.any " ∧@ ") pp) ts
+  | Or ts -> Fmt.pf ppf "(@[%a@])" (Fmt.list ~sep:(Fmt.any " ∨@ ") pp) ts
+  | Implies (a, b) -> Fmt.pf ppf "(%a → %a)" pp a pp b
+  | Iff (a, b) -> Fmt.pf ppf "(%a ↔ %a)" pp a pp b
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec equal a b =
+  match (a, b) with
+  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+  | Int_lit m, Int_lit n -> m = n
+  | True, True | False, False -> true
+  | App (f, xs), App (g, ys) | Pred (f, xs), Pred (g, ys) ->
+      String.equal f g && List.equal equal xs ys
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Eq (a1, a2), Eq (b1, b2)
+  | Le (a1, a2), Le (b1, b2)
+  | Lt (a1, a2), Lt (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Ite (c1, a1, b1), Ite (c2, a2, b2) -> equal c1 c2 && equal a1 a2 && equal b1 b2
+  | Not a, Not b -> equal a b
+  | And xs, And ys | Or xs, Or ys -> List.equal equal xs ys
+  | _ -> false
+
+let compare a b = Stdlib.compare a b
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+
+let var ?(sort = Sort.Int) x = Var (x, sort)
+let bvar x = Var (x, Sort.Bool)
+let int n = Int_lit n
+let tru = True
+let fls = False
+let app f args = App (f, args)
+let pred f args = Pred (f, args)
+
+let add a b =
+  match (a, b) with
+  | Int_lit 0, t | t, Int_lit 0 -> t
+  | Int_lit m, Int_lit n -> Int_lit (m + n)
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | t, Int_lit 0 -> t
+  | Int_lit m, Int_lit n -> Int_lit (m - n)
+  | _ -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
+  | Int_lit 1, t | t, Int_lit 1 -> t
+  | Int_lit m, Int_lit n -> Int_lit (m * n)
+  | _ -> Mul (a, b)
+
+let neg t = sub (Int_lit 0) t
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not t -> t
+  | t -> Not t
+
+let and_ ts =
+  let ts =
+    List.concat_map (function And xs -> xs | True -> [] | t -> [ t ]) ts
+  in
+  if List.exists (equal False) ts then False
+  else match ts with [] -> True | [ t ] -> t | ts -> And ts
+
+let or_ ts =
+  let ts =
+    List.concat_map (function Or xs -> xs | False -> [] | t -> [ t ]) ts
+  in
+  if List.exists (equal True) ts then True
+  else match ts with [] -> False | [ t ] -> t | ts -> Or ts
+
+let implies a b =
+  match (a, b) with
+  | True, b -> b
+  | False, _ -> True
+  | _, True -> True
+  | a, False -> not_ a
+  | _ -> Implies (a, b)
+
+let iff a b =
+  match (a, b) with
+  | True, t | t, True -> t
+  | False, t | t, False -> not_ t
+  | _ -> if equal a b then True else Iff (a, b)
+
+let eq a b =
+  match (a, b) with
+  | Int_lit m, Int_lit n -> if m = n then True else False
+  | True, t | t, True -> t
+  | False, t | t, False -> not_ t
+  | _ -> if equal a b then True else Eq (a, b)
+
+let le a b =
+  match (a, b) with
+  | Int_lit m, Int_lit n -> if m <= n then True else False
+  | _ -> if equal a b then True else Le (a, b)
+
+let lt a b =
+  match (a, b) with
+  | Int_lit m, Int_lit n -> if m < n then True else False
+  | _ -> if equal a b then False else Lt (a, b)
+
+let ge a b = le b a
+let gt a b = lt b a
+let neq a b = not_ (eq a b)
+let ite c a b = match c with True -> a | False -> b | _ -> Ite (c, a, b)
+let bool b = if b then True else False
+
+(* ------------------------------------------------------------------ *)
+
+let sort_of = function
+  | Var (_, s) -> s
+  | Int_lit _ | App _ | Add _ | Sub _ | Mul _ | Ite _ -> Sort.Int
+  | True | False | Pred _ | Eq _ | Le _ | Lt _ | Not _ | And _ | Or _
+  | Implies _ | Iff _ ->
+      Sort.Bool
+
+let rec free_vars acc = function
+  | Var (x, s) -> (x, s) :: acc
+  | Int_lit _ | True | False -> acc
+  | App (_, args) | Pred (_, args) -> List.fold_left free_vars acc args
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Le (a, b) | Lt (a, b)
+  | Implies (a, b) | Iff (a, b) ->
+      free_vars (free_vars acc a) b
+  | Ite (c, a, b) -> free_vars (free_vars (free_vars acc c) a) b
+  | Not a -> free_vars acc a
+  | And ts | Or ts -> List.fold_left free_vars acc ts
+
+let vars t =
+  free_vars [] t |> List.sort_uniq compare
+
+(** Capture-free substitution of variables by terms (our terms have no
+    binders, so plain structural replacement is capture-free). *)
+let rec subst map t =
+  match t with
+  | Var (x, _) -> ( match Stdx.Smap.find_opt x map with Some u -> u | None -> t)
+  | Int_lit _ | True | False -> t
+  | App (f, args) -> App (f, List.map (subst map) args)
+  | Pred (f, args) -> Pred (f, List.map (subst map) args)
+  | Add (a, b) -> add (subst map a) (subst map b)
+  | Sub (a, b) -> sub (subst map a) (subst map b)
+  | Mul (a, b) -> mul (subst map a) (subst map b)
+  | Ite (c, a, b) -> ite (subst map c) (subst map a) (subst map b)
+  | Eq (a, b) -> eq (subst map a) (subst map b)
+  | Le (a, b) -> le (subst map a) (subst map b)
+  | Lt (a, b) -> lt (subst map a) (subst map b)
+  | Not a -> not_ (subst map a)
+  | And ts -> and_ (List.map (subst map) ts)
+  | Or ts -> or_ (List.map (subst map) ts)
+  | Implies (a, b) -> implies (subst map a) (subst map b)
+  | Iff (a, b) -> iff (subst map a) (subst map b)
+
+(** Evaluate a closed-enough term under a valuation. Used by the model
+    checker in tests and for counterexample reporting. Unknown
+    variables and uninterpreted applications evaluate via [on_app]. *)
+let rec eval ~(env : int Stdx.Smap.t)
+    ?(on_app = fun _ _ -> None) (t : t) : int option =
+  let open Option in
+  let int_of t = eval ~env ~on_app t in
+  let both f a b =
+    bind (int_of a) (fun x -> bind (int_of b) (fun y -> Some (f x y)))
+  in
+  match t with
+  | Var (x, _) -> Stdx.Smap.find_opt x env
+  | Int_lit n -> Some n
+  | True -> Some 1
+  | False -> Some 0
+  | App (f, args) | Pred (f, args) ->
+      let vals = List.filter_map int_of args in
+      if List.length vals = List.length args then on_app f vals else None
+  | Add (a, b) -> both ( + ) a b
+  | Sub (a, b) -> both ( - ) a b
+  | Mul (a, b) -> both ( * ) a b
+  | Ite (c, a, b) ->
+      bind (int_of c) (fun c -> if c <> 0 then int_of a else int_of b)
+  | Eq (a, b) -> both (fun x y -> if x = y then 1 else 0) a b
+  | Le (a, b) -> both (fun x y -> if x <= y then 1 else 0) a b
+  | Lt (a, b) -> both (fun x y -> if x < y then 1 else 0) a b
+  | Not a -> map (fun x -> 1 - x) (int_of a)
+  | And ts ->
+      List.fold_left
+        (fun acc t -> bind acc (fun a -> map (fun b -> min a b) (int_of t)))
+        (Some 1) ts
+  | Or ts ->
+      List.fold_left
+        (fun acc t -> bind acc (fun a -> map (fun b -> max a b) (int_of t)))
+        (Some 0) ts
+  | Implies (a, b) -> both (fun x y -> if x <> 0 && y = 0 then 0 else 1) a b
+  | Iff (a, b) ->
+      both (fun x y -> if (x <> 0) = (y <> 0) then 1 else 0) a b
+
+let eval_bool ~env ?on_app t =
+  match eval ~env ?on_app t with
+  | Some n -> Some (n <> 0)
+  | None -> None
+
+(** Size of a term (number of constructors) — used for statistics. *)
+let rec size = function
+  | Var _ | Int_lit _ | True | False -> 1
+  | App (_, args) | Pred (_, args) ->
+      1 + Stdx.Listx.sum (List.map size args)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Le (a, b) | Lt (a, b)
+  | Implies (a, b) | Iff (a, b) ->
+      1 + size a + size b
+  | Ite (c, a, b) -> 1 + size c + size a + size b
+  | Not a -> 1 + size a
+  | And ts | Or ts -> 1 + Stdx.Listx.sum (List.map size ts)

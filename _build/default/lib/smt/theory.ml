@@ -1,0 +1,291 @@
+(** The combined theory checker: EUF + linear integer arithmetic.
+
+    Given a conjunction of theory literals (atoms with polarity), decide
+    satisfiability. Terms are purified on the fly:
+
+    - every application of an uninterpreted symbol becomes a congruence
+      node; if it occurs inside arithmetic it is abstracted by a proxy
+      variable tied to the node;
+    - every arithmetic subterm occurring under an uninterpreted symbol
+      is abstracted by a proxy variable defined by a LIA equality;
+    - integer equality atoms go to *both* theories, disequalities go to
+      EUF and (on demand, through model-guided propagation) to LIA.
+
+    The combination loop alternates the two solvers, propagating
+    variable equalities until a fixed point — a model-guided,
+    entailment-checked version of Nelson–Oppen for the convex/ish
+    fragment our verification conditions live in. *)
+
+open Stdx
+
+type atom = { term : Term.t; pos : bool }
+
+type result = Sat of int Smap.t | Unsat | Unknown
+
+type state = {
+  cc : Cc.t;
+  mutable lia : Simplex.t;
+  gensym : Gensym.t;
+  (* proxy variable <-> congruence node for shared terms *)
+  mutable shared : (string * int) list;
+  mutable proxy_of_node : (int * string) list;
+  (* LIA equalities implied by EUF already propagated *)
+  mutable propagated : (string * string) list;
+  node_true : int;
+  node_false : int;
+}
+
+let create () =
+  let cc = Cc.create () in
+  let node_true = Cc.node_of_term cc (Term.var ~sort:Sort.Int "%true") in
+  let node_false = Cc.node_of_term cc (Term.var ~sort:Sort.Int "%false") in
+  Cc.assert_neq cc node_true node_false;
+  {
+    cc;
+    lia = Simplex.create ();
+    gensym = Gensym.create ~prefix:"%p" ();
+    shared = [];
+    proxy_of_node = [];
+    propagated = [];
+    node_true;
+    node_false;
+  }
+
+let share st name node =
+  if not (List.mem_assoc name st.shared) then begin
+    st.shared <- (name, node) :: st.shared;
+    st.proxy_of_node <- (node, name) :: st.proxy_of_node
+  end
+
+(* --------------------------------------------------------------- *)
+(* Purification *)
+
+(** Translate an int-sorted term into a linear expression, registering
+    proxies for uninterpreted applications. *)
+let rec linearize st (t : Term.t) : Simplex.Linexp.t * Q.t =
+  match t with
+  | Term.Int_lit n -> (Simplex.Linexp.empty, Q.of_int n)
+  | Term.Var (x, _) ->
+      let node = Cc.node_of_term st.cc (Term.var x) in
+      share st x node;
+      (Simplex.Linexp.add_term x Q.one Simplex.Linexp.empty, Q.zero)
+  | Term.Add (a, b) ->
+      let ea, ka = linearize st a and eb, kb = linearize st b in
+      (merge_linexp ea eb Q.one, Q.add ka kb)
+  | Term.Sub (a, b) ->
+      let ea, ka = linearize st a and eb, kb = linearize st b in
+      (merge_linexp ea eb Q.minus_one, Q.sub ka kb)
+  | Term.Mul (a, b) -> (
+      match (constant_of st a, constant_of st b) with
+      | Some c, _ ->
+          let eb, kb = linearize st b in
+          (scale_linexp c eb, Q.mul c kb)
+      | _, Some c ->
+          let ea, ka = linearize st a in
+          (scale_linexp c ea, Q.mul c ka)
+      | None, None ->
+          (* Nonlinear product: abstract as an uninterpreted term so
+             congruence still applies to syntactically equal products. *)
+          let node = euf_node st (Term.App ("%mul", [ a; b ])) in
+          let name = proxy_name st node in
+          (Simplex.Linexp.add_term name Q.one Simplex.Linexp.empty, Q.zero))
+  | Term.App _ ->
+      let node = euf_node st t in
+      let name = proxy_name st node in
+      (Simplex.Linexp.add_term name Q.one Simplex.Linexp.empty, Q.zero)
+  | Term.Ite _ ->
+      invalid_arg "Theory.linearize: ite must be eliminated by preprocessing"
+  | _ -> invalid_arg (Fmt.str "Theory.linearize: %a" Term.pp t)
+
+and merge_linexp ea eb sign =
+  Smap.fold (fun x c acc -> Simplex.Linexp.add_term x (Q.mul sign c) acc) eb ea
+
+and scale_linexp c e = Smap.map (Q.mul c) e
+
+and constant_of _st = function Term.Int_lit n -> Some (Q.of_int n) | _ -> None
+
+(** Intern an int term as a congruence node. Arithmetic below an
+    application is abstracted: a proxy variable is created, defined in
+    LIA, and the proxy's node is used. *)
+and euf_node st (t : Term.t) : int =
+  match t with
+  | Term.Var (x, _) ->
+      let node = Cc.node_of_term st.cc (Term.var x) in
+      share st x node;
+      node
+  | Term.Int_lit _ -> Cc.node_of_term st.cc t
+  | Term.App (f, args) ->
+      let args = List.map (euf_node st) args in
+      let node =
+        (* Build the node from purified argument nodes directly. *)
+        cc_app st f args
+      in
+      node
+  | _ ->
+      (* Arithmetic term in an EUF position: abstract with a proxy
+         defined by a LIA equality. *)
+      let e, k = linearize st t in
+      let name = Gensym.fresh st.gensym in
+      let node = Cc.node_of_term st.cc (Term.var name) in
+      share st name node;
+      (* name = e + k  ⇒  name - e = k *)
+      let lhs =
+        Smap.fold
+          (fun x c acc -> Simplex.Linexp.add_term x (Q.neg c) acc)
+          e
+          (Simplex.Linexp.add_term name Q.one Simplex.Linexp.empty)
+      in
+      Simplex.assert_atom st.lia lhs Simplex.Eq k;
+      node
+
+and cc_app st f arg_nodes = Cc.alloc st.cc (Cc.Fapp (f, arg_nodes))
+
+(** [proxy_name st node] returns the LIA variable standing for the
+    congruence node, minting one if needed. *)
+and proxy_name st node =
+  match List.assoc_opt node st.proxy_of_node with
+  | Some name -> name
+  | None ->
+      let name = Gensym.fresh st.gensym in
+      share st name node;
+      name
+
+(* --------------------------------------------------------------- *)
+(* Asserting literals *)
+
+let assert_arith st (a : Term.t) (b : Term.t) (op : Simplex.op) =
+  let ea, ka = linearize st a and eb, kb = linearize st b in
+  (* ea + ka op eb + kb  ⇒  ea - eb op kb - ka *)
+  let e = merge_linexp ea eb Q.minus_one in
+  Simplex.assert_atom st.lia e op (Q.sub kb ka)
+
+let assert_literal st ({ term; pos } : atom) =
+  match (term, pos) with
+  | Term.Eq (a, b), true when Sort.equal (Term.sort_of a) Sort.Int ->
+      assert_arith st a b Simplex.Eq;
+      Cc.assert_eq st.cc (euf_node st a) (euf_node st b)
+  | Term.Eq (a, b), false when Sort.equal (Term.sort_of a) Sort.Int ->
+      (* EUF records the disequality; on the LIA side the eager
+         splitting lemma Eq ∨ Lt ∨ Gt (added in preprocessing) forces
+         the SAT solver to pick a strict separation, so no arithmetic
+         disequality handling is needed here. *)
+      Cc.assert_neq st.cc (euf_node st a) (euf_node st b)
+  | Term.Le (a, b), true -> assert_arith st a b Simplex.Le
+  | Term.Le (a, b), false -> assert_arith st a b Simplex.Gt
+  | Term.Lt (a, b), true -> assert_arith st a b Simplex.Lt
+  | Term.Lt (a, b), false -> assert_arith st a b Simplex.Ge
+  | Term.Pred (f, args), pos ->
+      let args = List.map (euf_node st) args in
+      let node = cc_app st f args in
+      Cc.assert_eq st.cc node (if pos then st.node_true else st.node_false)
+  | Term.Var (x, Sort.Bool), pos ->
+      let node = Cc.node_of_term st.cc (Term.var ("%b" ^ x)) in
+      Cc.assert_eq st.cc node (if pos then st.node_true else st.node_false)
+  | Term.Eq (a, b), pos ->
+      (* Boolean equality between atoms should have been removed by
+         Tseitin (encoded as Iff); defensive fallback. *)
+      ignore (a, b, pos);
+      invalid_arg "Theory.assert_literal: boolean equality atom"
+  | t, _ -> invalid_arg (Fmt.str "Theory.assert_literal: %a" Term.pp t)
+
+(* --------------------------------------------------------------- *)
+(* The combination loop *)
+
+(** LIA entailment of [x = y] under the current constraints: UNSAT of
+    both strict separations. *)
+let lia_entails_eq st x y =
+  let test op =
+    let s = Simplex.copy st.lia in
+    let e =
+      Simplex.Linexp.add_term x Q.one
+        (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
+    in
+    Simplex.assert_atom s e op Q.zero;
+    Stats.global.lia_checks <- Stats.global.lia_checks + 1;
+    match Simplex.check_rational s with
+    | Simplex.Unsat -> true
+    | Simplex.Sat -> false
+  in
+  test Simplex.Lt && test Simplex.Gt
+
+(** Run the combined check on the literals already asserted.
+
+    [eq_budget] caps the number of model-guided cross-theory equality
+    entailment tests. With the default (unbounded) budget the check is
+    complete for our fragment; with a small budget a [Sat] answer may
+    be spurious, which is fine for callers (unsat-core minimization)
+    that only trust [Unsat]. *)
+let check ?(eq_budget = max_int) st : result =
+  let eq_budget = ref eq_budget in
+  Stats.global.theory_checks <- Stats.global.theory_checks + 1;
+  (* Cross-theory propagation only concerns variables the arithmetic
+     solver actually constrains; in pure-EUF problems the LIA state is
+     empty and the quadratic pair scan must not run at all. *)
+  let lia_relevant () =
+    List.filter (fun (x, _) -> Hashtbl.mem st.lia.Simplex.names x) st.shared
+  in
+  let rec loop fuel =
+    if fuel <= 0 then (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: combination fuel out"; Unknown)
+    else begin
+      Stats.global.euf_checks <- Stats.global.euf_checks + 1;
+      if not (Cc.consistent st.cc) then Unsat
+      else begin
+        (* EUF → LIA: merged shared variables become LIA equalities. *)
+        let new_eqs = ref [] in
+        let shared = lia_relevant () in
+        List.iteri
+          (fun i (x, nx) ->
+            List.iteri
+              (fun j (y, ny) ->
+                if i < j && Cc.are_equal st.cc nx ny then
+                  let key = if x < y then (x, y) else (y, x) in
+                  if not (List.mem key st.propagated) then
+                    new_eqs := key :: !new_eqs)
+              shared)
+          shared;
+        List.iter
+          (fun (x, y) ->
+            st.propagated <- (x, y) :: st.propagated;
+            Stats.global.eq_propagations <- Stats.global.eq_propagations + 1;
+            let e =
+              Simplex.Linexp.add_term x Q.one
+                (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
+            in
+            Simplex.assert_atom st.lia e Simplex.Eq Q.zero)
+          !new_eqs;
+        Stats.global.lia_checks <- Stats.global.lia_checks + 1;
+        match Simplex.check_int st.lia with
+        | Simplex.IUnsat -> Unsat
+        | Simplex.IUnknown -> (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: check_int unknown"; Unknown)
+        | Simplex.IModel m ->
+            (* LIA → EUF: model-guided entailed equalities. Only pairs
+               the model already makes equal can be entailed. *)
+            let candidates =
+              Listx.all_pairs (lia_relevant ())
+              |> List.filter (fun ((x, nx), (y, ny)) ->
+                     (not (Cc.are_equal st.cc nx ny))
+                     &&
+                     match (Smap.find_opt x m, Smap.find_opt y m) with
+                     | Some vx, Some vy -> vx = vy
+                     | _ -> false)
+            in
+            let merged = ref false in
+            List.iter
+              (fun ((x, nx), (y, ny)) ->
+                if
+                  !eq_budget > 0
+                  && (not (Cc.are_equal st.cc nx ny))
+                  && (decr eq_budget;
+                      lia_entails_eq st x y)
+                then begin
+                  merged := true;
+                  Stats.global.eq_propagations <-
+                    Stats.global.eq_propagations + 1;
+                  Cc.assert_eq st.cc nx ny
+                end)
+              candidates;
+            if !merged then loop (fuel - 1) else Sat m
+      end
+    end
+  in
+  loop 64

@@ -1,0 +1,1 @@
+lib/stdx/stdx.ml: Gensym Listx Q Smap Union_find

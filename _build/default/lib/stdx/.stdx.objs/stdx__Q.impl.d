@@ -1,0 +1,1 @@
+lib/stdx/q.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/stdx/smap.ml: Fmt List Map String

@@ -1,0 +1,1 @@
+lib/stdx/union_find.ml: Array Fun Stdlib

@@ -1,0 +1,22 @@
+(** Fresh-name generation.
+
+    Each [t] is an independent counter; verifiers create one per run so
+    symbolic-value names are deterministic and tests are reproducible. *)
+
+type t = { mutable next : int; prefix : string }
+
+let create ?(prefix = "$") () = { next = 0; prefix }
+
+let fresh ?hint t =
+  let n = t.next in
+  t.next <- n + 1;
+  match hint with
+  | None -> Printf.sprintf "%s%d" t.prefix n
+  | Some h -> Printf.sprintf "%s%s%d" t.prefix h n
+
+let fresh_int t =
+  let n = t.next in
+  t.next <- n + 1;
+  n
+
+let reset t = t.next <- 0

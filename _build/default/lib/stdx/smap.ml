@@ -1,0 +1,15 @@
+(** String-keyed persistent maps, the workhorse finite map of the
+    project (variable environments, symbolic heaps keyed by location
+    names, ghost-state maps). *)
+
+include Map.Make (String)
+
+let of_list kvs = List.fold_left (fun m (k, v) -> add k v m) empty kvs
+
+let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+
+let pp pp_v ppf m =
+  Fmt.pf ppf "{@[%a@]}"
+    (Fmt.list ~sep:(Fmt.any ";@ ") (fun ppf (k, v) ->
+         Fmt.pf ppf "%s ↦ %a" k pp_v v))
+    (bindings m)

@@ -1,0 +1,7 @@
+(** Entry point for the utility substrate. *)
+
+module Q = Q
+module Union_find = Union_find
+module Gensym = Gensym
+module Listx = Listx
+module Smap = Smap

@@ -1,0 +1,63 @@
+(** Imperative union-find with path compression and union by rank.
+
+    Used by the congruence-closure engine. Nodes are dense integer ids
+    allocated by [make]; the structure grows on demand. *)
+
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  { parent = Array.init capacity Fun.id; rank = Array.make capacity 0; size = 0 }
+
+let ensure t n =
+  if n >= Array.length t.parent then begin
+    let cap = Stdlib.max (n + 1) (2 * Array.length t.parent) in
+    let parent = Array.init cap Fun.id and rank = Array.make cap 0 in
+    Array.blit t.parent 0 parent 0 t.size;
+    Array.blit t.rank 0 rank 0 t.size;
+    t.parent <- parent;
+    t.rank <- rank
+  end;
+  if n >= t.size then t.size <- n + 1
+
+(** [make t] allocates a fresh singleton class and returns its id. *)
+let make t =
+  let id = t.size in
+  ensure t id;
+  id
+
+let rec find t x =
+  ensure t x;
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let equiv t x y = find t x = find t y
+
+(** [union t x y] merges the classes of [x] and [y] and returns the
+    representative of the merged class. *)
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else if t.rank.(rx) < t.rank.(ry) then begin
+    t.parent.(rx) <- ry;
+    ry
+  end
+  else if t.rank.(rx) > t.rank.(ry) then begin
+    t.parent.(ry) <- rx;
+    rx
+  end
+  else begin
+    t.parent.(ry) <- rx;
+    t.rank.(rx) <- t.rank.(rx) + 1;
+    rx
+  end
+
+let copy t = { parent = Array.copy t.parent; rank = Array.copy t.rank; size = t.size }

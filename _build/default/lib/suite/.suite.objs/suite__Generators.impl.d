@@ -1,0 +1,1 @@
+lib/suite/generators.ml: Baselogic Heaplang List Listx Printf Programs Proofmode Smt Stdx Verifier

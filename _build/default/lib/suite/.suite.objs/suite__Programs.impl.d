@@ -1,0 +1,1 @@
+lib/suite/programs.ml: Baselogic Heaplang List Proofmode Q Smap Smt Stdx Verifier

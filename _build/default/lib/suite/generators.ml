@@ -1,0 +1,127 @@
+(** Parametric workload generators for the scaling figures.
+
+    - {!straightline}: a chain of [n] increments of one cell — F1's
+      x-axis. Both a verifier task and a baseline task, so the two
+      systems are compared on identical programs.
+    - {!multicell}: [k] cells, each loaded/incremented/stored once —
+      F2's x-axis (symbolic-heap size).
+    - {!pigeonhole} and {!euf_chain}: synthetic solver instances for
+      F3. *)
+
+open Stdx
+module A = Baselogic.Assertion
+module T = Smt.Term
+module HL = Heaplang.Ast
+module V = Verifier.Exec
+module P = Proofmode.Prove
+
+let sym x = HL.Val (HL.Sym x)
+let pt l v = A.points_to (T.var l) v
+
+(* ------------------------------------------------------------------ *)
+
+(** [n] sequential increments of a single cell:
+    {v let c = !l in l <- c+1; …; !l v}
+    pre: [l ↦ 0]; post: [result = n ∗ l ↦ n]. *)
+let straightline (n : int) : V.proc * Programs.baseline =
+  let rec build i =
+    if i = 0 then HL.Load (sym "l")
+    else
+      let c = Printf.sprintf "c%d" i and d = Printf.sprintf "d%d" i in
+      HL.Let
+        ( c,
+          HL.Load (sym "l"),
+          HL.Let
+            ( d,
+              HL.BinOp (HL.Add, HL.Var c, HL.Val (HL.Int 1)),
+              HL.Seq (HL.Store (sym "l", HL.Var d), build (i - 1)) ) )
+  in
+  let body = build n in
+  let pre = pt "l" (T.int 0) in
+  let post =
+    A.Sep (pt "l" (T.int n), A.Pure (T.eq (T.var "result") (T.int n)))
+  in
+  ( {
+      V.pname = Printf.sprintf "straight%d" n;
+      params = [ "l" ];
+      requires = pre;
+      ensures = post;
+      body;
+      invariants = [];
+      ghost = [];
+    },
+    { Programs.b_pre = pre; b_body = body; b_post = post; b_invs = [] } )
+
+(** [k] cells, each bumped once. Exercises chunk matching: the
+    symbolic heap holds [k] chunks throughout. *)
+let multicell (k : int) : V.proc =
+  let cell i = Printf.sprintf "l%d" i in
+  let rec build i =
+    let bump =
+      HL.Let
+        ( "c",
+          HL.Load (sym (cell i)),
+          HL.Let
+            ( "d",
+              HL.BinOp (HL.Add, HL.Var "c", HL.Val (HL.Int 1)),
+              HL.Store (sym (cell i), HL.Var "d") ) )
+    in
+    if i = k - 1 then bump else HL.Seq (bump, build (i + 1))
+  in
+  let cells f = List.init k (fun i -> pt (cell i) (f i)) in
+  {
+    V.pname = Printf.sprintf "multicell%d" k;
+    params = List.init k cell;
+    requires = A.seps (cells (fun _ -> T.int 0));
+    ensures = A.seps (cells (fun _ -> T.int 1));
+    body = build 0;
+    invariants = [];
+    ghost = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Solver microbenchmarks (F3) *)
+
+(** The pigeonhole principle PHP(n): n+1 pigeons, n holes — unsat and
+    exponentially hard for resolution-based solvers; the classic CDCL
+    stress test. *)
+let pigeonhole (n : int) : T.t list =
+  let in_hole p h = T.bvar (Printf.sprintf "p%dh%d" p h) in
+  let pigeons =
+    List.init (n + 1) (fun p -> T.or_ (List.init n (fun h -> in_hole p h)))
+  in
+  let no_collision =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then
+                  Some (T.or_ [ T.not_ (in_hole p1 h); T.not_ (in_hole p2 h) ])
+                else None)
+              (Listx.range 0 (n + 1)))
+          (Listx.range 0 (n + 1)))
+      (Listx.range 0 n)
+  in
+  pigeons @ no_collision
+
+(** A congruence chain: x₀ = x₁ = … = xₖ, then [f x₀ ≠ f xₖ] — unsat
+    after k congruence propagations. *)
+let euf_chain (k : int) : T.t list =
+  let x i = T.var (Printf.sprintf "x%d" i) in
+  List.init k (fun i -> T.eq (x i) (x (i + 1)))
+  @ [ T.neq (T.app "f" [ x 0 ]) (T.app "f" [ x k ]) ]
+
+(** A diamond of equalities driven by boolean choices — mixes CDCL
+    and LIA: each layer adds [xᵢ₊₁ = xᵢ + aᵢ] or [xᵢ₊₁ = xᵢ + bᵢ];
+    the goal bounds the endpoint. Satisfiable, model needed. *)
+let lia_diamond (k : int) : T.t list =
+  let x i = T.var (Printf.sprintf "x%d" i) in
+  List.init k (fun i ->
+      T.or_
+        [
+          T.eq (x (i + 1)) (T.add (x i) (T.int 1));
+          T.eq (x (i + 1)) (T.add (x i) (T.int 2));
+        ])
+  @ [ T.eq (x 0) (T.int 0); T.ge (x k) (T.int k) ]

@@ -1,0 +1,5 @@
+(** The benchmark suite: annotated programs ({!Programs}) and
+    parametric workload generators ({!Generators}). *)
+
+module Programs = Programs
+module Generators = Generators

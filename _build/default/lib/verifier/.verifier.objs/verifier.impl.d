@@ -1,0 +1,1 @@
+lib/verifier/verifier.ml: Exec State Vstats

@@ -1,0 +1,1 @@
+lib/verifier/exec.ml: Baselogic Heaplang List Q Smap Smt State Stdx String Vstats

@@ -1,0 +1,1 @@
+lib/verifier/state.ml: Baselogic Fmt Gensym List Listx Q Smap Smt Stdx String Vstats

@@ -1,0 +1,1 @@
+lib/verifier/vstats.ml: Fmt

@@ -1,0 +1,334 @@
+(** Symbolic verification state: a pure path condition plus a symbolic
+    heap of chunks, with the inhale/consume operations of a
+    Viper-style verifier — except that pure assertions may read the
+    heap ([!l] terms), which is the destabilized logic's contribution:
+    reads are resolved against owned chunks at inhale/consume time and
+    the resulting facts are stable, so nothing needs re-threading at
+    mutation points. *)
+
+open Stdx
+module A = Baselogic.Assertion
+module GV = Baselogic.Ghost_val
+module T = Smt.Term
+
+exception Verification_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Verification_error s)) fmt
+
+type t = {
+  penv : A.pred_env;
+  gensym : Gensym.t;
+  heap_dep : bool;  (** heap-dependent assertions enabled (A1 toggle) *)
+  pures : T.t list;  (** path condition; always heap-read-free *)
+  chunks : A.t list;  (** Points_to / Ghost / Pred *)
+}
+
+let create ?(heap_dep = true) ?(penv = Smap.empty) () =
+  { penv; gensym = Gensym.create ~prefix:"v" (); heap_dep; pures = []; chunks = [] }
+
+let fresh ?hint st = Gensym.fresh ?hint st.gensym
+
+let add_pure st phi = { st with pures = phi :: st.pures }
+let add_chunk st c = { st with chunks = c :: st.chunks }
+
+let entails st phi =
+  Vstats.global.obligations <- Vstats.global.obligations + 1;
+  T.equal phi T.tru
+  || List.exists (T.equal phi) st.pures
+  || (match phi with T.Eq (a, b) -> T.equal a b | _ -> false)
+  || Smt.Solver.entails_bool ~hyps:st.pures phi
+
+(** Is the current path feasible? Used to prune dead branches. *)
+let feasible st =
+  match Smt.Solver.check_sat st.pures with
+  | Smt.Solver.Unsat -> false
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Heap reads *)
+
+(** Find the chunk covering location [l] (any positive fraction). *)
+let find_points_to st (l : T.t) =
+  List.find_map
+    (function
+      | A.Points_to { loc; frac; value } ->
+          if T.equal l loc || entails st (T.eq l loc) then
+            Some (loc, frac, value)
+          else None
+      | _ -> None)
+    st.chunks
+
+(** Resolve every heap read in [phi] against the owned chunks. This is
+    the verifier's use of the destabilized logic: a read obligates a
+    positive fraction at the read location. *)
+let resolve st (phi : T.t) : T.t =
+  if not (Baselogic.Hterm.heap_dependent phi) then phi
+  else if not st.heap_dep then
+    fail "heap-dependent assertion %a with heap_dep disabled" T.pp phi
+  else begin
+    Vstats.global.stab_checks <- Vstats.global.stab_checks + 1;
+    let phi' =
+      Baselogic.Hterm.resolve
+        (fun l ->
+          match find_points_to st l with
+          | Some (_, _, v) ->
+              Vstats.global.resolutions <- Vstats.global.resolutions + 1;
+              Some v
+          | None -> None)
+        phi
+    in
+    if Baselogic.Hterm.heap_dependent phi' then
+      fail "heap read without permission in %a" T.pp phi'
+    else phi'
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inhale *)
+
+(** Add an assertion to the state, opening existentials with fresh
+    symbols and splitting on disjunctions (so recursive predicate
+    bodies like list definitions unfold into one state per case).
+    Chunks are added before pure parts are resolved, so reads in an
+    assertion's pure parts can target its own chunks. *)
+let inhale_cases (st : t) (a : A.t) : t list =
+  let rec collect st pures a : (t * T.t list) list =
+    match a with
+    | A.Pure phi -> [ (st, phi :: pures) ]
+    | A.Emp -> [ (st, pures) ]
+    | A.Points_to _ as c -> [ (add_chunk st c, pures) ]
+    | A.Ghost (_, gv) as c ->
+        (* Validity comes for free on inhale. *)
+        [ (add_chunk st c, GV.valid_fact gv :: pures) ]
+    | A.Pred _ as c -> [ (add_chunk st c, pures) ]
+    | A.Sep (p, q) | A.And (p, q) ->
+        collect st pures p
+        |> List.concat_map (fun (st, pures) -> collect st pures q)
+    | A.Or (p, q) -> collect st pures p @ collect st pures q
+    | A.Exists (x, p) ->
+        let y = fresh ~hint:x st in
+        collect st pures (A.subst1 x (T.var y) p)
+    | A.Stabilize p | A.Later p | A.Persistently p -> collect st pures p
+    | a -> fail "inhale: unsupported assertion %a" A.pp a
+  in
+  collect st [] a
+  |> List.map (fun (st, pures) ->
+         List.fold_left (fun st phi -> add_pure st (resolve st phi)) st pures)
+  |> List.filter feasible
+
+(** Non-branching inhale; fails on disjunctions. *)
+let inhale (st : t) (a : A.t) : t =
+  match inhale_cases st a with
+  | [ st ] -> st
+  | [] -> add_pure st T.fls
+  | sts ->
+      ignore sts;
+      fail "inhale: disjunctive assertion needs inhale_cases: %a" A.pp a
+
+let inhale_all st l = List.fold_left inhale st l
+
+(* ------------------------------------------------------------------ *)
+(* Consume *)
+
+let take st pred =
+  match Listx.find_remove pred st.chunks with
+  | Some (c, rest) ->
+      Vstats.global.chunk_matches <- Vstats.global.chunk_matches + 1;
+      Some (c, { st with chunks = rest })
+  | None -> None
+
+(** Resolve the heap reads of every pure part of [a] against the
+    current state — used as a pre-pass by [consume], so that an
+    assertion's pure parts can read locations whose chunks the same
+    assertion is about to consume. *)
+let rec resolve_assertion st (a : A.t) : A.t =
+  match a with
+  | A.Pure phi -> A.Pure (resolve st phi)
+  | A.Emp | A.Points_to _ | A.Ghost _ | A.Pred _ -> a
+  | A.Sep (p, q) -> A.Sep (resolve_assertion st p, resolve_assertion st q)
+  | A.And (p, q) -> A.And (resolve_assertion st p, resolve_assertion st q)
+  | A.Or (p, q) -> A.Or (resolve_assertion st p, resolve_assertion st q)
+  | A.Exists (x, p) -> A.Exists (x, resolve_assertion st p)
+  | A.Forall (x, p) -> A.Forall (x, resolve_assertion st p)
+  | A.Stabilize p -> A.Stabilize (resolve_assertion st p)
+  | A.Later p -> A.Later (resolve_assertion st p)
+  | A.Persistently p -> A.Persistently (resolve_assertion st p)
+  | A.Wand _ | A.Upd _ | A.Wp _ -> a
+
+(** Coalesce fractional chunks at [loc]: two chunks with provably
+    equal locations also have equal values (their composition is
+    valid), so they merge into one with the summed fraction. *)
+let coalesce (st : t) (loc : T.t) : t =
+  let same l' = T.equal loc l' || entails st (T.eq loc l') in
+  let mine, others =
+    List.partition
+      (function A.Points_to { loc = l'; _ } -> same l' | _ -> false)
+      st.chunks
+  in
+  match mine with
+  | [] | [ _ ] -> st
+  | A.Points_to first :: rest ->
+      let frac, value =
+        List.fold_left
+          (fun (q, v) c ->
+            match c with
+            | A.Points_to { frac = q'; value = v'; _ } ->
+                ignore v';
+                (Q.add q q', v)
+            | _ -> (q, v))
+          (first.frac, first.value) rest
+      in
+      let st' = { st with chunks = A.points_to ~frac first.loc value :: others } in
+      (* record the agreement facts *)
+      List.fold_left
+        (fun st c ->
+          match c with
+          | A.Points_to { value = v'; _ } -> add_pure st (T.eq value v')
+          | _ -> st)
+        st' rest
+  | _ -> st
+
+(** Remove an assertion from the state, checking pure obligations.
+    Mirrors {!Baselogic.Kernel.entail_auto} without building
+    theorems. *)
+let rec consume_resolved (st : t) (a : A.t) : t =
+  let consume = consume_resolved in
+  match a with
+  | A.Emp -> st
+  | A.Pure phi ->
+      let phi = resolve st phi in
+      if entails st phi then st
+      else fail "cannot prove %a" T.pp phi
+  | A.Sep (p, q) | A.And (p, q) -> consume (consume st p) q
+  (* [And] with separate chunk consumption is sound only for the
+     idempotent assertions we emit; specs use [Sep]. *)
+  | A.Points_to { loc; frac; value } -> (
+      let st = coalesce st loc in
+      match
+        take st (function
+          | A.Points_to { loc = l'; frac = q'; _ } ->
+              Q.geq q' frac
+              && (T.equal loc l' || entails st (T.eq loc l'))
+          | _ -> false)
+      with
+      | Some (A.Points_to { loc = l'; frac = q'; value = v' }, st') ->
+          if not (entails st (T.eq value v')) then
+            fail "points-to %a: cannot prove value %a = %a" T.pp loc T.pp
+              value T.pp v';
+          if Q.gt q' frac then
+            add_chunk st' (A.points_to ~frac:(Q.sub q' frac) l' v')
+          else st'
+      | _ -> fail "no points-to chunk for %a" T.pp loc)
+  | A.Ghost (g, gv) -> (
+      match
+        take st (function
+          | A.Ghost (g', gv') ->
+              String.equal g g'
+              && (match GV.sub_condition ~goal:gv ~chunk:gv' with
+                 | Some cond -> entails st cond
+                 | None -> false)
+          | _ -> false)
+      with
+      | Some (_, st') -> st'
+      | None -> fail "no ghost chunk %s matching %a" g GV.pp gv)
+  | A.Pred (p, args) -> (
+      match
+        take st (function
+          | A.Pred (p', args') ->
+              String.equal p p'
+              && List.length args = List.length args'
+              && List.for_all2 (fun a b -> entails st (T.eq a b)) args args'
+          | _ -> false)
+      with
+      | Some (_, st') -> st'
+      | None -> fail "no predicate chunk %s" p)
+  | A.Exists (x, body) -> (
+      let try_witness t =
+        match consume st (A.subst1 x t body) with
+        | st' -> Some st'
+        | exception Verification_error _ -> None
+      in
+      match List.find_map try_witness (witnesses st x body) with
+      | Some st' -> st'
+      | None -> fail "no witness for ∃%s. %a" x A.pp body)
+  | A.Or (A.Pure phi, rhs) ->
+      (* Classical: if φ is not provable, prove the right side under
+         ¬φ (and the converse preference when φ holds). *)
+      let phi = resolve st phi in
+      if entails st phi then st
+      else consume (add_pure st (T.not_ phi)) rhs
+  | A.Or (lhs, rhs) -> (
+      match consume st lhs with
+      | st' -> st'
+      | exception Verification_error _ -> consume st rhs)
+  | A.Stabilize p ->
+      if A.stable p then consume st p
+      else fail "assertion under ⌊·⌋ is not stable: %a" A.pp p
+  | A.Later p | A.Persistently p -> consume st p
+  | a -> fail "consume: unsupported assertion %a" A.pp a
+
+(** Witness candidates for an existential goal, mirroring the
+    kernel's inference: unify chunk-shaped conjuncts, try defining
+    equations. *)
+and witnesses st x body : T.t list =
+  (* Look through nested existentials: inner binders are opaque, but
+     chunk-shaped conjuncts under them still drive unification. *)
+  let rec peel = function A.Exists (_, p) -> peel p | p -> p in
+  let body = peel body in
+  let cands = ref [] in
+  let consider pat chunk =
+    match (pat, chunk) with
+    | ( A.Points_to { loc; value = T.Var (y, _); _ },
+        A.Points_to { loc = l'; value = v'; _ } )
+      when String.equal y x ->
+        if T.equal loc l' || entails st (T.eq loc l') then
+          cands := v' :: !cands
+    | ( A.Points_to { loc = T.Var (y, _); value; _ },
+        A.Points_to { loc = l'; value = v'; _ } )
+      when String.equal y x ->
+        if entails st (T.eq value v') then cands := l' :: !cands
+    | ( A.Ghost (g, GV.Auth_nat { auth = Some (T.Var (y, _)); _ }),
+        A.Ghost (g', GV.Auth_nat { auth = Some n'; _ }) )
+      when String.equal y x && String.equal g g' ->
+        cands := n' :: !cands
+    | ( A.Ghost (g, GV.Agree (T.Var (y, _))),
+        A.Ghost (g', GV.Agree v') )
+      when String.equal y x && String.equal g g' ->
+        cands := v' :: !cands
+    | A.Pred (p, args), A.Pred (p', args')
+      when String.equal p p' && List.length args = List.length args' ->
+        List.iter2
+          (fun a a' ->
+            match a with
+            | T.Var (y, _) when String.equal y x -> cands := a' :: !cands
+            | _ -> ())
+          args args'
+    | _ -> ()
+  in
+  List.iter (fun pat -> List.iter (consider pat) st.chunks) (A.conjuncts body);
+  List.iter
+    (fun pat ->
+      match pat with
+      | A.Pure (T.Eq (T.Var (y, _), rhs)) when String.equal y x ->
+          cands := resolve st rhs :: !cands
+      | A.Pure (T.Eq (lhs, T.Var (y, _))) when String.equal y x ->
+          cands := resolve st lhs :: !cands
+      | _ -> ())
+    (A.conjuncts body);
+  Listx.take 8 (List.rev !cands)
+
+(** Public entry: resolve heap reads against the pre-consume state,
+    then match and remove. *)
+let consume (st : t) (a : A.t) : t = consume_resolved st (resolve_assertion st a)
+
+(* ------------------------------------------------------------------ *)
+(* Havoc (for loops) *)
+
+(** Keep only the pure facts; used at loop heads after consuming the
+    invariant — the fresh loop state is whatever the invariant
+    provides. *)
+let pures_only st = { st with chunks = [] }
+
+let pp ppf st =
+  Fmt.pf ppf "@[<v>pures: %a@ chunks: %a@]"
+    (Fmt.list ~sep:Fmt.comma T.pp) st.pures
+    (Fmt.list ~sep:Fmt.comma A.pp) st.chunks

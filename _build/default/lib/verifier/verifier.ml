@@ -1,0 +1,7 @@
+(** The automated verifier (the paper's headline system): symbolic
+    execution over the destabilized assertion language, with all proof
+    obligations discharged by the built-in SMT solver. *)
+
+module State = State
+module Exec = Exec
+module Vstats = Vstats

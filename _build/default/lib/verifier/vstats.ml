@@ -1,0 +1,43 @@
+(** Verifier-side statistics, feeding tables T1 and T3. *)
+
+type t = {
+  mutable obligations : int;  (** proof obligations discharged *)
+  mutable chunk_matches : int;  (** spatial chunks consumed *)
+  mutable resolutions : int;  (** heap reads resolved (destabilized) *)
+  mutable stab_checks : int;  (** stability checks performed *)
+  mutable unstable_facts : int;  (** facts dropped at mutation points *)
+  mutable branches : int;  (** path splits *)
+  mutable loops : int;
+  mutable calls : int;
+}
+
+let global =
+  {
+    obligations = 0;
+    chunk_matches = 0;
+    resolutions = 0;
+    stab_checks = 0;
+    unstable_facts = 0;
+    branches = 0;
+    loops = 0;
+    calls = 0;
+  }
+
+let reset () =
+  global.obligations <- 0;
+  global.chunk_matches <- 0;
+  global.resolutions <- 0;
+  global.stab_checks <- 0;
+  global.unstable_facts <- 0;
+  global.branches <- 0;
+  global.loops <- 0;
+  global.calls <- 0
+
+let snapshot () = { global with obligations = global.obligations }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "obligations=%d chunks=%d resolutions=%d stab=%d unstable-dropped=%d \
+     branches=%d loops=%d calls=%d"
+    s.obligations s.chunk_matches s.resolutions s.stab_checks
+    s.unstable_facts s.branches s.loops s.calls

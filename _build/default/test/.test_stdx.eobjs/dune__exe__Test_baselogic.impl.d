@@ -1,0 +1,1 @@
+test/test_baselogic.ml: Alcotest Baselogic Heaplang List Listx Q Smap Smt Stdx String

@@ -1,0 +1,1 @@
+test/test_camera.ml: Agree Alcotest Auth Bool Camera Excl Fmt Frac Gmap Gset_disj Int List Max_nat Nat_add Option Option_ra Printf Prod Registry Stdx Sum Updates

@@ -1,0 +1,1 @@
+test/test_heaplang.ml: Alcotest Ast Fmt Heap Heaplang Interp List Parser QCheck QCheck_alcotest Step Subst Syntax

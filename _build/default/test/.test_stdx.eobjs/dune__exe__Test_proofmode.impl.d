@@ -1,0 +1,1 @@
+test/test_proofmode.ml: Alcotest Baselogic Fmt Heaplang List Proofmode Smt

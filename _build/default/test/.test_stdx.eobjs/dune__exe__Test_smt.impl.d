@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Cc Gen List Option Printf Q QCheck QCheck_alcotest Sat Simplex Smt Solver Stdx Suite Term

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Gensym List Listx Q QCheck QCheck_alcotest Stdx Union_find

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Baselogic Fmt Heaplang List Option Q Smap Smt Stdx Suite Verifier

@@ -1,0 +1,360 @@
+(** Solver tests: unit cases for each component, end-to-end
+    sat/unsat cases, and a differential property test — random small
+    formulas decided both by the solver and by brute-force enumeration
+    over a small domain. *)
+
+open Smt
+open Term
+
+let check_result name expected asserts () =
+  let r = Solver.check_sat asserts in
+  let s =
+    match r with
+    | Solver.Sat _ -> "sat"
+    | Solver.Unsat -> "unsat"
+    | Solver.Unknown -> "unknown"
+  in
+  Alcotest.(check string) name expected s
+
+let x = var "x"
+let y = var "y"
+let z = var "z"
+
+let solver_units =
+  [
+    ("trivial-true", "sat", [ tru ]);
+    ("contradiction", "unsat", [ eq x (int 1); eq x (int 2) ]);
+    ("lt-antisym", "unsat", [ lt x y; lt y x ]);
+    ("le-chain", "unsat", [ le x y; le y z; gt x z ]);
+    ("lin-system", "sat", [ eq (add x y) (int 3); eq (sub x y) (int 1) ]);
+    ("parity", "unsat", [ eq (mul (int 2) x) (int 3) ]);
+    ("congruence", "unsat", [ neq (app "f" [ x ]) (app "f" [ y ]); eq x y ]);
+    ( "cong-via-lia",
+      "unsat",
+      [ neq (app "f" [ x ]) (app "f" [ y ]); le x y; le y x ] );
+    ("f-distinct", "sat", [ neq (app "f" [ x ]) (app "f" [ y ]) ]);
+    ( "pigeonhole-2",
+      "unsat",
+      Suite.Generators.pigeonhole 2 );
+    ( "distinct-3-in-2",
+      "unsat",
+      [
+        neq x y; neq y z; neq x z;
+        le (int 1) x; le x (int 2);
+        le (int 1) y; le y (int 2);
+        le (int 1) z; le z (int 2);
+      ] );
+    ("ite-int", "unsat", [ eq (ite (lt x y) (int 1) (int 2)) (int 1); ge x y ]);
+    ("strict-int-gap", "unsat", [ lt x y; gt (add x (int 1)) y ]);
+    ( "cong-through-arith",
+      "unsat",
+      [ eq x y; neq (app "f" [ add x (int 1) ]) (app "f" [ add y (int 1) ]) ] );
+    ("bool-var", "sat", [ or_ [ bvar "p"; bvar "q" ]; not_ (bvar "p") ]);
+    ( "iff",
+      "unsat",
+      [ iff (bvar "p") (bvar "q"); bvar "p"; not_ (bvar "q") ] );
+    ("uf-pred", "unsat", [ pred "P" [ x ]; not_ (pred "P" [ y ]); eq x y ]);
+    ( "nonlinear-abstraction",
+      "unsat",
+      [ neq (mul x y) (mul x y) ] );
+  ]
+  |> List.map (fun (n, e, a) -> Alcotest.test_case n `Quick (check_result n e a))
+
+(* Model soundness: on Sat, the returned model satisfies the formula. *)
+let test_model_soundness () =
+  let asserts =
+    [ eq (add x y) (int 7); lt x y; ge x (int 0); neq x (int 1) ]
+  in
+  match Solver.check_sat asserts with
+  | Solver.Sat m ->
+      let env = m.Solver.ints in
+      List.iter
+        (fun t ->
+          match Term.eval_bool ~env t with
+          | Some b -> Alcotest.(check bool) (Term.to_string t) true b
+          | None -> Alcotest.fail "model incomplete")
+        asserts
+  | _ -> Alcotest.fail "expected sat"
+
+(* Simplex unit tests *)
+
+let test_simplex () =
+  let open Stdx in
+  let s = Simplex.create () in
+  let le_ l = Simplex.Linexp.of_list l in
+  Simplex.assert_atom s (le_ [ ("a", Q.one); ("b", Q.one) ]) Simplex.Le (Q.of_int 5);
+  Simplex.assert_atom s (le_ [ ("a", Q.one) ]) Simplex.Ge (Q.of_int 3);
+  Simplex.assert_atom s (le_ [ ("b", Q.one) ]) Simplex.Ge (Q.of_int 3);
+  (match Simplex.check_rational s with
+  | Simplex.Unsat -> ()
+  | Simplex.Sat -> Alcotest.fail "3+3 > 5 should be unsat");
+  let s2 = Simplex.create () in
+  Simplex.assert_atom s2 (le_ [ ("a", Q.of_int 2); ("b", Q.of_int 3) ]) Simplex.Eq (Q.of_int 12);
+  Simplex.assert_atom s2 (le_ [ ("a", Q.one) ]) Simplex.Ge Q.zero;
+  Simplex.assert_atom s2 (le_ [ ("b", Q.one) ]) Simplex.Ge Q.zero;
+  match Simplex.check_int s2 with
+  | Simplex.IModel m ->
+      let a = Stdx.Smap.find "a" m and b = Stdx.Smap.find "b" m in
+      Alcotest.(check int) "2a+3b=12" 12 ((2 * a) + (3 * b))
+  | _ -> Alcotest.fail "2a+3b=12 has integer solutions"
+
+(* Congruence closure unit tests *)
+
+let test_cc () =
+  let cc = Cc.create () in
+  let nx = Cc.node_of_term cc (var "x") in
+  let ny = Cc.node_of_term cc (var "y") in
+  let fx = Cc.alloc cc (Cc.Fapp ("f", [ nx ])) in
+  let fy = Cc.alloc cc (Cc.Fapp ("f", [ ny ])) in
+  let ffx = Cc.alloc cc (Cc.Fapp ("f", [ fx ])) in
+  let ffy = Cc.alloc cc (Cc.Fapp ("f", [ fy ])) in
+  Alcotest.(check bool) "apart" false (Cc.are_equal cc fx fy);
+  Cc.assert_eq cc nx ny;
+  Alcotest.(check bool) "congruent" true (Cc.are_equal cc fx fy);
+  Alcotest.(check bool) "nested congruent" true (Cc.are_equal cc ffx ffy);
+  Cc.assert_neq cc ffx ffy;
+  Alcotest.(check bool) "inconsistent" false (Cc.consistent cc)
+
+let test_cc_numbers () =
+  let cc = Cc.create () in
+  let n1 = Cc.node_of_term cc (Term.int 1) in
+  let n2 = Cc.node_of_term cc (Term.int 2) in
+  Cc.assert_eq cc n1 n2;
+  Alcotest.(check bool) "1 ≠ 2" false (Cc.consistent cc)
+
+(* SAT solver unit tests *)
+
+let test_sat () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  let pos v = Sat.lit_of_var v and neg v = Sat.lit_of_var ~neg:true v in
+  ignore (Sat.add_clause s [ pos a; pos b ]);
+  ignore (Sat.add_clause s [ neg a; pos b ]);
+  ignore (Sat.add_clause s [ pos a; neg b ]);
+  (match Sat.solve s with
+  | Sat.Sat ->
+      Alcotest.(check bool) "a and b" true (Sat.model_value s a && Sat.model_value s b)
+  | _ -> Alcotest.fail "sat expected");
+  ignore (Sat.add_clause s [ neg a; neg b ]);
+  match Sat.solve s with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "unsat expected"
+
+(* Differential testing: random formulas vs brute-force enumeration. *)
+
+let gen_term : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  let rec atom n =
+    let base =
+      oneof
+        [
+          map Term.int (int_range (-3) 3);
+          map Term.var (oneofl vars);
+        ]
+    in
+    if n <= 0 then base
+    else
+      frequency
+        [
+          (3, base);
+          ( 2,
+            map2 Term.add (atom (n - 1)) (atom (n - 1)) );
+          (1, map2 Term.sub (atom (n - 1)) (atom (n - 1)));
+        ]
+  in
+  let rec form n =
+    let cmp =
+      oneof
+        [
+          map2 Term.eq (atom 1) (atom 1);
+          map2 Term.le (atom 1) (atom 1);
+          map2 Term.lt (atom 1) (atom 1);
+        ]
+    in
+    if n <= 0 then cmp
+    else
+      frequency
+        [
+          (3, cmp);
+          (2, map Term.not_ (form (n - 1)));
+          (2, map2 (fun a b -> Term.and_ [ a; b ]) (form (n - 1)) (form (n - 1)));
+          (2, map2 (fun a b -> Term.or_ [ a; b ]) (form (n - 1)) (form (n - 1)));
+          (1, map2 Term.implies (form (n - 1)) (form (n - 1)));
+        ]
+  in
+  form 3
+
+let brute_force_sat (t : Term.t) : bool =
+  let dom = [ -3; -2; -1; 0; 1; 2; 3; 4; 5 ] in
+  List.exists
+    (fun vx ->
+      List.exists
+        (fun vy ->
+          List.exists
+            (fun vz ->
+              let env =
+                Stdx.Smap.of_list [ ("x", vx); ("y", vy); ("z", vz) ]
+              in
+              Term.eval_bool ~env t = Some true)
+            dom)
+        dom)
+    dom
+
+let differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"solver-vs-brute-force" ~count:300
+       (QCheck.make ~print:Term.to_string gen_term)
+       (fun t ->
+         match Solver.check_sat [ t ] with
+         | Solver.Sat m ->
+             (* The model must actually satisfy the formula. *)
+             let env = m.Solver.ints in
+             let env =
+               List.fold_left
+                 (fun env v ->
+                   if Stdx.Smap.mem v env then env else Stdx.Smap.add v 0 env)
+                 env [ "x"; "y"; "z" ]
+             in
+             Term.eval_bool ~env t = Some true
+         | Solver.Unsat ->
+             (* Brute force over a domain wide enough for ±3 literals
+                and depth-1 arithmetic: if the solver says unsat, the
+                domain search must find nothing. *)
+             not (brute_force_sat t)
+         | Solver.Unknown -> true))
+
+let entails_cases =
+  [
+    Alcotest.test_case "entails-valid" `Quick (fun () ->
+        Alcotest.(check bool) "x+1>x" true
+          (Solver.entails_bool (gt (add x (int 1)) x)));
+    Alcotest.test_case "entails-hyps" `Quick (fun () ->
+        Alcotest.(check bool) "x=1 ⊨ x>0" true
+          (Solver.entails_bool ~hyps:[ eq x (int 1) ] (gt x (int 0))));
+    Alcotest.test_case "entails-invalid" `Quick (fun () ->
+        Alcotest.(check bool) "x>0 invalid" false
+          (Solver.entails_bool (gt x (int 0))));
+  ]
+
+
+(* Differential simplex test: random integer constraint systems over a
+   small box, solver verdict vs exhaustive search. *)
+
+let gen_lia_system :
+    ((int * int * int) * Simplex.op * int) list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    map2
+      (fun (a, b, c) (op, k) -> ((a, b, c), op, k))
+      (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-3) 3))
+      (pair
+         (oneofl [ Simplex.Le; Simplex.Lt; Simplex.Ge; Simplex.Gt; Simplex.Eq ])
+         (int_range (-6) 6))
+  in
+  list_size (int_range 1 6) atom
+
+let lia_brute_sat (atoms : ((int * int * int) * Simplex.op * int) list) =
+  let dom = Stdx.Listx.range (-7) 8 in
+  List.exists
+    (fun x ->
+      List.exists
+        (fun y ->
+          List.exists
+            (fun z ->
+              List.for_all
+                (fun ((a, b, c), op, k) ->
+                  let v = (a * x) + (b * y) + (c * z) in
+                  match op with
+                  | Simplex.Le -> v <= k
+                  | Simplex.Lt -> v < k
+                  | Simplex.Ge -> v >= k
+                  | Simplex.Gt -> v > k
+                  | Simplex.Eq -> v = k)
+                atoms)
+            dom)
+        dom)
+    dom
+
+let simplex_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"simplex-vs-brute-force" ~count:300
+       (QCheck.make gen_lia_system)
+       (fun atoms ->
+         let s = Simplex.create () in
+         let open Stdx in
+         List.iter
+           (fun ((a, b, c), op, k) ->
+             let e =
+               Simplex.Linexp.of_list
+                 [ ("x", Q.of_int a); ("y", Q.of_int b); ("z", Q.of_int c) ]
+             in
+             Simplex.assert_atom s e op (Q.of_int k))
+           atoms;
+         match Simplex.check_int s with
+         | Simplex.IModel m ->
+             (* model must satisfy every atom *)
+             let get v = Option.value ~default:0 (Stdx.Smap.find_opt v m) in
+             let x = get "x" and y = get "y" and z = get "z" in
+             List.for_all
+               (fun ((a, b, c), op, k) ->
+                 let v = (a * x) + (b * y) + (c * z) in
+                 match op with
+                 | Simplex.Le -> v <= k
+                 | Simplex.Lt -> v < k
+                 | Simplex.Ge -> v >= k
+                 | Simplex.Gt -> v > k
+                 | Simplex.Eq -> v = k)
+               atoms
+         | Simplex.IUnsat ->
+             (* brute force over the box must find nothing (the box is
+                wide enough for coefficients/constants of this size to
+                have a solution inside if one exists at all — checked
+                empirically; a false negative here would fail) *)
+             not (lia_brute_sat atoms)
+         | Simplex.IUnknown -> true))
+
+(* Random congruence-closure instances vs a naive fixpoint oracle. *)
+let cc_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"cc-vs-union-fixpoint" ~count:200
+       QCheck.(
+         make
+           Gen.(
+             list_size (int_range 1 10)
+               (pair (int_bound 4) (int_bound 4))))
+       (fun eqs ->
+         (* terms: x0..x4 and f(x0)..f(x4); assert equalities between
+            the base variables, check congruence of the f-images. *)
+         let cc = Cc.create () in
+         let xs = Array.init 5 (fun i -> Cc.node_of_term cc (var (Printf.sprintf "x%d" i))) in
+         let fs = Array.map (fun n -> Cc.alloc cc (Cc.Fapp ("f", [ n ]))) xs in
+         List.iter (fun (i, j) -> Cc.assert_eq cc xs.(i) xs.(j)) eqs;
+         (* oracle: union-find on indices *)
+         let uf = Stdx.Union_find.create () in
+         for _ = 0 to 4 do ignore (Stdx.Union_find.make uf) done;
+         List.iter (fun (i, j) -> ignore (Stdx.Union_find.union uf i j)) eqs;
+         List.for_all
+           (fun (i, j) ->
+             Stdx.Union_find.equiv uf i j
+             = Cc.are_equal cc fs.(i) fs.(j))
+           (List.concat_map
+              (fun i -> List.map (fun j -> (i, j)) [ 0; 1; 2; 3; 4 ])
+              [ 0; 1; 2; 3; 4 ])))
+
+let () =
+  Alcotest.run "smt"
+    [
+      ("solver", solver_units);
+      ( "model",
+        [ Alcotest.test_case "model-soundness" `Quick test_model_soundness ] );
+      ("simplex", [ Alcotest.test_case "units" `Quick test_simplex ]);
+      ( "cc",
+        [
+          Alcotest.test_case "congruence" `Quick test_cc;
+          Alcotest.test_case "numbers" `Quick test_cc_numbers;
+        ] );
+      ("sat", [ Alcotest.test_case "units" `Quick test_sat ]);
+      ("differential", [ differential; simplex_differential; cc_random ]);
+      ("entails", entails_cases);
+    ]

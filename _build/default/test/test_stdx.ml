@@ -1,0 +1,102 @@
+(** Tests for the utility substrate: rational arithmetic laws,
+    union-find, and list helpers. *)
+
+open Stdx
+
+let qgen =
+  QCheck.Gen.(
+    map2
+      (fun n d -> Q.mk n d)
+      (int_range (-50) 50)
+      (oneof [ int_range 1 12; int_range (-12) (-1) ]))
+
+let arb_q = QCheck.make ~print:Q.to_string qgen
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let q_props =
+  [
+    prop "add-comm" 500
+      (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    prop "add-assoc" 500
+      (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) ->
+        Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c));
+    prop "mul-distributes" 500
+      (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub-inverse" 500
+      (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.equal (Q.add (Q.sub a b) b) a);
+    prop "compare-antisym" 500
+      (QCheck.pair arb_q arb_q)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    prop "normalized" 500 arb_q (fun a ->
+        Q.den a > 0 && (Q.num a = 0 || abs (Q.num a) > 0));
+    prop "floor-le" 500 arb_q (fun a ->
+        Q.leq (Q.of_int (Q.floor a)) a && Q.lt a (Q.of_int (Q.floor a + 1)));
+    prop "ceil-ge" 500 arb_q (fun a ->
+        Q.geq (Q.of_int (Q.ceil a)) a && Q.gt a (Q.of_int (Q.ceil a - 1)));
+    prop "inv-mul" 500 arb_q (fun a ->
+        QCheck.assume (not (Q.equal a Q.zero));
+        Q.equal (Q.mul a (Q.inv a)) Q.one);
+  ]
+
+let test_q_units () =
+  Alcotest.(check bool) "1/2 + 1/2 = 1" true Q.(equal (add half half) one);
+  Alcotest.(check bool) "1/3 lt 1/2" true (Q.lt (Q.mk 1 3) Q.half);
+  Alcotest.(check int) "floor -3/2" (-2) (Q.floor (Q.mk (-3) 2));
+  Alcotest.(check int) "ceil -3/2" (-1) (Q.ceil (Q.mk (-3) 2));
+  Alcotest.(check string) "pp" "5/3" (Q.to_string (Q.mk 10 6))
+
+let test_union_find () =
+  let uf = Union_find.create () in
+  let a = Union_find.make uf
+  and b = Union_find.make uf
+  and c = Union_find.make uf in
+  Alcotest.(check bool) "distinct" false (Union_find.equiv uf a b);
+  ignore (Union_find.union uf a b);
+  Alcotest.(check bool) "merged" true (Union_find.equiv uf a b);
+  Alcotest.(check bool) "c apart" false (Union_find.equiv uf a c);
+  ignore (Union_find.union uf b c);
+  Alcotest.(check bool) "transitive" true (Union_find.equiv uf a c)
+
+let uf_prop =
+  prop "union-find partitions" 200
+    QCheck.(list (pair (int_bound 15) (int_bound 15)))
+    (fun pairs ->
+      let uf = Union_find.create () in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* equiv is an equivalence relation consistent with the unions *)
+      List.for_all (fun (a, b) -> Union_find.equiv uf a b) pairs
+      && List.for_all
+           (fun (a, _) -> Union_find.equiv uf a a)
+           pairs)
+
+let test_listx () =
+  Alcotest.(check (option (pair int (list int))))
+    "find_remove" (Some (3, [ 1; 2; 4 ]))
+    (Listx.find_remove (fun x -> x > 2) [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 5);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check int) "pairs" 6 (List.length (Listx.all_pairs [ 1; 2; 3; 4 ]))
+
+let test_gensym () =
+  let g = Gensym.create ~prefix:"t" () in
+  let a = Gensym.fresh g and b = Gensym.fresh g in
+  Alcotest.(check bool) "fresh distinct" true (a <> b)
+
+let () =
+  Alcotest.run "stdx"
+    [
+      ("Q-units", [ Alcotest.test_case "units" `Quick test_q_units ]);
+      ("Q-props", q_props);
+      ( "union-find",
+        [ Alcotest.test_case "basic" `Quick test_union_find; uf_prop ] );
+      ("listx", [ Alcotest.test_case "helpers" `Quick test_listx ]);
+      ("gensym", [ Alcotest.test_case "fresh" `Quick test_gensym ]);
+    ]

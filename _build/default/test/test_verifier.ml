@@ -1,0 +1,240 @@
+(** Verifier tests: the whole suite verifies, negative entries are
+    rejected, the heap-dependence toggle behaves, mutations invalidate
+    stale facts, and generated workloads verify at several sizes. *)
+
+module A = Baselogic.Assertion
+module GV = Baselogic.Ghost_val
+module T = Smt.Term
+module HL = Heaplang.Ast
+module V = Verifier.Exec
+module St = Verifier.State
+open Stdx
+
+let sym x = HL.Val (HL.Sym x)
+let pt ?frac l v = A.points_to ?frac (T.var l) v
+
+let all_verified prog =
+  List.for_all (fun (_, o) -> o = V.Verified) (V.verify prog)
+
+let suite_cases =
+  List.map
+    (fun (e : Suite.Programs.entry) ->
+      Alcotest.test_case e.name `Quick (fun () ->
+          let ok = all_verified e.prog in
+          if e.expect_fail then
+            Alcotest.(check bool) (e.name ^ " must fail") false ok
+          else Alcotest.(check bool) (e.name ^ " verifies") true ok))
+    Suite.Programs.all
+
+let stable_variant_cases =
+  List.filter_map
+    (fun (e : Suite.Programs.entry) ->
+      Option.map
+        (fun sv ->
+          Alcotest.test_case (e.name ^ "-stable") `Quick (fun () ->
+              Alcotest.(check bool) "stable variant verifies" true
+                (all_verified sv)))
+        e.stable_variant)
+    Suite.Programs.all
+
+let test_heap_dep_toggle () =
+  (* The hd spec must be rejected with heap_dep:false, and the stable
+     variant must still pass. *)
+  let e = Suite.Programs.count in
+  let hd_off =
+    List.for_all (fun (_, o) -> o = V.Verified)
+      (V.verify ~heap_dep:false e.Suite.Programs.prog)
+  in
+  Alcotest.(check bool) "hd spec rejected with toggle off" false hd_off;
+  match e.Suite.Programs.stable_variant with
+  | Some sv ->
+      let ok =
+        List.for_all (fun (_, o) -> o = V.Verified) (V.verify ~heap_dep:false sv)
+      in
+      Alcotest.(check bool) "stable variant immune to toggle" true ok
+  | None -> Alcotest.fail "count has a stable variant"
+
+(* State-level unit tests *)
+
+let test_inhale_consume () =
+  let st = St.create () in
+  let a = A.seps [ pt "l" (T.var "v"); A.Pure (T.le (T.int 0) (T.var "v")) ] in
+  let st = St.inhale st a in
+  Alcotest.(check int) "one chunk" 1 (List.length st.St.chunks);
+  let st' = St.consume st (pt "l" (T.var "v")) in
+  Alcotest.(check int) "chunk consumed" 0 (List.length st'.St.chunks);
+  (match St.consume st' (pt "l" (T.var "v")) with
+  | _ -> Alcotest.fail "double consume must fail"
+  | exception St.Verification_error _ -> ());
+  (* fraction splitting *)
+  let st = St.inhale (St.create ()) (pt "l" (T.var "v")) in
+  let st = St.consume st (pt ~frac:Q.half "l" (T.var "v")) in
+  Alcotest.(check int) "half left" 1 (List.length st.St.chunks);
+  ignore (St.consume st (pt ~frac:Q.half "l" (T.var "v")))
+
+let test_resolution () =
+  let st = St.create () in
+  let st = St.inhale st (pt "l" (T.var "v")) in
+  let phi = T.le (Baselogic.Hterm.deref (T.var "l")) (T.int 5) in
+  let resolved = St.resolve st phi in
+  Alcotest.(check bool) "read resolved" false
+    (Baselogic.Hterm.heap_dependent resolved);
+  (* read without permission *)
+  let st0 = St.create () in
+  match St.resolve st0 phi with
+  | _ -> Alcotest.fail "must fail without permission"
+  | exception St.Verification_error _ -> ()
+
+let test_mutation_invalidates () =
+  (* This is the destabilization property end-to-end: a spec carrying
+     ⌜!l = v0⌝ past a store of a different value must fail, and the
+     corrected spec must pass. *)
+  let body = HL.Store (sym "l", HL.Val (HL.Int 9)) in
+  let stale =
+    {
+      V.pname = "stale";
+      params = [ "l"; "v0" ];
+      requires =
+        A.Sep (pt "l" (T.var "v0"),
+               A.Pure (T.eq (Baselogic.Hterm.deref (T.var "l")) (T.var "v0")));
+      ensures =
+        A.Sep (A.Exists ("w", pt "l" (T.var "w")),
+               A.Pure (T.eq (Baselogic.Hterm.deref (T.var "l")) (T.var "v0")));
+      body;
+      invariants = [];
+      ghost = [];
+    }
+  in
+  let fixed =
+    {
+      stale with
+      V.pname = "fixed";
+      ensures =
+        A.Sep (A.Exists ("w", pt "l" (T.var "w")),
+               A.Pure (T.eq (Baselogic.Hterm.deref (T.var "l")) (T.int 9)));
+    }
+  in
+  let prog = { V.procs = [ stale; fixed ]; preds = Smap.empty } in
+  (match V.verify_proc prog stale with
+  | V.Failed _ -> ()
+  | V.Verified -> Alcotest.fail "stale heap fact must not survive a store");
+  match V.verify_proc prog fixed with
+  | V.Verified -> ()
+  | V.Failed m -> Alcotest.failf "fixed spec must verify: %s" m
+
+let test_generated_sizes () =
+  List.iter
+    (fun n ->
+      let p, _ = Suite.Generators.straightline n in
+      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
+      | V.Verified -> ()
+      | V.Failed m -> Alcotest.failf "straightline %d: %s" n m)
+    [ 1; 3; 7 ];
+  List.iter
+    (fun k ->
+      let p = Suite.Generators.multicell k in
+      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
+      | V.Verified -> ()
+      | V.Failed m -> Alcotest.failf "multicell %d: %s" k m)
+    [ 1; 3; 5 ]
+
+(* Mutated suite programs must fail: spec fuzzing. *)
+let test_spec_mutations () =
+  let weaken_requires (p : V.proc) = { p with V.requires = A.Emp } in
+  List.iter
+    (fun (name, proc, preds) ->
+      let mutant = weaken_requires proc in
+      let prog = { V.procs = [ mutant ]; preds } in
+      match V.verify_proc prog mutant with
+      | V.Failed _ -> ()
+      | V.Verified ->
+          (* Some programs survive (pure ones with Emp pre already);
+             heap-manipulating ones must not. *)
+          Alcotest.failf "%s verified without its precondition!" name)
+    [
+      ("swap", Suite.Programs.swap_proc, Smap.empty);
+      ("length", Suite.Programs.length_proc, Suite.Programs.clist_preds);
+      ("faa", Suite.Programs.faa_proc, Smap.empty);
+    ]
+
+(* Verify-then-run: a verified program runs without fault and its
+   observable result matches the spec on concrete inputs. *)
+let test_verify_then_run () =
+  (* count with i=#0 initialized to 0 and n = 5 must return 5. *)
+  let e =
+    HL.Let ("i0", HL.Alloc (HL.Val (HL.Int 0)),
+      Heaplang.Subst.close_expr [ ("n", HL.Int 5) ]
+        (HL.Let ("tmp", HL.Val (HL.Sym "dummy"), HL.Val HL.Unit)))
+  in
+  ignore e;
+  let body = (Suite.Programs.count_proc Suite.Programs.count_inv_hd).V.body in
+  let closed = Heaplang.Subst.close_expr [ ("i", HL.Loc 0); ("n", HL.Int 5) ] body in
+  let setup = HL.Seq (HL.Alloc (HL.Val (HL.Int 0)), closed) in
+  match Heaplang.Interp.run setup with
+  | Heaplang.Interp.Value (HL.Int 5) -> ()
+  | r ->
+      Alcotest.failf "count ran wrong: %s"
+        (match r with
+        | Heaplang.Interp.Value v -> Fmt.str "%a" HL.pp_value v
+        | Heaplang.Interp.Error m -> m
+        | Heaplang.Interp.Timeout -> "timeout")
+
+(* Ghost commands: unit tests. *)
+let test_ghost_cmds () =
+  let prog = { V.procs = []; preds = Suite.Programs.clist_preds } in
+  let st = St.create ~penv:Suite.Programs.clist_preds () in
+  (* fold nil: p = -1, n = 0 *)
+  let st =
+    St.add_pure (St.add_pure st (T.eq (T.var "p") (T.int (-1))))
+      (T.eq (T.var "n") (T.int 0))
+  in
+  let sts = V.exec_ghost prog st (V.Fold ("clist", [ T.var "p"; T.var "n" ])) in
+  (match sts with
+  | [ st' ] ->
+      Alcotest.(check int) "pred chunk" 1 (List.length st'.St.chunks)
+  | _ -> Alcotest.fail "fold yields one state");
+  (* ghost alloc + update on MaxNat *)
+  let st = St.create () in
+  let sts = V.exec_ghost prog st (V.GAlloc ("γ", GV.Max_nat (T.int 1))) in
+  match sts with
+  | [ st ] -> (
+      let sts =
+        V.exec_ghost prog st
+          (V.Update ("γ", GV.Max_nat (T.int 1), GV.Max_nat (T.int 5)))
+      in
+      match sts with
+      | [ st ] -> (
+          (* downgrade must fail *)
+          match
+            V.exec_ghost prog st
+              (V.Update ("γ", GV.Max_nat (T.int 5), GV.Max_nat (T.int 2)))
+          with
+          | _ -> Alcotest.fail "monotone downgrade must fail"
+          | exception St.Verification_error _ -> ())
+      | _ -> Alcotest.fail "update yields one state")
+  | _ -> Alcotest.fail "alloc yields one state"
+
+let () =
+  Alcotest.run "verifier"
+    [
+      ("suite", suite_cases);
+      ("stable-variants", stable_variant_cases);
+      ( "destabilization",
+        [
+          Alcotest.test_case "heap-dep-toggle" `Quick test_heap_dep_toggle;
+          Alcotest.test_case "mutation-invalidates" `Quick
+            test_mutation_invalidates;
+          Alcotest.test_case "resolution" `Quick test_resolution;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "inhale-consume" `Quick test_inhale_consume;
+          Alcotest.test_case "ghost-cmds" `Quick test_ghost_cmds;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "generated-sizes" `Quick test_generated_sizes;
+          Alcotest.test_case "spec-mutations" `Quick test_spec_mutations;
+          Alcotest.test_case "verify-then-run" `Quick test_verify_then_run;
+        ] );
+    ]
