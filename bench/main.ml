@@ -13,11 +13,14 @@ module V = Verifier.Exec
 module P = Proofmode.Prove
 module G = Suite.Generators
 module Pr = Suite.Programs
+module E = Engine
 
+(* Wall-clock, not [Sys.time]: CPU time sums across domains and would
+   over-report (and hide speedup) under the parallel engine. *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Unix.gettimeofday () -. t0)
 
 let ms t = t *. 1000.0
 
@@ -28,10 +31,10 @@ let _ = ignore printf
 (** Verify a suite entry, collecting timing + stats. *)
 let run_verifier ?heap_dep (prog : V.program) =
   Smt.Stats.reset ();
-  Verifier.Vstats.reset ();
-  let results, t = time (fun () -> V.verify ?heap_dep prog) in
+  let vstats = Verifier.Vstats.create () in
+  let results, t = time (fun () -> V.verify ?heap_dep ~stats:vstats prog) in
   let ok = List.for_all (fun (_, o) -> o = V.Verified) results in
-  (ok, t, Verifier.Vstats.snapshot (), Smt.Stats.snapshot ())
+  (ok, t, Verifier.Vstats.copy vstats, Smt.Stats.snapshot ())
 
 let run_baseline (b : Pr.baseline) =
   Smt.Stats.reset ();
@@ -225,6 +228,57 @@ let ablation_cores () =
   List.iter (fun k -> run "euf-chain" k (G.euf_chain k)) [ 12; 16 ]
 
 (* ------------------------------------------------------------------ *)
+(* E1: parallel-engine scaling — wall time vs domains, cache on/off *)
+
+let engine_scaling () =
+  printf "\n== Engine scaling: wall time vs worker domains ==\n";
+  printf "(host has %d core(s); re-verification workload = positive suite x %d)\n"
+    (Domain.recommended_domain_count ()) 12;
+  (* A realistic re-verification workload: every positive suite entry,
+     repeated — repeats model incremental runs where most VCs recur,
+     which is exactly what the content-addressed cache memoizes. *)
+  let reps = 12 in
+  let progs =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (e : Pr.entry) -> (Printf.sprintf "%s#%d" e.name r, e.prog))
+          Pr.positive)
+      (List.init reps Fun.id)
+  in
+  printf "%7s %5s | %10s %8s | %9s %6s | %s\n" "domains" "cache" "wall(ms)"
+    "speedup" "hit-rate" "steals" "solver(ms)/domain";
+  printf "%s\n" (String.make 76 '-');
+  let baseline = ref nan in
+  List.iter
+    (fun (domains, cache) ->
+      let config = { E.default_config with E.domains; cache } in
+      let report = E.verify_programs ~config progs in
+      let s = report.E.stats in
+      let ok = List.for_all E.group_ok report.E.groups in
+      if domains = 1 && not cache then baseline := s.E.wall_ms;
+      let hit_rate =
+        if s.E.cache_hits + s.E.cache_misses = 0 then 0.0
+        else
+          100.0
+          *. float_of_int s.E.cache_hits
+          /. float_of_int (s.E.cache_hits + s.E.cache_misses)
+      in
+      printf "%7d %5s | %10.1f %7.2fx | %8.1f%% %6d | [%s]%s\n" domains
+        (if cache then "on" else "off")
+        s.E.wall_ms
+        (!baseline /. s.E.wall_ms)
+        hit_rate s.E.pool.E.Pool.steals
+        (String.concat ","
+           (List.map (Printf.sprintf "%.0f")
+              (Array.to_list s.E.solver_ms_per_domain)))
+        (if ok then "" else "  << FAILED"))
+    [
+      (1, false); (2, false); (4, false); (8, false);
+      (1, true); (2, true); (4, true); (8, true);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let micro () =
@@ -281,6 +335,7 @@ let experiments =
     ("fig3", fig3);
     ("ablation_hd", ablation_hd);
     ("ablation_cores", ablation_cores);
+    ("engine_scaling", engine_scaling);
     ("micro", micro);
   ]
 

@@ -1,27 +1,33 @@
 (** The [daenerys] command-line interface.
 
-    - [daenerys suite]           verify the whole benchmark suite
+    - [daenerys suite -j N]      verify the whole benchmark suite
     - [daenerys verify NAME]     verify one suite entry (verbose)
     - [daenerys run NAME]        execute a suite program concretely
-    - [daenerys list]            list suite entries *)
+    - [daenerys list]            list suite entries
+
+    All verification goes through the parallel engine ([lib/engine]):
+    [-j 1] is the same job pipeline on one domain, so parallel and
+    sequential runs are comparable by construction. Timing is
+    wall-clock ([Unix.gettimeofday]) — CPU time ([Sys.time]) would
+    over-report under parallelism by summing across domains. *)
 
 module A = Baselogic.Assertion
 module T = Smt.Term
 module HL = Heaplang.Ast
 module V = Verifier.Exec
 module Pr = Suite.Programs
+module E = Engine
 open Cmdliner
 
 let find_entry name =
   List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
 
-let verify_entry ~verbose (e : Pr.entry) =
-  Smt.Stats.reset ();
-  Verifier.Vstats.reset ();
-  let t0 = Sys.time () in
-  let results = V.verify e.prog in
-  let dt = (Sys.time () -. t0) *. 1000.0 in
-  let ok = List.for_all (fun (_, o) -> o = V.Verified) results in
+let config ~jobs ~no_cache =
+  { E.default_config with E.domains = max 1 jobs; cache = not no_cache }
+
+(** Print one entry's verdict line; true iff it behaved as expected. *)
+let report_entry (e : Pr.entry) (g : E.group_result) =
+  let ok = E.group_ok g in
   let verdict =
     match (ok, e.expect_fail) with
     | true, false -> "VERIFIED"
@@ -29,31 +35,44 @@ let verify_entry ~verbose (e : Pr.entry) =
     | true, true -> "VERIFIED — BUT THIS ENTRY MUST FAIL"
     | false, false -> "FAILED"
   in
-  Fmt.pr "%-14s %-24s %6.1fms@." e.name verdict dt;
-  if verbose then begin
-    List.iter
-      (fun (p, o) ->
-        match o with
-        | V.Verified -> Fmt.pr "  proc %-12s ok@." p
-        | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
-      results;
-    Fmt.pr "  %a@." Verifier.Vstats.pp (Verifier.Vstats.snapshot ());
-    Fmt.pr "  %a@." Smt.Stats.pp (Smt.Stats.snapshot ())
-  end;
+  Fmt.pr "%-14s %-24s %6.1fms@." e.name verdict g.E.ms;
   ok = not e.expect_fail
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of worker domains.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the content-addressed VC cache.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print the engine stats block.")
 
 let suite_cmd =
   let doc = "Verify every program in the benchmark suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const (fun () ->
-          let ok =
-            List.fold_left
-              (fun acc e -> verify_entry ~verbose:false e && acc)
-              true Pr.all
+      const (fun jobs no_cache stats ->
+          let report =
+            E.verify_programs
+              ~config:(config ~jobs ~no_cache)
+              (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
           in
+          let ok =
+            List.fold_left2
+              (fun acc e g -> report_entry e g && acc)
+              true Pr.all report.E.groups
+          in
+          Fmt.pr "total %.1fms wall (%d jobs, %d domain(s), cache %s)@."
+            report.E.stats.E.wall_ms report.E.stats.E.jobs
+            report.E.stats.E.pool.E.Pool.domains
+            (if no_cache then "off" else "on");
+          if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
           if ok then `Ok () else `Error (false, "some entries misbehaved"))
-      $ const ()
+      $ jobs_arg $ no_cache_arg $ stats_arg
       |> ret)
 
 let name_arg =
@@ -63,13 +82,27 @@ let verify_cmd =
   let doc = "Verify one suite entry, with statistics." in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const (fun name ->
+      const (fun name jobs no_cache ->
           match find_entry name with
           | Some e ->
-              if verify_entry ~verbose:true e then `Ok ()
+              let report =
+                E.verify_program
+                  ~config:(config ~jobs ~no_cache)
+                  ~name:e.name e.prog
+              in
+              let g = List.hd report.E.groups in
+              let ok = report_entry e g in
+              List.iter
+                (fun (p, o) ->
+                  match o with
+                  | V.Verified -> Fmt.pr "  proc %-12s ok@." p
+                  | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
+                g.E.outcomes;
+              Fmt.pr "%a@." E.pp_stats report.E.stats;
+              if ok then `Ok ()
               else `Error (false, "verification misbehaved")
           | None -> `Error (false, "unknown entry " ^ name))
-      $ name_arg
+      $ name_arg $ jobs_arg $ no_cache_arg
       |> ret)
 
 let list_cmd =

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+#   ./dev/check.sh
+# Runs the build, the full test suite, and a smoke run of the parallel
+# engine (2 worker domains, VC cache on) over the benchmark suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== daenerys suite -j 2 (smoke) =="
+dune exec bin/daenerys.exe -- suite -j 2 --stats
+
+echo "tier-1 gate: OK"

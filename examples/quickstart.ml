@@ -58,10 +58,12 @@ let () =
     { V.pname = "incr2"; params = [ "l"; "v0" ]; requires = pre;
       ensures = post; body; invariants = []; ghost = [] }
   in
-  (match V.verify_proc { V.procs = [ proc ]; preds = Smap.empty } proc with
+  let vstats = Verifier.Vstats.create () in
+  Smt.Stats.reset ();
+  (match V.verify_proc ~stats:vstats { V.procs = [ proc ]; preds = Smap.empty } proc with
   | V.Verified -> Fmt.pr "[auto]     VERIFIED (%d obligations, %d SMT queries)@."
-                    Verifier.Vstats.global.Verifier.Vstats.obligations
-                    Smt.Stats.global.Smt.Stats.queries
+                    vstats.Verifier.Vstats.obligations
+                    (Smt.Stats.snapshot ()).Smt.Stats.queries
   | V.Failed m -> Fmt.pr "[auto]     FAILED: %s@." m);
 
   (* 2. The certified baseline: same triple as a kernel theorem. *)

@@ -18,12 +18,15 @@ exception Rule_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Rule_error s)) fmt
 
-let rules = ref 0
-let rule_count () = !rules
-let reset_rule_count () = rules := 0
+(* Atomic so the kernel-rule account stays coherent even if theorems
+   are built from several domains (the parallel engine itself only runs
+   the automated verifier, but nothing should silently under-count). *)
+let rules = Atomic.make 0
+let rule_count () = Atomic.get rules
+let reset_rule_count () = Atomic.set rules 0
 
 let mk ?(penv = Smap.empty) lhs rhs =
-  incr rules;
+  Atomic.incr rules;
   { penv; lhs; rhs }
 
 (** Predicate environments must agree when theorems are composed; an
@@ -362,7 +365,7 @@ let take_chunk ctx pred =
   | None -> None
 
 let rec prove_goal ctx (goal : A.t) : unit =
-  incr rules;
+  Atomic.incr rules;
   (* Strategy 0: an exactly matching chunk. *)
   match take_chunk ctx (A.equal goal) with
   | Some _ -> ()

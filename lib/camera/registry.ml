@@ -49,6 +49,14 @@ module type INJECTION = sig
   val project : packed -> elt option
 end
 
+(* Thread-safety invariant: the cell table is written only under
+   [registry_lock], by [Register] functor applications — which in
+   practice all run at module-initialization time, before any worker
+   domain exists. Lookups ([cell_ops]) are unsynchronized reads; they
+   are safe because registration never shrinks the table and worker
+   domains only ever read cells that were published before they were
+   spawned. Do not register cameras from inside engine jobs. *)
+let registry_lock = Mutex.create ()
 let cells : (module CELL_OPS) option array ref = ref (Array.make 8 None)
 let n_cells = ref 0
 
@@ -67,6 +75,7 @@ module Register (C : REGISTRABLE) () = struct
   let prj = function U x -> x | _ -> invalid_arg ("Registry cell " ^ C.name)
 
   let cell =
+    Mutex.lock registry_lock;
     let id = !n_cells in
     incr n_cells;
     if id >= Array.length !cells then begin
@@ -85,6 +94,7 @@ module Register (C : REGISTRABLE) () = struct
       let fpu a b = C.fpu (prj a) (prj b)
     end in
     !cells.(id) <- Some (module Ops : CELL_OPS);
+    Mutex.unlock registry_lock;
     id
 
   let inject x = Pack { cell; v = U x }

@@ -1,0 +1,138 @@
+(** The parallel verification engine.
+
+    Decomposes program verification into per-procedure {!Job}s, drains
+    them over a {!Pool} of worker domains, and routes every SMT query
+    through a shared content-addressed {!Vc_cache}. Statistics that
+    used to live in process-global mutable records are per-job
+    ({!Verifier.Vstats}, instance-passed through the symbolic state)
+    or per-domain ({!Smt.Stats}, domain-local); the engine merges both
+    into one report, so a parallel run accounts exactly like a
+    sequential one.
+
+    [domains = 1] runs the same job pipeline on the calling domain
+    only — the CLI always goes through the engine, which is what makes
+    "[-j 4] verdicts ≡ [-j 1] verdicts" checkable rather than
+    aspirational. *)
+
+module Pool = Pool
+module Job = Job
+module Vc_cache = Vc_cache
+module V = Verifier.Exec
+
+type config = {
+  domains : int;  (** worker domains (including the calling one) *)
+  cache : bool;  (** consult/fill the content-addressed VC cache *)
+  heap_dep : bool;  (** heap-dependent assertions (ablation A1) *)
+}
+
+let default_config = { domains = 1; cache = true; heap_dep = true }
+
+type stats = {
+  jobs : int;
+  wall_ms : float;  (** end-to-end wall clock for the whole run *)
+  pool : Pool.stats;
+  solver_ms_per_domain : float array;  (** time inside [check_sat] *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  vstats : Verifier.Vstats.t;  (** merged over all jobs *)
+  smt : Smt.Stats.t;  (** merged over all worker domains *)
+}
+
+type group_result = {
+  group : string;
+  outcomes : (string * V.outcome) list;  (** per procedure, in order *)
+  ms : float;  (** summed job time (≥ wall time under parallelism) *)
+}
+
+type report = { groups : group_result list; stats : stats }
+
+let group_ok (g : group_result) =
+  List.for_all (fun (_, o) -> o = V.Verified) g.outcomes
+
+(** Fold per-job results back into per-program groups, preserving the
+    input program order (jobs of one program are contiguous). *)
+let regroup (results : Job.result array) : group_result list =
+  Array.fold_left
+    (fun acc (r : Job.result) ->
+      let outcome = (r.job.Job.proc.V.pname, r.outcome) in
+      match acc with
+      | g :: rest when String.equal g.group r.job.Job.group ->
+          { g with outcomes = outcome :: g.outcomes; ms = g.ms +. r.ms }
+          :: rest
+      | _ -> { group = r.job.Job.group; outcomes = [ outcome ]; ms = r.ms } :: acc)
+    [] results
+  |> List.rev_map (fun g -> { g with outcomes = List.rev g.outcomes })
+
+(** Verify a list of named programs. Every procedure of every program
+    becomes one job; all jobs share one queue, so parallelism is
+    across programs as well as within them. *)
+let verify_programs ?(config = default_config) (progs : (string * V.program) list)
+    : report =
+  let jobs =
+    List.concat_map
+      (fun (group, prog) ->
+        Job.of_program ~heap_dep:config.heap_dep ~group prog)
+      progs
+    |> Array.of_list
+  in
+  let cache = if config.cache then Some (Vc_cache.create ()) else None in
+  Option.iter Vc_cache.install cache;
+  let t0 = Unix.gettimeofday () in
+  let results, smt_per_domain, pool =
+    Fun.protect
+      ~finally:(fun () -> if config.cache then Vc_cache.uninstall ())
+      (fun () ->
+        Pool.run ~domains:config.domains
+          ~prologue:Smt.Stats.reset ~epilogue:Smt.Stats.snapshot Job.run jobs)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let vstats =
+    Array.fold_left
+      (fun acc (r : Job.result) -> Verifier.Vstats.sum acc r.vstats)
+      (Verifier.Vstats.create ()) results
+  in
+  let smt =
+    Array.fold_left Smt.Stats.sum (Smt.Stats.create ()) smt_per_domain
+  in
+  let stats =
+    {
+      jobs = Array.length jobs;
+      wall_ms;
+      pool;
+      solver_ms_per_domain =
+        Array.map (fun (s : Smt.Stats.t) -> s.Smt.Stats.solve_ms) smt_per_domain;
+      cache_hits = (match cache with Some c -> Vc_cache.hits c | None -> 0);
+      cache_misses = (match cache with Some c -> Vc_cache.misses c | None -> 0);
+      cache_entries = (match cache with Some c -> Vc_cache.size c | None -> 0);
+      vstats;
+      smt;
+    }
+  in
+  { groups = regroup results; stats }
+
+(** Convenience wrapper for a single program. *)
+let verify_program ?config ~name (prog : V.program) : report =
+  verify_programs ?config [ (name, prog) ]
+
+let pp_stats ppf (s : stats) =
+  let rate =
+    if s.cache_hits + s.cache_misses = 0 then 0.0
+    else
+      100.0
+      *. float_of_int s.cache_hits
+      /. float_of_int (s.cache_hits + s.cache_misses)
+  in
+  Fmt.pf ppf
+    "@[<v>engine: %d jobs on %d domain(s) in %.1fms (steals=%d)@ \
+     per-domain jobs=[%a] wall=[%a]ms solver=[%a]ms@ \
+     vc-cache: %d hits / %d misses (%.1f%% hit rate, %d entries)@ \
+     %a@ %a@]"
+    s.jobs s.pool.Pool.domains s.wall_ms s.pool.Pool.steals
+    Fmt.(array ~sep:(any ",") int)
+    s.pool.Pool.jobs_per_domain
+    Fmt.(array ~sep:(any ",") (fmt "%.1f"))
+    s.pool.Pool.ms_per_domain
+    Fmt.(array ~sep:(any ",") (fmt "%.1f"))
+    s.solver_ms_per_domain s.cache_hits s.cache_misses rate s.cache_entries
+    Verifier.Vstats.pp s.vstats Smt.Stats.pp s.smt

@@ -1,0 +1,42 @@
+(** Verification jobs: the unit of work the engine schedules.
+
+    Suite- and file-level verification decomposes into one job per
+    procedure — procedures share no mutable state (each gets a fresh
+    symbolic state, gensym, and {!Verifier.Vstats} instance), which is
+    what makes per-procedure verification embarrassingly parallel. *)
+
+module V = Verifier.Exec
+
+type t = {
+  group : string;  (** owning program (suite entry / file) *)
+  proc : V.proc;
+  prog : V.program;  (** the whole program, for callee specs *)
+  heap_dep : bool;
+}
+
+type result = {
+  job : t;
+  outcome : V.outcome;
+  vstats : Verifier.Vstats.t;
+  ms : float;  (** wall-clock verification time for this job *)
+}
+
+(** One job per procedure of [prog], in declaration order. *)
+let of_program ?(heap_dep = true) ~group (prog : V.program) : t list =
+  List.map (fun proc -> { group; proc; prog; heap_dep }) prog.V.procs
+
+(** Run a job. Never raises: stray exceptions (beyond the verifier's
+    own [Verification_error], which [verify_proc] already converts)
+    become [Failed] outcomes so one bad job cannot take down a worker
+    domain and strand the queue. *)
+let run (job : t) : result =
+  let vstats = Verifier.Vstats.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match
+      V.verify_proc ~heap_dep:job.heap_dep ~stats:vstats job.prog job.proc
+    with
+    | o -> o
+    | exception e -> V.Failed (Printexc.to_string e)
+  in
+  { job; outcome; vstats; ms = (Unix.gettimeofday () -. t0) *. 1000.0 }

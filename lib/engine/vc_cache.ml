@@ -1,0 +1,59 @@
+(** A content-addressed cache of VC verdicts.
+
+    The solver serializes each query to canonical bytes
+    ([Smt.Solver.serialize_vc]); we address results by the MD5 digest
+    of those bytes, so structurally identical VCs — recurring path
+    conditions within one procedure, identical obligations across
+    repeated verification runs — are discharged once. Stored verdicts
+    ([Sat] with its model, [Unsat], [Unknown]) are immutable, so
+    sharing them across domains is safe.
+
+    One table serves every worker domain: lookups and stores take a
+    mutex (the critical section is a hashtable probe — far cheaper than
+    any solver call it saves), hit/miss counters are atomic so the
+    report needs no lock. *)
+
+type t = {
+  tbl : (string, Smt.Solver.result) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 4096;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let lookup t serialized =
+  let key = Digest.string serialized in
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl key) with
+  | Some _ as r ->
+      Atomic.incr t.hits;
+      r
+  | None ->
+      Atomic.incr t.misses;
+      None
+
+let store t serialized result =
+  let key = Digest.string serialized in
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key result)
+
+(** Route every [Smt.Solver.check_sat] in the process through [t]. *)
+let install t =
+  Smt.Solver.set_cache
+    (Some { Smt.Solver.lookup = lookup t; store = store t })
+
+let uninstall () = Smt.Solver.set_cache None
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+
+(** Fraction of lookups answered from the cache, in [0;1]. *)
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

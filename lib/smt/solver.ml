@@ -204,11 +204,38 @@ let minimize_core (lits : Theory.atom list) : Theory.atom list =
   singles [] coarse
 
 (* ------------------------------------------------------------------ *)
+(* The VC cache hook *)
+
+(** A content-addressed result cache, installed by [lib/engine]
+    ({!Engine.Vc_cache}). The solver serializes every query to a
+    canonical byte string and consults the hook before doing any work;
+    the hook owns hashing, storage, synchronization, and hit/miss
+    accounting. The hook cell is atomic so install/uninstall from the
+    engine is safe with respect to concurrently solving domains. *)
+type cache = {
+  lookup : string -> result option;  (** key: serialized VC *)
+  store : string -> result -> unit;
+}
+
+let cache_hook : cache option Atomic.t = Atomic.make None
+
+let set_cache c = Atomic.set cache_hook c
+
+(** Canonical serialization of a query. [No_sharing] makes the bytes a
+    function of the term structure alone (terms are immutable and
+    closure-free), so structurally equal VCs from different runs or
+    domains collide in the cache, as intended. The solver parameters
+    are part of the key so ablation runs cannot contaminate each
+    other. *)
+let serialize_vc ~max_rounds ~minimize (assertions : Term.t list) : string =
+  Marshal.to_string (max_rounds, minimize, assertions) [ Marshal.No_sharing ]
+
+(* ------------------------------------------------------------------ *)
 (* Main loop *)
 
-let check_sat ?(max_rounds = 5_000) ?(minimize = true)
+let check_sat_uncached ~max_rounds ~minimize
     (assertions : Term.t list) : result =
-  Stats.global.queries <- Stats.global.queries + 1;
+  let stats = Stats.current () in
   let gensym = Gensym.create ~prefix:"%" () in
   let assertions = elim_ite gensym assertions in
   (* Fast path: no boolean structure and trivially true/false. *)
@@ -272,8 +299,8 @@ let check_sat ?(max_rounds = 5_000) ?(minimize = true)
                             Fmt.pf ppf "%s%a" (if a.Theory.pos then "" else "¬")
                               Smt__.Term.pp a.Theory.term))
                        core);
-                  Stats.global.blocking_clauses <-
-                    Stats.global.blocking_clauses + 1;
+                  stats.Stats.blocking_clauses <-
+                    stats.Stats.blocking_clauses + 1;
                   let clause =
                     List.map
                       (fun { Theory.term; pos } ->
@@ -285,15 +312,40 @@ let check_sat ?(max_rounds = 5_000) ?(minimize = true)
                     result := Some Unsat)
         end
       done;
-      Stats.global.sat_conflicts <-
-        Stats.global.sat_conflicts + enc.sat.Sat.conflicts;
-      Stats.global.sat_decisions <-
-        Stats.global.sat_decisions + enc.sat.Sat.decisions;
-      Stats.global.sat_propagations <-
-        Stats.global.sat_propagations + enc.sat.Sat.propagations;
+      stats.Stats.sat_conflicts <-
+        stats.Stats.sat_conflicts + enc.sat.Sat.conflicts;
+      stats.Stats.sat_decisions <-
+        stats.Stats.sat_decisions + enc.sat.Sat.decisions;
+      stats.Stats.sat_propagations <-
+        stats.Stats.sat_propagations + enc.sat.Sat.propagations;
       Option.get !result
     end
   end
+
+(** Public entry: count the query, consult the VC cache (when an
+    engine installed one), and account wall-clock solving time to the
+    calling domain's {!Stats} instance. *)
+let check_sat ?(max_rounds = 5_000) ?(minimize = true)
+    (assertions : Term.t list) : result =
+  let stats = Stats.current () in
+  stats.Stats.queries <- stats.Stats.queries + 1;
+  let solve () =
+    let t0 = Unix.gettimeofday () in
+    let r = check_sat_uncached ~max_rounds ~minimize assertions in
+    stats.Stats.solve_ms <-
+      stats.Stats.solve_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+    r
+  in
+  match Atomic.get cache_hook with
+  | None -> solve ()
+  | Some c -> (
+      let key = serialize_vc ~max_rounds ~minimize assertions in
+      match c.lookup key with
+      | Some r -> r
+      | None ->
+          let r = solve () in
+          c.store key r;
+          r)
 
 (* ------------------------------------------------------------------ *)
 (* Entailment interface used by the verifier and the kernel *)

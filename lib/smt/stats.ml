@@ -1,7 +1,15 @@
-(** Global solver statistics, reset per benchmark run.
+(** Solver statistics.
 
-    The benchmark harness (tables T2/F3) reads these counters to report
-    query counts and theory-check breakdowns. *)
+    Counters used to live in one process-global mutable record, which
+    is unsound once several domains discharge VCs concurrently (the
+    parallel engine in [lib/engine]). They are now {e domain-local}:
+    every domain accumulates into its own instance, obtained with
+    {!current}; the engine snapshots each worker domain's instance
+    after the queue drains and merges them with {!sum} into one report.
+
+    Sequential callers keep the old ergonomics: [reset] and [snapshot]
+    operate on the calling domain's instance, so a single-domain
+    program behaves exactly as before. *)
 
 type t = {
   mutable queries : int;  (** top-level [check_sat] calls *)
@@ -13,9 +21,10 @@ type t = {
   mutable euf_checks : int;  (** congruence-closure invocations *)
   mutable blocking_clauses : int;
   mutable eq_propagations : int;  (** cross-theory equalities *)
+  mutable solve_ms : float;  (** wall-clock time inside [check_sat] *)
 }
 
-let global =
+let create () =
   {
     queries = 0;
     sat_conflicts = 0;
@@ -26,31 +35,31 @@ let global =
     euf_checks = 0;
     blocking_clauses = 0;
     eq_propagations = 0;
+    solve_ms = 0.0;
   }
+
+let key : t Domain.DLS.key = Domain.DLS.new_key create
+
+(** The calling domain's statistics instance. *)
+let current () = Domain.DLS.get key
 
 let reset () =
-  global.queries <- 0;
-  global.sat_conflicts <- 0;
-  global.sat_decisions <- 0;
-  global.sat_propagations <- 0;
-  global.theory_checks <- 0;
-  global.lia_checks <- 0;
-  global.euf_checks <- 0;
-  global.blocking_clauses <- 0;
-  global.eq_propagations <- 0
+  let s = current () in
+  s.queries <- 0;
+  s.sat_conflicts <- 0;
+  s.sat_decisions <- 0;
+  s.sat_propagations <- 0;
+  s.theory_checks <- 0;
+  s.lia_checks <- 0;
+  s.euf_checks <- 0;
+  s.blocking_clauses <- 0;
+  s.eq_propagations <- 0;
+  s.solve_ms <- 0.0
 
-let snapshot () =
-  {
-    queries = global.queries;
-    sat_conflicts = global.sat_conflicts;
-    sat_decisions = global.sat_decisions;
-    sat_propagations = global.sat_propagations;
-    theory_checks = global.theory_checks;
-    lia_checks = global.lia_checks;
-    euf_checks = global.euf_checks;
-    blocking_clauses = global.blocking_clauses;
-    eq_propagations = global.eq_propagations;
-  }
+let copy s = { s with queries = s.queries }
+
+(** A copy of the calling domain's instance. *)
+let snapshot () = copy (current ())
 
 let diff a b =
   {
@@ -63,11 +72,27 @@ let diff a b =
     euf_checks = a.euf_checks - b.euf_checks;
     blocking_clauses = a.blocking_clauses - b.blocking_clauses;
     eq_propagations = a.eq_propagations - b.eq_propagations;
+    solve_ms = a.solve_ms -. b.solve_ms;
+  }
+
+(** Pointwise sum; used by the engine to merge per-domain snapshots. *)
+let sum a b =
+  {
+    queries = a.queries + b.queries;
+    sat_conflicts = a.sat_conflicts + b.sat_conflicts;
+    sat_decisions = a.sat_decisions + b.sat_decisions;
+    sat_propagations = a.sat_propagations + b.sat_propagations;
+    theory_checks = a.theory_checks + b.theory_checks;
+    lia_checks = a.lia_checks + b.lia_checks;
+    euf_checks = a.euf_checks + b.euf_checks;
+    blocking_clauses = a.blocking_clauses + b.blocking_clauses;
+    eq_propagations = a.eq_propagations + b.eq_propagations;
+    solve_ms = a.solve_ms +. b.solve_ms;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "queries=%d conflicts=%d decisions=%d theory=%d lia=%d euf=%d blocked=%d \
-     eqprop=%d"
+     eqprop=%d solve=%.1fms"
     s.queries s.sat_conflicts s.sat_decisions s.theory_checks s.lia_checks
-    s.euf_checks s.blocking_clauses s.eq_propagations
+    s.euf_checks s.blocking_clauses s.eq_propagations s.solve_ms

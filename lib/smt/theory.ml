@@ -201,7 +201,7 @@ let lia_entails_eq st x y =
         (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
     in
     Simplex.assert_atom s e op Q.zero;
-    Stats.global.lia_checks <- Stats.global.lia_checks + 1;
+    (Stats.current ()).lia_checks <- (Stats.current ()).lia_checks + 1;
     match Simplex.check_rational s with
     | Simplex.Unsat -> true
     | Simplex.Sat -> false
@@ -217,7 +217,7 @@ let lia_entails_eq st x y =
     that only trust [Unsat]. *)
 let check ?(eq_budget = max_int) st : result =
   let eq_budget = ref eq_budget in
-  Stats.global.theory_checks <- Stats.global.theory_checks + 1;
+  (Stats.current ()).theory_checks <- (Stats.current ()).theory_checks + 1;
   (* Cross-theory propagation only concerns variables the arithmetic
      solver actually constrains; in pure-EUF problems the LIA state is
      empty and the quadratic pair scan must not run at all. *)
@@ -227,7 +227,7 @@ let check ?(eq_budget = max_int) st : result =
   let rec loop fuel =
     if fuel <= 0 then (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: combination fuel out"; Unknown)
     else begin
-      Stats.global.euf_checks <- Stats.global.euf_checks + 1;
+      (Stats.current ()).euf_checks <- (Stats.current ()).euf_checks + 1;
       if not (Cc.consistent st.cc) then Unsat
       else begin
         (* EUF → LIA: merged shared variables become LIA equalities. *)
@@ -246,14 +246,14 @@ let check ?(eq_budget = max_int) st : result =
         List.iter
           (fun (x, y) ->
             st.propagated <- (x, y) :: st.propagated;
-            Stats.global.eq_propagations <- Stats.global.eq_propagations + 1;
+            (Stats.current ()).eq_propagations <- (Stats.current ()).eq_propagations + 1;
             let e =
               Simplex.Linexp.add_term x Q.one
                 (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
             in
             Simplex.assert_atom st.lia e Simplex.Eq Q.zero)
           !new_eqs;
-        Stats.global.lia_checks <- Stats.global.lia_checks + 1;
+        (Stats.current ()).lia_checks <- (Stats.current ()).lia_checks + 1;
         match Simplex.check_int st.lia with
         | Simplex.IUnsat -> Unsat
         | Simplex.IUnknown -> (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: check_int unknown"; Unknown)
@@ -279,8 +279,8 @@ let check ?(eq_budget = max_int) st : result =
                       lia_entails_eq st x y)
                 then begin
                   merged := true;
-                  Stats.global.eq_propagations <-
-                    Stats.global.eq_propagations + 1;
+                  (Stats.current ()).eq_propagations <-
+                    (Stats.current ()).eq_propagations + 1;
                   Cc.assert_eq st.cc nx ny
                 end)
               candidates;

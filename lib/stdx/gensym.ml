@@ -3,20 +3,16 @@
     Each [t] is an independent counter; verifiers create one per run so
     symbolic-value names are deterministic and tests are reproducible. *)
 
-type t = { mutable next : int; prefix : string }
+type t = { next : int Atomic.t; prefix : string }
 
-let create ?(prefix = "$") () = { next = 0; prefix }
+let create ?(prefix = "$") () = { next = Atomic.make 0; prefix }
 
 let fresh ?hint t =
-  let n = t.next in
-  t.next <- n + 1;
+  let n = Atomic.fetch_and_add t.next 1 in
   match hint with
   | None -> Printf.sprintf "%s%d" t.prefix n
   | Some h -> Printf.sprintf "%s%s%d" t.prefix h n
 
-let fresh_int t =
-  let n = t.next in
-  t.next <- n + 1;
-  n
+let fresh_int t = Atomic.fetch_and_add t.next 1
 
-let reset t = t.next <- 0
+let reset t = Atomic.set t.next 0

@@ -1,0 +1,29 @@
+(** Fresh-name generation.
+
+    Each [t] is an independent counter; verifiers create one per run so
+    symbolic-value names are deterministic and tests are reproducible.
+
+    {b Thread safety.} The counter is atomic: concurrent [fresh] calls
+    on a shared [t] from several domains never return the same name.
+    Determinism, however, is only guaranteed when a [t] is used from a
+    single domain — the parallel engine therefore creates one gensym
+    per verification job (see [Verifier.State.create]) and never shares
+    one across jobs. [reset] is not linearizable with respect to
+    concurrent [fresh] calls and must only be used when no other domain
+    holds the counter. *)
+
+type t
+
+val create : ?prefix:string -> unit -> t
+(** [create ~prefix ()] is a fresh counter starting at 0. The default
+    prefix is ["$"]. *)
+
+val fresh : ?hint:string -> t -> string
+(** [fresh ~hint t] is ["<prefix><hint><n>"] for the next [n]. *)
+
+val fresh_int : t -> int
+(** The next raw counter value. *)
+
+val reset : t -> unit
+(** Reset the counter to 0. Single-domain use only; see the note on
+    thread safety above. *)

@@ -155,7 +155,7 @@ let rec exec (prog : program) (proc : proc) (st : t) (env : env)
   | HL.If (c, e1, e2) ->
       exec prog proc st env c
       |> List.concat_map (fun (st, b) ->
-             Vstats.global.branches <- Vstats.global.branches + 1;
+             st.stats.Vstats.branches <- st.stats.Vstats.branches + 1;
              let then_st = add_pure st (T.not_ (T.eq b (T.int 0))) in
              let else_st = add_pure st (T.eq b (T.int 0)) in
              (if feasible then_st then exec prog proc then_st env e1 else [])
@@ -211,8 +211,8 @@ let rec exec (prog : program) (proc : proc) (st : t) (env : env)
              |> List.concat_map (fun (st, expected) ->
                     exec prog proc st env e3
                     |> List.concat_map (fun (st, desired) ->
-                           Vstats.global.branches <-
-                             Vstats.global.branches + 1;
+                           st.stats.Vstats.branches <-
+                             st.stats.Vstats.branches + 1;
                            let st, cur = take_full st l in
                            let win =
                              add_pure
@@ -273,7 +273,7 @@ and exec_while prog proc st env (loop : HL.expr) : (t * T.t) list =
     | Some (_, inv) -> inv
     | None -> fail "while loop without invariant in %s" proc.pname
   in
-  Vstats.global.loops <- Vstats.global.loops + 1;
+  st.stats.Vstats.loops <- st.stats.Vstats.loops + 1;
   (* Entry: the invariant must hold; everything else is the frame. *)
   let frame = consume st inv in
   (* Havoc: fresh state with only the pure knowledge (symbols are
@@ -283,7 +283,7 @@ and exec_while prog proc st env (loop : HL.expr) : (t * T.t) list =
   let exits = ref [] in
   List.iter
     (fun (stc, b) ->
-      Vstats.global.branches <- Vstats.global.branches + 1;
+      stc.stats.Vstats.branches <- stc.stats.Vstats.branches + 1;
       (* Body path: guard holds; run the body and restore the
          invariant. *)
       let body_st = add_pure stc (T.not_ (T.eq b (T.int 0))) in
@@ -315,7 +315,7 @@ and exec_call prog proc st env (e : HL.expr) : (t * T.t) list =
   in
   if List.length args <> List.length callee.params then
     fail "call %s: arity mismatch" f;
-  Vstats.global.calls <- Vstats.global.calls + 1;
+  st.stats.Vstats.calls <- st.stats.Vstats.calls + 1;
   (* Evaluate arguments left to right, threading states. *)
   let rec eval_args st acc = function
     | [] -> [ (st, List.rev acc) ]
@@ -339,9 +339,12 @@ and exec_call prog proc st env (e : HL.expr) : (t * T.t) list =
 
 type outcome = Verified | Failed of string
 
-(** Verify one procedure against its specification. *)
-let verify_proc ?(heap_dep = true) (prog : program) (proc : proc) : outcome =
-  let st = create ~heap_dep ~penv:prog.preds () in
+(** Verify one procedure against its specification. [stats] is the
+    {!Vstats} instance obligations are accounted to; each call gets a
+    private fresh one by default, so concurrent jobs never share. *)
+let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
+    outcome =
+  let st = create ~heap_dep ?stats ~penv:prog.preds () in
   match
     inhale_cases st proc.requires
     |> List.iter (fun st ->
@@ -354,6 +357,7 @@ let verify_proc ?(heap_dep = true) (prog : program) (proc : proc) : outcome =
   | exception Verification_error m -> Failed m
 
 (** Verify every procedure of a program; returns per-procedure
-    outcomes. *)
-let verify ?heap_dep (prog : program) : (string * outcome) list =
-  List.map (fun p -> (p.pname, verify_proc ?heap_dep prog p)) prog.procs
+    outcomes. A shared [stats] instance accumulates across all
+    procedures. *)
+let verify ?heap_dep ?stats (prog : program) : (string * outcome) list =
+  List.map (fun p -> (p.pname, verify_proc ?heap_dep ?stats prog p)) prog.procs

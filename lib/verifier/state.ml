@@ -19,12 +19,21 @@ type t = {
   penv : A.pred_env;
   gensym : Gensym.t;
   heap_dep : bool;  (** heap-dependent assertions enabled (A1 toggle) *)
+  stats : Vstats.t;  (** instance this run accumulates into *)
   pures : T.t list;  (** path condition; always heap-read-free *)
   chunks : A.t list;  (** Points_to / Ghost / Pred *)
 }
 
-let create ?(heap_dep = true) ?(penv = Smap.empty) () =
-  { penv; gensym = Gensym.create ~prefix:"v" (); heap_dep; pures = []; chunks = [] }
+let create ?(heap_dep = true) ?(penv = Smap.empty) ?stats () =
+  let stats = match stats with Some s -> s | None -> Vstats.create () in
+  {
+    penv;
+    gensym = Gensym.create ~prefix:"v" ();
+    heap_dep;
+    stats;
+    pures = [];
+    chunks = [];
+  }
 
 let fresh ?hint st = Gensym.fresh ?hint st.gensym
 
@@ -32,7 +41,7 @@ let add_pure st phi = { st with pures = phi :: st.pures }
 let add_chunk st c = { st with chunks = c :: st.chunks }
 
 let entails st phi =
-  Vstats.global.obligations <- Vstats.global.obligations + 1;
+  st.stats.Vstats.obligations <- st.stats.Vstats.obligations + 1;
   T.equal phi T.tru
   || List.exists (T.equal phi) st.pures
   || (match phi with T.Eq (a, b) -> T.equal a b | _ -> false)
@@ -66,13 +75,14 @@ let resolve st (phi : T.t) : T.t =
   else if not st.heap_dep then
     fail "heap-dependent assertion %a with heap_dep disabled" T.pp phi
   else begin
-    Vstats.global.stab_checks <- Vstats.global.stab_checks + 1;
+    st.stats.Vstats.stab_checks <- st.stats.Vstats.stab_checks + 1;
     let phi' =
       Baselogic.Hterm.resolve
         (fun l ->
           match find_points_to st l with
           | Some (_, _, v) ->
-              Vstats.global.resolutions <- Vstats.global.resolutions + 1;
+              st.stats.Vstats.resolutions <-
+                st.stats.Vstats.resolutions + 1;
               Some v
           | None -> None)
         phi
@@ -132,7 +142,7 @@ let inhale_all st l = List.fold_left inhale st l
 let take st pred =
   match Listx.find_remove pred st.chunks with
   | Some (c, rest) ->
-      Vstats.global.chunk_matches <- Vstats.global.chunk_matches + 1;
+      st.stats.Vstats.chunk_matches <- st.stats.Vstats.chunk_matches + 1;
       Some (c, { st with chunks = rest })
   | None -> None
 

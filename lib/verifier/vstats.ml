@@ -1,4 +1,10 @@
-(** Verifier-side statistics, feeding tables T1 and T3. *)
+(** Verifier-side statistics, feeding tables T1 and T3.
+
+    Instance-passed, not global: every symbolic-execution state carries
+    the instance it accumulates into ([State.create ?stats]), so
+    concurrent verification jobs in [lib/engine] each own a private
+    instance and the engine merges them with {!sum} into one report.
+    Sequential drivers pass one shared instance across procedures. *)
 
 type t = {
   mutable obligations : int;  (** proof obligations discharged *)
@@ -11,7 +17,7 @@ type t = {
   mutable calls : int;
 }
 
-let global =
+let create () =
   {
     obligations = 0;
     chunk_matches = 0;
@@ -23,17 +29,30 @@ let global =
     calls = 0;
   }
 
-let reset () =
-  global.obligations <- 0;
-  global.chunk_matches <- 0;
-  global.resolutions <- 0;
-  global.stab_checks <- 0;
-  global.unstable_facts <- 0;
-  global.branches <- 0;
-  global.loops <- 0;
-  global.calls <- 0
+let reset s =
+  s.obligations <- 0;
+  s.chunk_matches <- 0;
+  s.resolutions <- 0;
+  s.stab_checks <- 0;
+  s.unstable_facts <- 0;
+  s.branches <- 0;
+  s.loops <- 0;
+  s.calls <- 0
 
-let snapshot () = { global with obligations = global.obligations }
+let copy s = { s with obligations = s.obligations }
+
+(** Pointwise sum; used by the engine to merge per-job instances. *)
+let sum a b =
+  {
+    obligations = a.obligations + b.obligations;
+    chunk_matches = a.chunk_matches + b.chunk_matches;
+    resolutions = a.resolutions + b.resolutions;
+    stab_checks = a.stab_checks + b.stab_checks;
+    unstable_facts = a.unstable_facts + b.unstable_facts;
+    branches = a.branches + b.branches;
+    loops = a.loops + b.loops;
+    calls = a.calls + b.calls;
+  }
 
 let pp ppf s =
   Fmt.pf ppf

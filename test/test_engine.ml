@@ -1,0 +1,166 @@
+(** Engine tests: parallel verification is observationally identical to
+    sequential verification (for positive AND negative suite entries),
+    the VC cache changes no verdict, and the cache survives concurrent
+    hammering from several domains. *)
+
+module T = Smt.Term
+module V = Verifier.Exec
+module Pr = Suite.Programs
+module E = Engine
+
+let outcome : V.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | V.Verified -> Fmt.string ppf "Verified"
+      | V.Failed m -> Fmt.pf ppf "Failed(%s)" m)
+    ( = )
+
+let proc_results = Alcotest.(list (pair string outcome))
+
+let engine_results config =
+  let report =
+    E.verify_programs ~config
+      (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
+  in
+  List.map (fun (g : E.group_result) -> (g.E.group, g.E.outcomes)) report.E.groups
+
+(* 1. Per-entry: 4 worker domains produce exactly the sequential
+   verifier's outcomes, including failure messages of the negative
+   entries. *)
+let test_parallel_matches_sequential () =
+  let par =
+    engine_results { E.default_config with E.domains = 4; cache = false }
+  in
+  List.iter
+    (fun (e : Pr.entry) ->
+      let seq = V.verify e.prog in
+      Alcotest.check proc_results e.name seq (List.assoc e.name par))
+    Pr.all
+
+(* 2. Cache on ≡ cache off, at one and several domains. *)
+let test_cache_preserves_verdicts () =
+  let go domains cache =
+    engine_results { E.domains; cache; heap_dep = true }
+  in
+  let reference = go 1 false in
+  List.iter
+    (fun (domains, cache) ->
+      List.iter
+        (fun (name, outs) ->
+          Alcotest.check proc_results
+            (Printf.sprintf "%s (j=%d cache=%b)" name domains cache)
+            outs
+            (List.assoc name (go domains cache)))
+        reference)
+    [ (1, true); (4, true) ]
+
+(* 3. The engine report accounts every job and the cache actually
+   fires on a re-verification workload. *)
+let test_engine_stats () =
+  let progs =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (e : Pr.entry) -> (Printf.sprintf "%s#%d" e.name r, e.prog))
+          Pr.positive)
+      [ 0; 1 ]
+  in
+  let njobs =
+    List.fold_left (fun n (_, p) -> n + List.length p.V.procs) 0 progs
+  in
+  let report =
+    E.verify_programs
+      ~config:{ E.domains = 2; cache = true; heap_dep = true }
+      progs
+  in
+  let s = report.E.stats in
+  Alcotest.(check int) "job count" njobs s.E.jobs;
+  Alcotest.(check int)
+    "jobs partitioned over domains" njobs
+    (Array.fold_left ( + ) 0 s.E.pool.E.Pool.jobs_per_domain);
+  Alcotest.(check bool)
+    "second round hits the cache" true (s.E.cache_hits > 0);
+  Alcotest.(check bool)
+    "lookups = queries routed through cache" true
+    (s.E.cache_hits + s.E.cache_misses = s.E.smt.Smt.Stats.queries);
+  Alcotest.(check bool) "all verified" true (List.for_all E.group_ok report.E.groups)
+
+(* 4. qcheck: hammer one shared cache from several domains; verdicts
+   must match the uncached sequential solver on every instance. *)
+
+let gen_formula : T.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let vars = [ "x"; "y"; "z" ] in
+  let atom =
+    oneof [ map T.int (int_range (-4) 4); map T.var (oneofl vars) ]
+  in
+  let arith =
+    oneof [ atom; map2 T.add atom atom; map2 T.sub atom atom ]
+  in
+  let cmp =
+    oneof [ map2 T.eq arith arith; map2 T.le arith arith; map2 T.lt arith arith ]
+  in
+  let rec form n =
+    if n <= 0 then cmp
+    else
+      frequency
+        [
+          (3, cmp);
+          (2, map T.not_ (form (n - 1)));
+          (2, map2 (fun a b -> T.and_ [ a; b ]) (form (n - 1)) (form (n - 1)));
+          (2, map2 (fun a b -> T.or_ [ a; b ]) (form (n - 1)) (form (n - 1)));
+        ]
+  in
+  form 2
+
+let verdict = function
+  | Smt.Solver.Sat _ -> "sat"
+  | Smt.Solver.Unsat -> "unsat"
+  | Smt.Solver.Unknown -> "unknown"
+
+let cache_hammer =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vc-cache-parallel-consistent" ~count:30
+       QCheck.(make ~print:(fun ts -> String.concat "; " (List.map T.to_string ts))
+                 (Gen.list_size (Gen.int_range 4 10) gen_formula))
+       (fun instances ->
+         let expected = List.map (fun t -> verdict (Smt.Solver.check_sat [ t ])) instances in
+         let cache = E.Vc_cache.create () in
+         E.Vc_cache.install cache;
+         let got =
+           Fun.protect ~finally:E.Vc_cache.uninstall (fun () ->
+               (* Each domain checks every instance at a different
+                  starting offset, so lookups and stores of the same
+                  key race across domains. *)
+               let work offset () =
+                 let arr = Array.of_list instances in
+                 let n = Array.length arr in
+                 List.init n (fun i ->
+                     let j = (i + offset) mod n in
+                     (j, verdict (Smt.Solver.check_sat [ arr.(j) ])))
+               in
+               let spawned =
+                 List.init 3 (fun d -> Domain.spawn (work (d + 1)))
+               in
+               let mine = work 0 () in
+               mine :: List.map Domain.join spawned)
+         in
+         List.for_all
+           (List.for_all (fun (j, v) -> String.equal v (List.nth expected j)))
+           got
+         && E.Vc_cache.hits cache + E.Vc_cache.misses cache
+            = 4 * List.length instances))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "parallel-matches-sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "cache-preserves-verdicts" `Quick
+            test_cache_preserves_verdicts;
+          Alcotest.test_case "engine-stats" `Quick test_engine_stats;
+          cache_hammer;
+        ] );
+    ]
