@@ -279,6 +279,114 @@ let engine_scaling () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E2: incremental sessions vs one-shot solving *)
+
+(* Machine-readable results for --json: target -> (field, value). *)
+let json_entries : (string * (string * float) list) list ref = ref []
+let record_json name fields = json_entries := (name, fields) :: !json_entries
+
+let write_json path =
+  let oc = open_out path in
+  let entry (name, fields) =
+    Printf.sprintf "  %S: {%s}" name
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%S: %g" k v) fields))
+  in
+  Printf.fprintf oc "{\n%s\n}\n"
+    (String.concat ",\n" (List.map entry (List.rev !json_entries)));
+  close_out oc;
+  printf "wrote %s\n" path
+
+(** --quick trims sizes so the target doubles as a CI smoke test. *)
+let quick = ref false
+
+(** One-shot vs session latency on the F3 (euf-chain entailment) and
+    F2 (multicell verification) workloads. The euf-chain rows compare
+    [check_sat] on the full instance against a session asserting the
+    same hypotheses and checking [False] on live theory state; the
+    multicell rows run the whole verifier with sessions forced through
+    the one-shot pipeline ({!Smt.Session.oneshot}) vs the incremental
+    default. *)
+let smt_incremental () =
+  printf "\n== E2: incremental sessions vs one-shot ==\n";
+  printf "%-12s %6s | %12s %12s %8s | %s\n" "workload" "n" "oneshot(ms)"
+    "session(ms)" "speedup" "counters (session)";
+  printf "%s\n" (String.make 78 '-');
+  let sizes = if !quick then [ 16; 32 ] else [ 8; 16; 32; 48 ] in
+  List.iter
+    (fun n ->
+      let instance = G.euf_chain n in
+      Smt.Stats.reset ();
+      let r1, t1 = time (fun () -> Smt.Solver.check_sat instance) in
+      Smt.Stats.reset ();
+      let r2, t2 =
+        time (fun () ->
+            let s = Smt.Session.create () in
+            List.iter
+              (fun h ->
+                Smt.Session.push s;
+                Smt.Session.assert_hyp s h)
+              instance;
+            Smt.Session.check_goal s T.fls)
+      in
+      let ss = Smt.Stats.snapshot () in
+      let agree =
+        match (r1, r2) with
+        | Smt.Solver.Unsat, Smt.Solver.Valid -> true
+        | Smt.Solver.Sat _, Smt.Solver.Invalid _ -> true
+        | _ -> false
+      in
+      record_json
+        (Printf.sprintf "euf_chain_%d" n)
+        [
+          ("oneshot_ms", ms t1);
+          ("session_ms", ms t2);
+          ("theory_checks", float_of_int ss.Smt.Stats.theory_checks);
+          ("session_fallbacks", float_of_int ss.Smt.Stats.session_fallbacks);
+        ];
+      printf "%-12s %6d | %12.1f %12.2f %7.1fx | theory=%d fallbacks=%d%s\n"
+        "euf-chain" n (ms t1) (ms t2) (t1 /. t2) ss.Smt.Stats.theory_checks
+        ss.Smt.Stats.session_fallbacks
+        (if agree then "" else "  << VERDICT MISMATCH"))
+    sizes;
+  let ks = if !quick then [ 8 ] else [ 8; 16; 24 ] in
+  List.iter
+    (fun k ->
+      let prog = { V.procs = [ G.multicell k ]; preds = Stdx.Smap.empty } in
+      (* Best of [reps] per mode: single verifier runs are short enough
+         that scheduler noise would dominate a one-shot-vs-session
+         comparison. *)
+      let reps = if !quick then 1 else 3 in
+      let best mode_oneshot =
+        Smt.Session.oneshot := mode_oneshot;
+        let r = ref None in
+        for _ = 1 to reps do
+          let ok, t, _, ss = run_verifier prog in
+          match !r with
+          | Some (_, t', _) when t' <= t -> ()
+          | _ -> r := Some (ok, t, ss)
+        done;
+        Smt.Session.oneshot := false;
+        Option.get !r
+      in
+      let ok1, t1, ss1 = best true in
+      let ok2, t2, ss2 = best false in
+      record_json
+        (Printf.sprintf "multicell_%d" k)
+        [
+          ("oneshot_ms", ms t1);
+          ("session_ms", ms t2);
+          ("oneshot_queries", float_of_int ss1.Smt.Stats.queries);
+          ("session_checks", float_of_int ss2.Smt.Stats.session_checks);
+          ("session_fallbacks", float_of_int ss2.Smt.Stats.session_fallbacks);
+        ];
+      printf "%-12s %6d | %12.1f %12.1f %7.1fx | checks=%d fallbacks=%d%s\n"
+        "multicell" k (ms t1) (ms t2) (t1 /. t2) ss2.Smt.Stats.session_checks
+        ss2.Smt.Stats.session_fallbacks
+        (if ok1 && ok2 then "" else "  << FAILED"))
+    ks
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let micro () =
@@ -336,17 +444,24 @@ let experiments =
     ("ablation_hd", ablation_hd);
     ("ablation_cores", ablation_cores);
     ("engine_scaling", engine_scaling);
+    ("smt_incremental", smt_incremental);
     ("micro", micro);
   ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  quick := List.mem "--quick" args;
+  let names =
+    List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args
+  in
   let selected =
-    match args with
+    match names with
     | [] -> List.filter (fun (n, _) -> n <> "micro") experiments
     | names ->
-        if List.mem "--help" names then begin
-          printf "experiments: %s\n"
+        if List.mem "--help" args then begin
+          printf
+            "experiments: %s\nflags: --json (write BENCH_smt.json) --quick\n"
             (String.concat " " (List.map fst experiments));
           exit 0
         end;
@@ -354,4 +469,5 @@ let () =
   in
   printf "Daenerys-style verifier — experiment harness\n";
   printf "(reconstructed experiments; see DESIGN.md / EXPERIMENTS.md)\n";
-  List.iter (fun (_, f) -> f ()) selected
+  List.iter (fun (_, f) -> f ()) selected;
+  if json then write_json "BENCH_smt.json"

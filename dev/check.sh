@@ -16,4 +16,7 @@ dune runtest
 echo "== daenerys suite -j 2 (smoke) =="
 dune exec bin/daenerys.exe -- suite -j 2 --stats
 
+echo "== bench smoke: smt_incremental --quick =="
+dune exec bench/main.exe -- smt_incremental --quick
+
 echo "tier-1 gate: OK"

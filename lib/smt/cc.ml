@@ -7,17 +7,41 @@
     so congruence ([x = y] implies [f x = f y]) propagates to parents.
 
     Distinct integer literals are pairwise disequal by construction:
-    merging two of them is an immediate conflict. *)
+    merging two of them is an immediate conflict.
 
-open Stdx
+    The structure is {e backtrackable}: {!push} records a mark and
+    {!pop} undoes every state change since the matching mark — node
+    allocations, merges, signature registrations, disequalities, the
+    inconsistency flag — via a trail. To make unions undoable by
+    resetting a single parent pointer, the embedded union-find uses
+    union-by-rank {e without} path compression (compression re-points
+    interior nodes at the root, which would survive the undo of the
+    union that made the root reachable). Rank-only finds stay
+    logarithmic, which is all the incremental solver needs. *)
 
 type node_kind =
   | Const of string  (** variable or nullary symbol *)
   | Num of int  (** integer literal — distinct literals never merge *)
   | Fapp of string * int list  (** symbol + argument node ids *)
 
+type undo =
+  | Mark
+  | Alloc of node_kind  (** newest node: un-intern, shrink *)
+  | Parent_push of int  (** pop the head of [parents.(rep)] *)
+  | Sig_add of (string * int list)  (** remove the signature entry *)
+  | Union of {
+      child : int;
+      parent : int;
+      rank_bumped : bool;
+      old_parents : int list;
+      old_num : int option;
+    }
+  | Diseq  (** pop the head of [diseqs] *)
+  | Inconsistent  (** clear the flag *)
+
 type t = {
-  uf : Union_find.t;
+  mutable parent : int array;  (* union-find, rank-only *)
+  mutable rank : int array;
   mutable kinds : node_kind array;
   mutable n_nodes : int;
   intern : (node_kind, int) Hashtbl.t;
@@ -26,11 +50,13 @@ type t = {
   mutable num_of_class : int option array;  (* rep -> literal value if any *)
   mutable diseqs : (int * int) list;
   mutable inconsistent : bool;
+  mutable trail : undo list;
 }
 
 let create () =
   {
-    uf = Union_find.create ();
+    parent = Array.init 64 Fun.id;
+    rank = Array.make 64 0;
     kinds = Array.make 64 (Const "");
     n_nodes = 0;
     intern = Hashtbl.create 64;
@@ -39,35 +65,56 @@ let create () =
     num_of_class = Array.make 64 None;
     diseqs = [];
     inconsistent = false;
+    trail = [];
   }
 
 let grow t n =
   if n >= Array.length t.kinds then begin
     let cap = max (n + 1) (2 * Array.length t.kinds) in
+    let parent = Array.init cap Fun.id in
+    let rank = Array.make cap 0 in
     let kinds = Array.make cap (Const "") in
     let parents = Array.make cap [] in
     let nums = Array.make cap None in
+    Array.blit t.parent 0 parent 0 t.n_nodes;
+    Array.blit t.rank 0 rank 0 t.n_nodes;
     Array.blit t.kinds 0 kinds 0 t.n_nodes;
     Array.blit t.parents 0 parents 0 t.n_nodes;
     Array.blit t.num_of_class 0 nums 0 t.n_nodes;
+    t.parent <- parent;
+    t.rank <- rank;
     t.kinds <- kinds;
     t.parents <- parents;
     t.num_of_class <- nums
   end
 
-let find t n = Union_find.find t.uf n
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x else find t p
 
 let signature t f args = (f, List.map (find t) args)
+
+let set_inconsistent t =
+  if not t.inconsistent then begin
+    t.inconsistent <- true;
+    t.trail <- Inconsistent :: t.trail
+  end
 
 let rec alloc t kind =
   match Hashtbl.find_opt t.intern kind with
   | Some id -> id
   | None ->
-      let id = Union_find.make t.uf in
+      let id = t.n_nodes in
       grow t id;
       t.n_nodes <- id + 1;
+      (* Slots may hold garbage from a popped allocation: re-init. *)
+      t.parent.(id) <- id;
+      t.rank.(id) <- 0;
       t.kinds.(id) <- kind;
+      t.parents.(id) <- [];
+      t.num_of_class.(id) <- None;
       Hashtbl.add t.intern kind id;
+      t.trail <- Alloc kind :: t.trail;
       (match kind with
       | Num v -> t.num_of_class.(id) <- Some v
       | Const _ -> ()
@@ -76,12 +123,15 @@ let rec alloc t kind =
           List.iter
             (fun a ->
               let r = find t a in
-              t.parents.(r) <- id :: t.parents.(r))
+              t.parents.(r) <- id :: t.parents.(r);
+              t.trail <- Parent_push r :: t.trail)
             args;
           let s = signature t f args in
           (match Hashtbl.find_opt t.signatures s with
           | Some id' -> merge t id id'
-          | None -> Hashtbl.add t.signatures s id));
+          | None ->
+              Hashtbl.add t.signatures s id;
+              t.trail <- Sig_add s :: t.trail));
       id
 
 and merge t a b =
@@ -90,31 +140,41 @@ and merge t a b =
     let ra = find t a and rb = find t b in
     if ra <> rb then begin
       (* Numeric consistency. *)
-      (match (t.num_of_class.(ra), t.num_of_class.(rb)) with
-      | Some x, Some y when x <> y -> t.inconsistent <- true
-      | _ -> ());
-      if not t.inconsistent then begin
-        let pa = t.parents.(ra) and pb = t.parents.(rb) in
-        let na = t.num_of_class.(ra) and nb = t.num_of_class.(rb) in
-        let r = Union_find.union t.uf ra rb in
-        t.parents.(r) <- List.rev_append pa pb;
-        t.num_of_class.(r) <- (match na with Some _ -> na | None -> nb);
-        (* Recompute signatures of parents; merge on collisions. *)
-        let to_merge = ref [] in
-        List.iter
-          (fun p ->
-            match t.kinds.(p) with
-            | Fapp (f, args) -> (
-                let s = signature t f args in
-                match Hashtbl.find_opt t.signatures s with
-                | Some q when find t q <> find t p ->
-                    to_merge := (p, q) :: !to_merge
-                | Some _ -> ()
-                | None -> Hashtbl.add t.signatures s p)
-            | _ -> ())
-          t.parents.(r);
-        List.iter (fun (p, q) -> merge t p q) !to_merge
-      end
+      match (t.num_of_class.(ra), t.num_of_class.(rb)) with
+      | Some x, Some y when x <> y -> set_inconsistent t
+      | _ ->
+          (* Union by rank: attach the lower-rank rep under the other. *)
+          let child, parent, rank_bumped =
+            if t.rank.(ra) < t.rank.(rb) then (ra, rb, false)
+            else if t.rank.(ra) > t.rank.(rb) then (rb, ra, false)
+            else (rb, ra, true)
+          in
+          let old_parents = t.parents.(parent) in
+          let old_num = t.num_of_class.(parent) in
+          t.parent.(child) <- parent;
+          if rank_bumped then t.rank.(parent) <- t.rank.(parent) + 1;
+          t.parents.(parent) <- List.rev_append t.parents.(child) old_parents;
+          t.num_of_class.(parent) <-
+            (match old_num with Some _ -> old_num | None -> t.num_of_class.(child));
+          t.trail <-
+            Union { child; parent; rank_bumped; old_parents; old_num } :: t.trail;
+          (* Recompute signatures of parents; merge on collisions. *)
+          let to_merge = ref [] in
+          List.iter
+            (fun p ->
+              match t.kinds.(p) with
+              | Fapp (f, args) -> (
+                  let s = signature t f args in
+                  match Hashtbl.find_opt t.signatures s with
+                  | Some q when find t q <> find t p ->
+                      to_merge := (p, q) :: !to_merge
+                  | Some _ -> ()
+                  | None ->
+                      Hashtbl.add t.signatures s p;
+                      t.trail <- Sig_add s :: t.trail)
+              | _ -> ())
+            t.parents.(parent);
+          List.iter (fun (p, q) -> merge t p q) !to_merge
     end
 
 (** Intern a purified term. Arithmetic constructors are rejected — the
@@ -132,7 +192,9 @@ let rec node_of_term t (tm : Term.t) =
 
 let assert_eq t a b = merge t a b
 
-let assert_neq t a b = t.diseqs <- (a, b) :: t.diseqs
+let assert_neq t a b =
+  t.diseqs <- (a, b) :: t.diseqs;
+  t.trail <- Diseq :: t.trail
 
 let are_equal t a b = find t a = find t b
 
@@ -141,12 +203,35 @@ let consistent t =
   (not t.inconsistent)
   && List.for_all (fun (a, b) -> not (are_equal t a b)) t.diseqs
 
-(** All interned nodes whose kind is a constant with the given name
-    predicate — used for equality propagation across theories. *)
-let const_nodes t =
-  let acc = ref [] in
-  Hashtbl.iter
-    (fun kind id ->
-      match kind with Const x -> acc := (x, id) :: !acc | _ -> ())
-    t.intern;
-  !acc
+(* --------------------------------------------------------------- *)
+(* Backtracking *)
+
+let push t = t.trail <- Mark :: t.trail
+
+let undo_op t = function
+  | Mark -> assert false
+  | Alloc kind ->
+      Hashtbl.remove t.intern kind;
+      t.n_nodes <- t.n_nodes - 1
+  | Parent_push r -> t.parents.(r) <- List.tl t.parents.(r)
+  | Sig_add s -> Hashtbl.remove t.signatures s
+  | Union { child; parent; rank_bumped; old_parents; old_num } ->
+      t.parent.(child) <- child;
+      if rank_bumped then t.rank.(parent) <- t.rank.(parent) - 1;
+      t.parents.(parent) <- old_parents;
+      t.num_of_class.(parent) <- old_num
+  | Diseq -> t.diseqs <- List.tl t.diseqs
+  | Inconsistent -> t.inconsistent <- false
+
+(** Undo every change back to (and including) the latest {!push} mark.
+    Undo runs in strict reverse order, which is what makes the
+    individual operations (head pops, single-pointer resets) exact
+    inverses. *)
+let rec pop t =
+  match t.trail with
+  | [] -> invalid_arg "Cc.pop: no matching push"
+  | Mark :: rest -> t.trail <- rest
+  | op :: rest ->
+      t.trail <- rest;
+      undo_op t op;
+      pop t

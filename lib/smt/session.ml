@@ -1,0 +1,351 @@
+(** Persistent entailment sessions.
+
+    A session keeps one {!Theory} state alive across many entailment
+    queries, the way a translational verifier keeps one solver process:
+    hypotheses (path conditions, heap facts) are {e pushed} as symbolic
+    execution descends and {e popped} on the way back up, and each
+    obligation is discharged against the live context instead of
+    re-sending — and re-purifying — the whole context per query.
+
+    Soundness discipline. The live state holds only hypotheses that are
+    conjunctions of theory literals; anything with residual boolean
+    structure (disjunctions, iffs, uneliminated [ite]) is recorded but
+    not asserted. A goal is checked by asserting its negated literals
+    under a checkpoint:
+
+    - [Unsat] is {e always} trusted: the asserted hypotheses are
+      implied by the full context, so their unsatisfiability (with the
+      negated goal) transfers — [Valid].
+    - [Sat] is trusted only when nothing was held back {e and} no
+      integer disequality is in scope. Disequalities are the one
+      nonconvex literal here: the one-shot pipeline splits [a ≠ b] into
+      strict branches at the SAT level, which a pure conjunction check
+      cannot imitate (e.g. [2x ≤ 2y ≤ 2x+1, x ≠ y] is theory-Sat but
+      integer-Unsat). Outside the trusted fragment the session falls
+      back to the full one-shot pipeline ({!Solver.entails_uncached}),
+      bypassing the VC cache — session queries are keyed on live state,
+      not serialized VCs.
+
+    Verdicts therefore coincide with the one-shot API on every query;
+    the differential tests in [test/test_smt.ml] pin this. *)
+
+open Stdx
+
+(** What one theory check of the bare context established — memoized
+    per context generation, so feasibility queries and model-based
+    refutations over an unchanged context cost nothing. *)
+type ctx_status =
+  | CtxUnsat  (** the hypotheses themselves are inconsistent *)
+  | CtxSat of int Smap.t  (** trusted model of the context *)
+  | CtxUnknown  (** untrusted [Sat] or solver [Unknown] *)
+
+type t = {
+  th : Theory.state;
+  mutable hyps : Term.t list;  (** everything in scope, newest-first *)
+  mutable nonlit : int;  (** hypotheses in scope not (fully) asserted *)
+  mutable neqs : int;  (** asserted integer disequalities in scope *)
+  mutable saved : (Term.t list * int * int) list;  (** frame stack *)
+  mutable synced : Term.t list;  (** oldest-first, one frame per hyp;
+                                     maintained by {!sync} only *)
+  mutable gen : int;  (** bumped on every context change *)
+  mutable ctx_cache : (int * ctx_status) option;
+  mutable ctx_vars : (int * unit Smap.t) option;
+      (** variables occurring in the hypotheses, per generation *)
+}
+
+let create () =
+  {
+    th = Theory.create ();
+    hyps = [];
+    nonlit = 0;
+    neqs = 0;
+    saved = [];
+    synced = [];
+    gen = 0;
+    ctx_cache = None;
+    ctx_vars = None;
+  }
+
+let push s =
+  Theory.push_scoped s.th;
+  s.gen <- s.gen + 1;
+  s.saved <- (s.hyps, s.nonlit, s.neqs) :: s.saved
+
+let pop s =
+  match s.saved with
+  | [] -> invalid_arg "Session.pop: no matching push"
+  | (hyps, nonlit, neqs) :: rest ->
+      Theory.pop_scoped s.th;
+      s.gen <- s.gen + 1;
+      s.hyps <- hyps;
+      s.nonlit <- nonlit;
+      s.neqs <- neqs;
+      s.saved <- rest
+
+(* --------------------------------------------------------------- *)
+(* Literal classification *)
+
+let is_lit_atom (t : Term.t) =
+  match t with
+  | Term.Eq _ | Term.Le _ | Term.Lt _ | Term.Pred _ -> true
+  | Term.Var (_, Sort.Bool) -> true
+  | _ -> false
+
+(** The atoms of [t] viewed as a conjunction of literals, or [None] if
+    boolean structure remains. *)
+let rec pos_atoms acc (t : Term.t) : Theory.atom list option =
+  match t with
+  | Term.True -> Some acc
+  | Term.And ts ->
+      List.fold_left
+        (fun acc t -> Option.bind acc (fun acc -> pos_atoms acc t))
+        (Some acc) ts
+  | Term.Not a when is_lit_atom a -> Some ({ Theory.term = a; pos = false } :: acc)
+  | _ when is_lit_atom t -> Some ({ Theory.term = t; pos = true } :: acc)
+  | _ -> None
+
+(** The atoms of [¬t] viewed as a conjunction of literals — [t] must be
+    a disjunction of literals for this to exist. *)
+let rec neg_atoms acc (t : Term.t) : Theory.atom list option =
+  match t with
+  | Term.False -> Some acc
+  | Term.Or ts ->
+      List.fold_left
+        (fun acc t -> Option.bind acc (fun acc -> neg_atoms acc t))
+        (Some acc) ts
+  | Term.Not a when is_lit_atom a -> Some ({ Theory.term = a; pos = true } :: acc)
+  | _ when is_lit_atom t -> Some ({ Theory.term = t; pos = false } :: acc)
+  | _ -> None
+
+(** The nonconvex literals: negated integer equalities. *)
+let is_neq (a : Theory.atom) =
+  match (a.Theory.term, a.Theory.pos) with
+  | Term.Eq (x, _), false -> Sort.equal (Term.sort_of x) Sort.Int
+  | _ -> false
+
+(* --------------------------------------------------------------- *)
+(* Asserting and checking *)
+
+let assert_hyp s (h : Term.t) =
+  s.hyps <- h :: s.hyps;
+  s.gen <- s.gen + 1;
+  match pos_atoms [] h with
+  | None -> s.nonlit <- s.nonlit + 1
+  | Some atoms -> (
+      match List.iter (Theory.assert_literal s.th) atoms with
+      | () ->
+          List.iter (fun a -> if is_neq a then s.neqs <- s.neqs + 1) atoms
+      | exception Invalid_argument _ ->
+          (* Unpurifiable literal (e.g. an embedded [ite]); whatever was
+             asserted before the failure is implied by [h], so keeping
+             it is sound — but [Sat] can no longer be trusted. *)
+          s.nonlit <- s.nonlit + 1)
+
+(* --------------------------------------------------------------- *)
+(* Context model caching *)
+
+(** One theory check of the bare context, memoized per generation:
+    [Unsat] is always trusted (the asserted atoms are implied by the
+    hypotheses), a model is trusted only when nothing was held back and
+    no disequality is in scope. The verifier asks about the same live
+    context many times in a row (feasibility after every step, one
+    entailment per heap chunk scanned), so this is checked once and
+    then answered from cache until the context changes. *)
+let context_status s =
+  match s.ctx_cache with
+  | Some (g, st) when g = s.gen -> st
+  | _ ->
+      Theory.push_scoped s.th;
+      let r = Theory.check s.th in
+      Theory.pop_scoped s.th;
+      let st =
+        match r with
+        | Theory.Unsat -> CtxUnsat
+        | Theory.Sat m when s.nonlit = 0 && s.neqs = 0 -> CtxSat m
+        | Theory.Sat _ | Theory.Unknown -> CtxUnknown
+      in
+      s.ctx_cache <- Some (s.gen, st);
+      st
+
+let context_vars s =
+  match s.ctx_vars with
+  | Some (g, vs) when g = s.gen -> vs
+  | _ ->
+      let vs =
+        List.fold_left
+          (fun acc h ->
+            List.fold_left
+              (fun acc (x, _) -> Smap.add x () acc)
+              acc (Term.vars h))
+          Smap.empty s.hyps
+      in
+      s.ctx_vars <- Some (s.gen, vs);
+      vs
+
+(** [refute_neq s m a b] tries to extend the trusted context model [m]
+    to a witness of [a ≠ b]. If one side is an integer variable
+    occurring neither in the hypotheses nor in the other side, every
+    model of the context extends to one separating the two sides (the
+    fresh variable is unconstrained), so the entailment of [a = b] is
+    refuted with no theory work — this is the common case of the
+    verifier's heap-chunk scans asking "is this the chunk for that
+    location?". The witness values are best-effort: other
+    context-fresh variables default to 0, which cannot falsify
+    hypotheses they do not occur in. *)
+let refute_neq s (m : int Smap.t) (a : Term.t) (b : Term.t) =
+  let ctx = context_vars s in
+  let try_fresh x other =
+    if
+      Smap.mem x ctx
+      || List.exists (fun (y, _) -> String.equal y x) (Term.vars other)
+    then None
+    else
+      let env =
+        List.fold_left
+          (fun env (y, srt) ->
+            if Sort.equal srt Sort.Int && not (Smap.mem y env) then
+              Smap.add y 0 env
+            else env)
+          m (Term.vars other)
+      in
+      match Term.eval ~env other with
+      | Some v -> Some (Smap.add x (v + 1) env)
+      | None -> None
+  in
+  match (a, b) with
+  | Term.Var (x, Sort.Int), _ -> (
+      match try_fresh x b with
+      | Some _ as r -> r
+      | None -> (
+          match b with Term.Var (y, Sort.Int) -> try_fresh y a | _ -> None))
+  | _, Term.Var (y, Sort.Int) -> try_fresh y a
+  | _ -> None
+
+(** Escape hatch for benchmarks and differential tests: when set, every
+    {!check_goal} routes through the cached one-shot pipeline exactly
+    like the pre-session verifier, so session-based and one-shot runs
+    can be compared on identical workloads. Domain-local would be
+    cleaner, but the flag is only flipped by single-domain harnesses. *)
+let oneshot = ref false
+
+(** Discharge the negated-goal atoms against the live context by theory
+    probes. Integer disequalities among them are split into strict
+    branches, [a ≠ b] into [a < b] and [b < a] — the session-level
+    analogue of the one-shot solver's eager split lemma. Each branch is
+    convex (the strict inequality separates the pair in every model),
+    so both verdicts are trustworthy per branch: the goal is entailed
+    iff every branch is Unsat, and one trusted-Sat branch refutes it.
+    Past two disequalities the 2^m blowup stops paying; fall back. *)
+let probe s natoms fallback invalid =
+  let neqs_g, convex = List.partition is_neq natoms in
+  if List.length neqs_g > 2 then fallback ()
+  else begin
+    let rec branches acc = function
+      | [] -> [ acc ]
+      | ({ Theory.term = Term.Eq (a, b); _ } as n) :: rest ->
+          branches ({ Theory.term = Term.Lt (a, b); pos = true } :: n :: acc) rest
+          @ branches
+              ({ Theory.term = Term.Lt (b, a); pos = true } :: n :: acc)
+              rest
+      | _ :: _ -> assert false (* is_neq only matches Eq *)
+    in
+    let check_branch atoms =
+      Theory.push_scoped s.th;
+      let r =
+        match List.iter (Theory.assert_literal s.th) atoms with
+        | () -> Some (Theory.check s.th)
+        | exception Invalid_argument _ -> None
+      in
+      Theory.pop_scoped s.th;
+      r
+    in
+    let trusted = s.nonlit = 0 && s.neqs = 0 in
+    let rec eval = function
+      | [] -> Some None (* every branch refuted: goal entailed *)
+      | atoms :: rest -> (
+          match check_branch atoms with
+          | Some Theory.Unsat -> eval rest
+          | Some (Theory.Sat m) when trusted -> Some (Some m)
+          | _ -> None (* inconclusive branch: cannot decide here *))
+    in
+    match eval (branches convex neqs_g) with
+    | Some None -> Solver.Valid
+    | Some (Some m) -> invalid m
+    | None -> fallback ()
+  end
+
+let check_goal s (goal : Term.t) : Solver.verdict =
+  if !oneshot then Solver.entails ~hyps:(List.rev s.hyps) goal
+  else begin
+  let stats = Stats.current () in
+  stats.Stats.session_checks <- stats.Stats.session_checks + 1;
+  let fallback () =
+    stats.Stats.session_fallbacks <- stats.Stats.session_fallbacks + 1;
+    Solver.entails_uncached ~hyps:(List.rev s.hyps) goal
+  in
+  match neg_atoms [] goal with
+  | None -> fallback ()
+  | Some natoms -> (
+      let invalid m =
+        let ints = Smap.filter (fun x _ -> x.[0] <> '%') m in
+        Solver.Invalid { Solver.ints; bools = Smap.empty }
+      in
+      match context_status s with
+      | CtxUnsat -> Solver.Valid (* inconsistent context entails anything *)
+      | ctx -> (
+          (* Model-based fast paths over the cached context model:
+             feasibility queries ([goal = False], no negated atoms) are
+             answered directly, and a single-disequality goal is
+             refuted by extending the model over a context-fresh
+             variable. Both skip the theory solver entirely. *)
+          let refuted =
+            match (natoms, ctx) with
+            | [], CtxSat m -> Some (invalid m)
+            | [ n ], CtxSat m when is_neq n -> (
+                match n.Theory.term with
+                | Term.Eq (a, b) -> Option.map invalid (refute_neq s m a b)
+                | _ -> None)
+            | _ -> None
+          in
+          match refuted with
+          | Some v -> v
+          | None ->
+              if natoms = [] then fallback ()
+              else probe s natoms fallback invalid))
+  end
+
+let check_goal_bool s goal =
+  match check_goal s goal with Solver.Valid -> true | _ -> false
+
+(* --------------------------------------------------------------- *)
+(* Context synchronization *)
+
+(** [sync s hyps] re-points the session at exactly [hyps]
+    (oldest-first), one frame per hypothesis, reusing the longest
+    common prefix of what is already pushed. This is how the verifier
+    drives a session: branching symbolic execution hands each branch's
+    path condition over as a list, and branches sharing a prefix pay
+    only for their delta. Physical equality identifies unchanged
+    hypotheses — path conditions are shared sublists across branches —
+    and a miss merely costs a pop/re-assert, never correctness.
+
+    Must not be interleaved with manual {!push}/{!pop} on the same
+    session: sync owns the frame discipline. *)
+let sync s (hyps : Term.t list) =
+  let rec lcp n olds news =
+    match (olds, news) with
+    | o :: os, h :: hs when o == h -> lcp (n + 1) os hs
+    | _ -> n
+  in
+  let k = lcp 0 s.synced hyps in
+  for _ = 1 to List.length s.synced - k do
+    pop s
+  done;
+  let kept = Listx.take k s.synced in
+  let added = Listx.drop k hyps in
+  List.iter
+    (fun h ->
+      push s;
+      assert_hyp s h)
+    added;
+  s.synced <- kept @ added

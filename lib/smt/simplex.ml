@@ -7,8 +7,16 @@
     infinitesimal δ). Integrality is recovered by branch-and-bound on
     the rational relaxation.
 
-    The solver is used *offline* by the lazy-SMT loop: assert a
-    conjunction of literals, call {!check}. *)
+    The solver is {e backtrackable}: {!push} records a mark and {!pop}
+    undoes every bound change (and the trivially-unsat flag) since the
+    matching mark. Only bounds need undoing — pivoting is a
+    solution-space-preserving change of basis, so accumulated pivots
+    survive backtracking, and tableau rows / variables allocated inside
+    a popped scope simply linger unconstrained (a slack with no bounds
+    restricts nothing; identical expressions reuse their slack through
+    a memo table, so sessions do not grow rows per re-assertion).
+    Branch-and-bound itself runs on push/pop instead of copying the
+    tableau per branch. *)
 
 open Stdx
 
@@ -55,27 +63,39 @@ module Linexp = struct
   let is_empty (e : t) = Smap.is_empty e
 end
 
+type undo =
+  | Mark
+  | Lower of int * Dq.t option  (** restore a lower bound *)
+  | Upper of int * Dq.t option  (** restore an upper bound *)
+  | Triv  (** clear [trivially_unsat] (only the false→true edge is trailed) *)
+
 type t = {
   mutable n : int;  (* number of solver variables *)
   names : (string, int) Hashtbl.t;
+  slack_memo : ((string * Q.t) list, int) Hashtbl.t;
+      (* canonical expression -> its slack row, so re-asserting the
+         same expression in a session reuses the row *)
   mutable rows : (int * Q.t) list array;  (* basic var -> row over nonbasics *)
   mutable is_basic : bool array;
   mutable lower : Dq.t option array;
   mutable upper : Dq.t option array;
   mutable beta : Dq.t array;
   mutable trivially_unsat : bool;
+  mutable trail : undo list;
 }
 
 let create () =
   {
     n = 0;
     names = Hashtbl.create 16;
+    slack_memo = Hashtbl.create 16;
     rows = Array.make 16 [];
     is_basic = Array.make 16 false;
     lower = Array.make 16 None;
     upper = Array.make 16 None;
     beta = Array.make 16 Dq.zero;
     trivially_unsat = false;
+    trail = [];
   }
 
 let grow t n =
@@ -110,19 +130,154 @@ let var_of_name t x =
 let tighten_lower t x b =
   match t.lower.(x) with
   | Some l when Dq.leq b l -> ()
-  | _ -> t.lower.(x) <- Some b
+  | old ->
+      t.trail <- Lower (x, old) :: t.trail;
+      t.lower.(x) <- Some b
 
 let tighten_upper t x b =
   match t.upper.(x) with
   | Some u when Dq.leq u b -> ()
-  | _ -> t.upper.(x) <- Some b
+  | old ->
+      t.trail <- Upper (x, old) :: t.trail;
+      t.upper.(x) <- Some b
 
-(** Introduce a tableau row [s = e] for a fresh slack [s]. *)
+let set_trivially_unsat t =
+  if not t.trivially_unsat then begin
+    t.trail <- Triv :: t.trail;
+    t.trivially_unsat <- true
+  end
+
+(* --------------------------------------------------------------- *)
+(* Backtracking *)
+
+let push t = t.trail <- Mark :: t.trail
+
+(** Undo every bound change back to the latest {!push} mark. Rows,
+    variables, and pivots persist — see the module comment. *)
+let rec pop t =
+  match t.trail with
+  | [] -> invalid_arg "Simplex.pop: no matching push"
+  | Mark :: rest -> t.trail <- rest
+  | Lower (x, old) :: rest ->
+      t.lower.(x) <- old;
+      t.trail <- rest;
+      pop t
+  | Upper (x, old) :: rest ->
+      t.upper.(x) <- old;
+      t.trail <- rest;
+      pop t
+  | Triv :: rest ->
+      t.trivially_unsat <- false;
+      t.trail <- rest;
+      pop t
+
+(* --------------------------------------------------------------- *)
+(* Heavyweight checkpoints *)
+
+(** Trail-based {!push}/{!pop} undoes only bounds — variables, rows and
+    pivots accumulated inside the scope persist (harmless within one
+    query, where the slack memo makes re-assertion converge). A
+    long-lived {e session} state cannot afford that: every popped goal
+    probe would leave its purification variables behind and the tableau
+    would grow without bound, making each subsequent check pay for all
+    previous ones. A {!snapshot} captures the full tableau shape so
+    {!restore} deallocates everything the scope created — including
+    pivots that substituted scope-local variables into outer rows.
+
+    Snapshots must be restored LIFO: restoring an outer snapshot
+    discards any inner scopes still notionally open. *)
+type snapshot = {
+  s_n : int;
+  s_rows : (int * Q.t) list array;
+  s_is_basic : bool array;
+  s_lower : Dq.t option array;
+  s_upper : Dq.t option array;
+  s_beta : Dq.t array;
+  s_names : (string, int) Hashtbl.t;
+  s_memo : ((string * Q.t) list, int) Hashtbl.t;
+  s_triv : bool;
+  s_trail : undo list;
+}
+
+let checkpoint t : snapshot =
+  {
+    s_n = t.n;
+    s_rows = Array.sub t.rows 0 t.n;
+    s_is_basic = Array.sub t.is_basic 0 t.n;
+    s_lower = Array.sub t.lower 0 t.n;
+    s_upper = Array.sub t.upper 0 t.n;
+    s_beta = Array.sub t.beta 0 t.n;
+    s_names = Hashtbl.copy t.names;
+    s_memo = Hashtbl.copy t.slack_memo;
+    s_triv = t.trivially_unsat;
+    s_trail = t.trail;
+  }
+
+let restore t (s : snapshot) =
+  (* Clear slots allocated since the checkpoint so reallocation starts
+     from clean state, then reinstate the saved prefix (pivots inside
+     the scope may have rewritten outer rows). *)
+  for x = s.s_n to t.n - 1 do
+    t.rows.(x) <- [];
+    t.is_basic.(x) <- false;
+    t.lower.(x) <- None;
+    t.upper.(x) <- None;
+    t.beta.(x) <- Dq.zero
+  done;
+  Array.blit s.s_rows 0 t.rows 0 s.s_n;
+  Array.blit s.s_is_basic 0 t.is_basic 0 s.s_n;
+  Array.blit s.s_lower 0 t.lower 0 s.s_n;
+  Array.blit s.s_upper 0 t.upper 0 s.s_n;
+  Array.blit s.s_beta 0 t.beta 0 s.s_n;
+  t.n <- s.s_n;
+  Hashtbl.reset t.names;
+  Hashtbl.iter (Hashtbl.add t.names) s.s_names;
+  Hashtbl.reset t.slack_memo;
+  Hashtbl.iter (Hashtbl.add t.slack_memo) s.s_memo;
+  t.trivially_unsat <- s.s_triv;
+  t.trail <- s.s_trail
+
+let row_coeff row y =
+  match List.assoc_opt y row with Some c -> c | None -> Q.zero
+
+(** [add_scaled base c extra] is the linear combination
+    [base + c·extra] as an association list without zero entries. *)
+let add_scaled base c extra =
+  List.fold_left
+    (fun acc (z, cz) ->
+      let cz = Q.mul c cz in
+      let merged = Q.add (row_coeff acc z) cz in
+      let acc = List.filter (fun (w, _) -> w <> z) acc in
+      if Q.equal merged Q.zero then acc else (z, merged) :: acc)
+    base extra
+
+(** The tableau row [s = e] for a slack [s]; memoized per expression so
+    sessions that re-assert the same expression after a pop reuse the
+    existing row instead of growing the tableau.
+
+    In a persistent tableau the basis may have pivoted before a new
+    constraint arrives, so variables of [e] can be {e basic}; they are
+    expanded through their defining rows to keep every row expressed
+    over nonbasics — the invariant pivoting relies on. (The one-shot
+    solver never hit this: all asserts preceded the first pivot.) *)
 let slack_for t (e : Linexp.t) =
-  let s = fresh_var t in
-  t.is_basic.(s) <- true;
-  t.rows.(s) <- Smap.bindings e |> List.map (fun (x, c) -> (var_of_name t x, c));
-  s
+  let key = Smap.bindings e in
+  match Hashtbl.find_opt t.slack_memo key with
+  | Some s -> s
+  | None ->
+      let s = fresh_var t in
+      let row =
+        List.fold_left
+          (fun acc (x, c) ->
+            let x = var_of_name t x in
+            if t.is_basic.(x) then add_scaled acc c t.rows.(x)
+            else add_scaled acc c [ (x, Q.one) ])
+          [] key
+      in
+      t.is_basic.(s) <- true;
+      t.rows.(s) <- row;
+      Hashtbl.add t.slack_memo key s;
+      s
 
 (** Assert [e ⋈ k]. Single-variable expressions bound the variable
     directly; general expressions go through a slack variable. *)
@@ -137,7 +292,7 @@ let assert_atom t (e : Linexp.t) (op : op) (k : Q.t) =
       | Gt -> Q.gt Q.zero k
       | Eq -> Q.equal Q.zero k
     in
-    if not holds then t.trivially_unsat <- true
+    if not holds then set_trivially_unsat t
   end
   else begin
     let x, unit_coeff =
@@ -186,7 +341,7 @@ let assert_atom t (e : Linexp.t) (op : op) (k : Q.t) =
             tighten_lower t target (Dq.of_q k);
             tighten_upper t target (Dq.of_q k)
           end
-          else t.trivially_unsat <- true
+          else set_trivially_unsat t
     else
       match op with
       | Le -> tighten_upper t target (Dq.of_q k)
@@ -200,9 +355,6 @@ let assert_atom t (e : Linexp.t) (op : op) (k : Q.t) =
 
 (* ------------------------------------------------------------------ *)
 (* The simplex core *)
-
-let row_coeff row y =
-  match List.assoc_opt y row with Some c -> c | None -> Q.zero
 
 (** Recompute β for basic variables from nonbasic assignments. *)
 let recompute_basics t =
@@ -228,17 +380,6 @@ let init_assignment t =
 let out_of_bounds t x =
   (match t.lower.(x) with Some l -> Dq.lt t.beta.(x) l | None -> false)
   || match t.upper.(x) with Some u -> Dq.lt u t.beta.(x) | None -> false
-
-(** [add_scaled base c extra] is the linear combination
-    [base + c·extra] as an association list without zero entries. *)
-let add_scaled base c extra =
-  List.fold_left
-    (fun acc (z, cz) ->
-      let cz = Q.mul c cz in
-      let merged = Q.add (row_coeff acc z) cz in
-      let acc = List.filter (fun (w, _) -> w <> z) acc in
-      if Q.equal merged Q.zero then acc else (z, merged) :: acc)
-    base extra
 
 (** Pivot basic [x] with nonbasic [y] (occurring in x's row) and move
     β(x) to [v], adjusting β(y) so all rows stay satisfied. *)
@@ -376,18 +517,6 @@ let concrete_model t =
       let b = t.beta.(x) in
       Q.add b.Dq.v (Q.mul b.Dq.d d))
 
-let copy t =
-  {
-    n = t.n;
-    names = Hashtbl.copy t.names;
-    rows = Array.copy t.rows;
-    is_basic = Array.copy t.is_basic;
-    lower = Array.copy t.lower;
-    upper = Array.copy t.upper;
-    beta = Array.copy t.beta;
-    trivially_unsat = t.trivially_unsat;
-  }
-
 type int_result = IModel of int Smap.t | IUnsat | IUnknown
 
 (** Integer feasibility by branch-and-bound on the named (problem)
@@ -395,10 +524,14 @@ type int_result = IModel of int Smap.t | IUnsat | IUnknown
     variables forces integrality of slacks, so branching on problem
     variables is complete. Running out of [fuel] reports [IUnknown] —
     never silently [IUnsat], since the caller uses unsatisfiability to
-    claim entailments. *)
+    claim entailments.
+
+    Branches are explored by tightening a bound under {!push} and
+    undoing it with {!pop}, so the caller's bounds are intact on
+    return (the basis may have moved, which is semantics-preserving). *)
 let check_int ?(fuel = 10_000) t : int_result =
   let fuel = ref fuel in
-  let rec go t =
+  let rec go () =
     if !fuel <= 0 then IUnknown
     else begin
       decr fuel;
@@ -420,13 +553,22 @@ let check_int ?(fuel = 10_000) t : int_result =
                 t.names;
               IModel !m
           | Some (_, id, q) -> (
-              let low = copy t and high = copy t in
-              tighten_upper low id (Dq.of_q (Q.of_int (Q.floor q)));
-              tighten_lower high id (Dq.of_q (Q.of_int (Q.ceil q)));
-              match go low with
+              let branch bound =
+                push t;
+                bound ();
+                let r = go () in
+                pop t;
+                r
+              in
+              match
+                branch (fun () ->
+                    tighten_upper t id (Dq.of_q (Q.of_int (Q.floor q))))
+              with
               | IModel m -> IModel m
-              | IUnsat -> go high
+              | IUnsat ->
+                  branch (fun () ->
+                      tighten_lower t id (Dq.of_q (Q.of_int (Q.ceil q))))
               | IUnknown -> IUnknown))
     end
   in
-  go t
+  go ()

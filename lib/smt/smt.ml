@@ -4,7 +4,8 @@
     stand-in for Z3 in the paper's toolchain): {!Sat} is a CDCL SAT
     core, {!Cc} congruence closure, {!Simplex} a branch-and-bound
     general simplex, {!Theory} the combination, {!Solver} the lazy
-    CDCL(T) loop, and {!Term} the input language. *)
+    CDCL(T) loop, {!Session} persistent incremental entailment on top
+    of it, and {!Term} the input language. *)
 
 module Sort = Sort
 module Term = Term
@@ -13,4 +14,5 @@ module Cc = Cc
 module Simplex = Simplex
 module Theory = Theory
 module Solver = Solver
+module Session = Session
 module Stats = Stats

@@ -162,21 +162,71 @@ and encode enc (t : Term.t) : Sat.lit =
 (* ------------------------------------------------------------------ *)
 (* Theory interaction *)
 
-let theory_check ?eq_budget (lits : Theory.atom list) : Theory.result =
-  let st = Theory.create () in
-  match List.iter (Theory.assert_literal st) lits with
-  | () -> Theory.check ?eq_budget st
+(* Read once per process instead of once per theory conflict. *)
+let debug = lazy (Sys.getenv_opt "SMT_DEBUG" <> None)
+
+(** A persistent theory stack: one {!Theory.state} kept alive across
+    lazy-loop rounds and minimization probes, with each asserted
+    literal in its own push frame. {!sync} re-points the stack at a new
+    literal sequence by popping down to the longest common prefix and
+    asserting only the suffix — candidate models from consecutive
+    rounds (and consecutive deletion probes) agree on long prefixes, so
+    most literals are never re-purified or re-asserted. *)
+type tstack = { tstate : Theory.state; mutable asserted : Theory.atom list }
+
+let tstack_create () = { tstate = Theory.create (); asserted = [] }
+
+(* Physical term equality suffices: the lazy loop and the minimizer
+   rebuild literal lists from the same interned atom terms. A false
+   negative only costs a pop/re-assert, never correctness. *)
+let same_atom (a : Theory.atom) (b : Theory.atom) =
+  a == b || (a.Theory.term == b.Theory.term && a.Theory.pos = b.Theory.pos)
+
+let sync ts (lits : Theory.atom list) =
+  let rec lcp n olds news =
+    match (olds, news) with
+    | o :: os, l :: ls when same_atom o l -> lcp (n + 1) os ls
+    | _ -> n
+  in
+  let k = lcp 0 ts.asserted lits in
+  for _ = 1 to List.length ts.asserted - k do
+    Theory.pop ts.tstate
+  done;
+  let kept = Stdx.Listx.take k ts.asserted in
+  ts.asserted <- kept;
+  let rec grow acc = function
+    | [] -> ts.asserted <- kept @ List.rev acc
+    | l :: rest -> (
+        Theory.push ts.tstate;
+        match Theory.assert_literal ts.tstate l with
+        | () -> grow (l :: acc) rest
+        | exception e ->
+            Theory.pop ts.tstate;
+            ts.asserted <- kept @ List.rev acc;
+            raise e)
+  in
+  grow [] (Stdx.Listx.drop k lits)
+
+(** Check a literal sequence against the persistent stack. The check
+    itself runs under a checkpoint ({!Theory.check_scoped}), so the
+    synced literals remain reusable for the next round or probe. *)
+let theory_check ?eq_budget ts (lits : Theory.atom list) : Theory.result =
+  match sync ts lits with
+  | () -> Theory.check_scoped ?eq_budget ts.tstate
   | exception Invalid_argument _ -> Theory.Unknown
 
 (** Unsat-core minimization by chunked deletion: first try dropping
     whole blocks (an eighth of the literals at a time), then refine the
     survivors one by one. Cost is O(k + n/k) theory checks, which pays
     for itself many times over in avoided blocking-clause enumeration
-    (see ablation A2 in the benchmarks). *)
-let minimize_core (lits : Theory.atom list) : Theory.atom list =
+    (see ablation A2 in the benchmarks). Probes run as push/pop
+    deletions against the caller's persistent stack — consecutive
+    probes share their kept-prefix, so each probe re-asserts only the
+    tail it actually varies. *)
+let minimize_core ts (lits : Theory.atom list) : Theory.atom list =
   (* Minimization only trusts Unsat, so the cheap bounded-propagation
      theory check suffices: a spurious Sat just keeps a literal. *)
-  let check lits = theory_check ~eq_budget:8 lits in
+  let check lits = theory_check ~eq_budget:8 ts lits in
   let drop_block kept rest block =
     let remaining = List.filter (fun l -> not (List.memq l block)) rest in
     match check (kept @ remaining) with
@@ -197,7 +247,7 @@ let minimize_core (lits : Theory.atom list) : Theory.atom list =
     | l :: rest -> (
         match check (kept @ rest) with
         | Theory.Unsat -> singles kept rest
-        | _ -> singles (l :: kept) rest)
+        | _ -> singles (kept @ [ l ]) rest)
   in
   let n = List.length lits in
   let coarse = if n > 12 then blocks [] lits (max 4 (n / 8)) else lits in
@@ -259,6 +309,10 @@ let check_sat_uncached ~max_rounds ~minimize
     in
     if not ok then Unsat
     else begin
+      (* One theory state for the whole query: each round asserts only
+         the literals on which the new candidate model differs from the
+         previous one (see {!sync}). *)
+      let ts = tstack_create () in
       let result = ref None in
       let rounds = ref 0 in
       while !result = None do
@@ -275,7 +329,7 @@ let check_sat_uncached ~max_rounds ~minimize
                     Some { Theory.term = atom; pos = Sat.model_value enc.sat v })
                   enc.atoms
               in
-              match theory_check lits with
+              match theory_check ts lits with
               | Theory.Sat m ->
                   let bools =
                     List.fold_left
@@ -292,8 +346,10 @@ let check_sat_uncached ~max_rounds ~minimize
                   result := Some (Sat { ints; bools })
               | Theory.Unknown -> result := Some Unknown
               | Theory.Unsat ->
-                  let core = if minimize then minimize_core lits else lits in
-                  (if Sys.getenv_opt "SMT_DEBUG" <> None then
+                  let core =
+                    if minimize then minimize_core ts lits else lits
+                  in
+                  (if Lazy.force debug then
                      Fmt.epr "core(%d): %a@." (List.length core)
                        (Fmt.list ~sep:Fmt.comma (fun ppf (a : Theory.atom) ->
                             Fmt.pf ppf "%s%a" (if a.Theory.pos then "" else "¬")
@@ -365,3 +421,18 @@ let entails ?(hyps = []) (goal : Term.t) : verdict =
 
 let entails_bool ?hyps goal =
   match entails ?hyps goal with Valid -> true | _ -> false
+
+(** Entailment through the full one-shot pipeline but bypassing the VC
+    cache. {!Session} falls back to this when a goal leaves the
+    convex-literal fragment its live theory state can decide; caching
+    those fallbacks would double-count them against the cache's
+    hit-rate accounting and key them on context the session already
+    holds. *)
+let entails_uncached ?(hyps = []) (goal : Term.t) : verdict =
+  match Term.and_ (hyps @ [ Term.not_ goal ]) with
+  | Term.False -> Valid
+  | t -> (
+      match check_sat_uncached ~max_rounds:5_000 ~minimize:true [ t ] with
+      | Unsat -> Valid
+      | Sat m -> Invalid m
+      | Unknown -> Undecided)

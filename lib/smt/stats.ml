@@ -21,6 +21,14 @@ type t = {
   mutable euf_checks : int;  (** congruence-closure invocations *)
   mutable blocking_clauses : int;
   mutable eq_propagations : int;  (** cross-theory equalities *)
+  mutable combination_timeouts : int;
+      (** combination-loop fuel or eq-budget exhaustions — each one is a
+          potentially incomplete answer that used to be visible only
+          under SMT_DEBUG *)
+  mutable session_checks : int;  (** incremental [Session.check_goal] calls *)
+  mutable session_fallbacks : int;
+      (** session checks outside the convex-literal fragment, re-solved
+          through the full one-shot pipeline *)
   mutable solve_ms : float;  (** wall-clock time inside [check_sat] *)
 }
 
@@ -35,6 +43,9 @@ let create () =
     euf_checks = 0;
     blocking_clauses = 0;
     eq_propagations = 0;
+    combination_timeouts = 0;
+    session_checks = 0;
+    session_fallbacks = 0;
     solve_ms = 0.0;
   }
 
@@ -54,6 +65,9 @@ let reset () =
   s.euf_checks <- 0;
   s.blocking_clauses <- 0;
   s.eq_propagations <- 0;
+  s.combination_timeouts <- 0;
+  s.session_checks <- 0;
+  s.session_fallbacks <- 0;
   s.solve_ms <- 0.0
 
 let copy s = { s with queries = s.queries }
@@ -72,6 +86,9 @@ let diff a b =
     euf_checks = a.euf_checks - b.euf_checks;
     blocking_clauses = a.blocking_clauses - b.blocking_clauses;
     eq_propagations = a.eq_propagations - b.eq_propagations;
+    combination_timeouts = a.combination_timeouts - b.combination_timeouts;
+    session_checks = a.session_checks - b.session_checks;
+    session_fallbacks = a.session_fallbacks - b.session_fallbacks;
     solve_ms = a.solve_ms -. b.solve_ms;
   }
 
@@ -87,12 +104,16 @@ let sum a b =
     euf_checks = a.euf_checks + b.euf_checks;
     blocking_clauses = a.blocking_clauses + b.blocking_clauses;
     eq_propagations = a.eq_propagations + b.eq_propagations;
+    combination_timeouts = a.combination_timeouts + b.combination_timeouts;
+    session_checks = a.session_checks + b.session_checks;
+    session_fallbacks = a.session_fallbacks + b.session_fallbacks;
     solve_ms = a.solve_ms +. b.solve_ms;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "queries=%d conflicts=%d decisions=%d theory=%d lia=%d euf=%d blocked=%d \
-     eqprop=%d solve=%.1fms"
+     eqprop=%d timeouts=%d session=%d/%d solve=%.1fms"
     s.queries s.sat_conflicts s.sat_decisions s.theory_checks s.lia_checks
-    s.euf_checks s.blocking_clauses s.eq_propagations s.solve_ms
+    s.euf_checks s.blocking_clauses s.eq_propagations s.combination_timeouts
+    s.session_checks s.session_fallbacks s.solve_ms

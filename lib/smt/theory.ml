@@ -14,7 +14,15 @@
     The combination loop alternates the two solvers, propagating
     variable equalities until a fixed point — a model-guided,
     entailment-checked version of Nelson–Oppen for the convex/ish
-    fragment our verification conditions live in. *)
+    fragment our verification conditions live in.
+
+    The state is {e backtrackable}: {!push}/{!pop} checkpoint and
+    restore the congruence closure, the simplex, and the purification
+    bookkeeping (shared variables, proxies, propagated equalities), so
+    a caller can keep one state alive and assert/retract literals
+    incrementally. {!check} mutates the state (propagated equalities,
+    CC merges); callers that need the state back afterwards use
+    {!check_scoped}. *)
 
 open Stdx
 
@@ -22,17 +30,30 @@ type atom = { term : Term.t; pos : bool }
 
 type result = Sat of int Smap.t | Unsat | Unknown
 
+(* Read once per process instead of per conflict-loop iteration; the
+   environment does not change under the solver. *)
+let debug = lazy (Sys.getenv_opt "SMT_DEBUG" <> None)
+
+type undo =
+  | Mark
+  | Unshare of string * int  (** remove a shared-variable registration *)
+  | Unpropagate of string * string  (** forget a propagated EUF→LIA equality *)
+
 type state = {
   cc : Cc.t;
-  mutable lia : Simplex.t;
+  lia : Simplex.t;
   gensym : Gensym.t;
   (* proxy variable <-> congruence node for shared terms *)
-  mutable shared : (string * int) list;
-  mutable proxy_of_node : (int * string) list;
-  (* LIA equalities implied by EUF already propagated *)
-  mutable propagated : (string * string) list;
+  shared : (string, int) Hashtbl.t;
+  proxy_of_node : (int, string) Hashtbl.t;
+  (* LIA equalities implied by EUF already asserted, as canonical
+     (min, max) name pairs *)
+  propagated : (string * string, unit) Hashtbl.t;
   node_true : int;
   node_false : int;
+  mutable trail : undo list;
+  mutable lia_snaps : Simplex.snapshot list;
+      (* simplex checkpoints for {!push_scoped} frames *)
 }
 
 let create () =
@@ -44,18 +65,73 @@ let create () =
     cc;
     lia = Simplex.create ();
     gensym = Gensym.create ~prefix:"%p" ();
-    shared = [];
-    proxy_of_node = [];
-    propagated = [];
+    shared = Hashtbl.create 32;
+    proxy_of_node = Hashtbl.create 32;
+    propagated = Hashtbl.create 32;
     node_true;
     node_false;
+    trail = [];
+    lia_snaps = [];
   }
 
 let share st name node =
-  if not (List.mem_assoc name st.shared) then begin
-    st.shared <- (name, node) :: st.shared;
-    st.proxy_of_node <- (node, name) :: st.proxy_of_node
+  if not (Hashtbl.mem st.shared name) then begin
+    Hashtbl.add st.shared name node;
+    Hashtbl.add st.proxy_of_node node name;
+    st.trail <- Unshare (name, node) :: st.trail
   end
+
+(* --------------------------------------------------------------- *)
+(* Backtracking *)
+
+let push st =
+  st.trail <- Mark :: st.trail;
+  Cc.push st.cc;
+  Simplex.push st.lia
+
+let unwind_trail st =
+  let rec undo () =
+    match st.trail with
+    | [] -> invalid_arg "Theory.pop: no matching push"
+    | Mark :: rest -> st.trail <- rest
+    | Unshare (name, node) :: rest ->
+        Hashtbl.remove st.shared name;
+        Hashtbl.remove st.proxy_of_node node;
+        st.trail <- rest;
+        undo ()
+    | Unpropagate (x, y) :: rest ->
+        Hashtbl.remove st.propagated (x, y);
+        st.trail <- rest;
+        undo ()
+  in
+  undo ()
+
+let pop st =
+  unwind_trail st;
+  Cc.pop st.cc;
+  Simplex.pop st.lia
+
+(** Scoped checkpoints for long-lived session states. {!push}/{!pop}
+    undo only bounds in the simplex — variables and rows allocated in
+    the scope persist, which is fine within a single query (the slack
+    memo makes re-assertion converge) but lets a session's tableau grow
+    by a few rows per discharged goal, forever. [push_scoped] takes a
+    full simplex snapshot so [pop_scoped] deallocates everything the
+    scope purified. Scoped and plain frames may nest, but each pop must
+    match its push's flavor. *)
+let push_scoped st =
+  st.trail <- Mark :: st.trail;
+  Cc.push st.cc;
+  st.lia_snaps <- Simplex.checkpoint st.lia :: st.lia_snaps
+
+let pop_scoped st =
+  unwind_trail st;
+  Cc.pop st.cc;
+  match st.lia_snaps with
+  | [] -> invalid_arg "Theory.pop_scoped: no matching push_scoped"
+  | s :: rest ->
+      Simplex.restore st.lia s;
+      st.lia_snaps <- rest
 
 (* --------------------------------------------------------------- *)
 (* Purification *)
@@ -143,7 +219,7 @@ and cc_app st f arg_nodes = Cc.alloc st.cc (Cc.Fapp (f, arg_nodes))
 (** [proxy_name st node] returns the LIA variable standing for the
     congruence node, minting one if needed. *)
 and proxy_name st node =
-  match List.assoc_opt node st.proxy_of_node with
+  match Hashtbl.find_opt st.proxy_of_node node with
   | Some name -> name
   | None ->
       let name = Gensym.fresh st.gensym in
@@ -192,19 +268,20 @@ let assert_literal st ({ term; pos } : atom) =
 (* The combination loop *)
 
 (** LIA entailment of [x = y] under the current constraints: UNSAT of
-    both strict separations. *)
-let lia_entails_eq st x y =
+    both strict separations, each probed under a push/pop instead of
+    copying the tableau. *)
+let lia_entails_eq stats st x y =
   let test op =
-    let s = Simplex.copy st.lia in
+    Simplex.push st.lia;
     let e =
       Simplex.Linexp.add_term x Q.one
         (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
     in
-    Simplex.assert_atom s e op Q.zero;
-    (Stats.current ()).lia_checks <- (Stats.current ()).lia_checks + 1;
-    match Simplex.check_rational s with
-    | Simplex.Unsat -> true
-    | Simplex.Sat -> false
+    Simplex.assert_atom st.lia e op Q.zero;
+    stats.Stats.lia_checks <- stats.Stats.lia_checks + 1;
+    let r = Simplex.check_rational st.lia in
+    Simplex.pop st.lia;
+    match r with Simplex.Unsat -> true | Simplex.Sat -> false
   in
   test Simplex.Lt && test Simplex.Gt
 
@@ -214,78 +291,154 @@ let lia_entails_eq st x y =
     entailment tests. With the default (unbounded) budget the check is
     complete for our fragment; with a small budget a [Sat] answer may
     be spurious, which is fine for callers (unsat-core minimization)
-    that only trust [Unsat]. *)
+    that only trust [Unsat]. Every incomplete exit — combination fuel
+    out, simplex branch-and-bound fuel out, or an eq-budget-starved
+    [Sat] — bumps [Stats.combination_timeouts] so incompleteness is
+    observable without [SMT_DEBUG]. *)
 let check ?(eq_budget = max_int) st : result =
+  let stats = Stats.current () in
   let eq_budget = ref eq_budget in
-  (Stats.current ()).theory_checks <- (Stats.current ()).theory_checks + 1;
+  let budget_hit = ref false in
+  stats.Stats.theory_checks <- stats.Stats.theory_checks + 1;
   (* Cross-theory propagation only concerns variables the arithmetic
      solver actually constrains; in pure-EUF problems the LIA state is
-     empty and the quadratic pair scan must not run at all. *)
+     empty and no propagation pass must run at all. *)
   let lia_relevant () =
-    List.filter (fun (x, _) -> Hashtbl.mem st.lia.Simplex.names x) st.shared
+    Hashtbl.fold
+      (fun x node acc ->
+        if Hashtbl.mem st.lia.Simplex.names x then (x, node) :: acc else acc)
+      st.shared []
   in
   let rec loop fuel =
-    if fuel <= 0 then (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: combination fuel out"; Unknown)
+    if fuel <= 0 then begin
+      stats.Stats.combination_timeouts <- stats.Stats.combination_timeouts + 1;
+      if Lazy.force debug then prerr_endline "DEBUG: combination fuel out";
+      Unknown
+    end
     else begin
-      (Stats.current ()).euf_checks <- (Stats.current ()).euf_checks + 1;
+      stats.Stats.euf_checks <- stats.Stats.euf_checks + 1;
       if not (Cc.consistent st.cc) then Unsat
       else begin
-        (* EUF → LIA: merged shared variables become LIA equalities. *)
-        let new_eqs = ref [] in
+        (* EUF → LIA: merged shared variables become LIA equalities.
+           Bucket the shared variables by congruence class and link
+           each class along a spanning tree anchored at its minimal
+           name — linear in the class size, instead of asserting (and
+           membership-testing) every quadratic pair. *)
         let shared = lia_relevant () in
-        List.iteri
-          (fun i (x, nx) ->
-            List.iteri
-              (fun j (y, ny) ->
-                if i < j && Cc.are_equal st.cc nx ny then
-                  let key = if x < y then (x, y) else (y, x) in
-                  if not (List.mem key st.propagated) then
-                    new_eqs := key :: !new_eqs)
-              shared)
-          shared;
+        let classes : (int, (string * int) list) Hashtbl.t =
+          Hashtbl.create 16
+        in
         List.iter
-          (fun (x, y) ->
-            st.propagated <- (x, y) :: st.propagated;
-            (Stats.current ()).eq_propagations <- (Stats.current ()).eq_propagations + 1;
-            let e =
-              Simplex.Linexp.add_term x Q.one
-                (Simplex.Linexp.add_term y Q.minus_one Simplex.Linexp.empty)
+          (fun (x, nx) ->
+            let r = Cc.find st.cc nx in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt classes r)
             in
-            Simplex.assert_atom st.lia e Simplex.Eq Q.zero)
-          !new_eqs;
-        (Stats.current ()).lia_checks <- (Stats.current ()).lia_checks + 1;
+            Hashtbl.replace classes r ((x, nx) :: prev))
+          shared;
+        Hashtbl.iter
+          (fun _ members ->
+            match List.sort compare members with
+            | [] | [ _ ] -> ()
+            | (anchor, _) :: rest ->
+                List.iter
+                  (fun (y, _) ->
+                    let key = (anchor, y) in
+                    if not (Hashtbl.mem st.propagated key) then begin
+                      Hashtbl.add st.propagated key ();
+                      st.trail <- Unpropagate (anchor, y) :: st.trail;
+                      stats.Stats.eq_propagations <-
+                        stats.Stats.eq_propagations + 1;
+                      let e =
+                        Simplex.Linexp.add_term anchor Q.one
+                          (Simplex.Linexp.add_term y Q.minus_one
+                             Simplex.Linexp.empty)
+                      in
+                      Simplex.assert_atom st.lia e Simplex.Eq Q.zero
+                    end)
+                  rest)
+          classes;
+        stats.Stats.lia_checks <- stats.Stats.lia_checks + 1;
         match Simplex.check_int st.lia with
         | Simplex.IUnsat -> Unsat
-        | Simplex.IUnknown -> (if Sys.getenv_opt "SMT_DEBUG" <> None then prerr_endline "DEBUG: check_int unknown"; Unknown)
+        | Simplex.IUnknown ->
+            stats.Stats.combination_timeouts <-
+              stats.Stats.combination_timeouts + 1;
+            if Lazy.force debug then prerr_endline "DEBUG: check_int unknown";
+            Unknown
         | Simplex.IModel m ->
             (* LIA → EUF: model-guided entailed equalities. Only pairs
-               the model already makes equal can be entailed. *)
-            let candidates =
-              Listx.all_pairs (lia_relevant ())
-              |> List.filter (fun ((x, nx), (y, ny)) ->
-                     (not (Cc.are_equal st.cc nx ny))
-                     &&
-                     match (Smap.find_opt x m, Smap.find_opt y m) with
-                     | Some vx, Some vy -> vx = vy
-                     | _ -> false)
+               the model already makes equal can be entailed, and
+               within a model-value bucket one representative per CC
+               class stands for its whole class (after the EUF→LIA
+               pass above, entailment is class-invariant). *)
+            let by_value : (int, (string * int) list) Hashtbl.t =
+              Hashtbl.create 16
             in
-            let merged = ref false in
             List.iter
-              (fun ((x, nx), (y, ny)) ->
-                if
-                  !eq_budget > 0
-                  && (not (Cc.are_equal st.cc nx ny))
-                  && (decr eq_budget;
-                      lia_entails_eq st x y)
-                then begin
-                  merged := true;
-                  (Stats.current ()).eq_propagations <-
-                    (Stats.current ()).eq_propagations + 1;
-                  Cc.assert_eq st.cc nx ny
-                end)
-              candidates;
-            if !merged then loop (fuel - 1) else Sat m
+              (fun (x, nx) ->
+                match Smap.find_opt x m with
+                | Some v ->
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt by_value v)
+                    in
+                    Hashtbl.replace by_value v ((x, nx) :: prev)
+                | None -> ())
+              (lia_relevant ());
+            let merged = ref false in
+            Hashtbl.iter
+              (fun _ members ->
+                (* One representative per congruence class: the member
+                   with the minimal name, for determinism. *)
+                let reps : (int, string * int) Hashtbl.t = Hashtbl.create 8 in
+                List.iter
+                  (fun (x, nx) ->
+                    let r = Cc.find st.cc nx in
+                    match Hashtbl.find_opt reps r with
+                    | Some (x', _) when x' <= x -> ()
+                    | _ -> Hashtbl.replace reps r (x, nx))
+                  members;
+                let rep_list =
+                  Hashtbl.fold (fun _ rep acc -> rep :: acc) reps []
+                  |> List.sort compare
+                in
+                List.iter
+                  (fun ((x, nx), (y, ny)) ->
+                    if not (Cc.are_equal st.cc nx ny) then begin
+                      if !eq_budget > 0 then begin
+                        decr eq_budget;
+                        if lia_entails_eq stats st x y then begin
+                          merged := true;
+                          stats.Stats.eq_propagations <-
+                            stats.Stats.eq_propagations + 1;
+                          Cc.assert_eq st.cc nx ny
+                        end
+                      end
+                      else budget_hit := true
+                    end)
+                  (Listx.all_pairs rep_list))
+              by_value;
+            if !merged then loop (fuel - 1)
+            else begin
+              if !budget_hit then
+                stats.Stats.combination_timeouts <-
+                  stats.Stats.combination_timeouts + 1;
+              Sat m
+            end
       end
     end
   in
   loop 64
+
+(** {!check} under a checkpoint: the state is exactly as before the
+    call when it returns, so callers holding a persistent session can
+    probe freely. *)
+let check_scoped ?eq_budget st : result =
+  push st;
+  match check ?eq_budget st with
+  | r ->
+      pop st;
+      r
+  | exception e ->
+      pop st;
+      raise e

@@ -341,10 +341,19 @@ type outcome = Verified | Failed of string
 
 (** Verify one procedure against its specification. [stats] is the
     {!Vstats} instance obligations are accounted to; each call gets a
-    private fresh one by default, so concurrent jobs never share. *)
+    private fresh one by default, so concurrent jobs never share.
+
+    Each procedure opens one incremental solver session
+    ({!Smt.Session}) that lives for the whole symbolic execution: path
+    conditions are pushed as execution descends and every obligation
+    ([entails], [feasible]) is discharged against the live context,
+    instead of shipping the full hypothesis list to a fresh solver per
+    query. Sessions are per-procedure (never shared across jobs), so
+    the parallel engine's workers stay isolated. *)
 let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
     outcome =
-  let st = create ~heap_dep ?stats ~penv:prog.preds () in
+  let session = Smt.Session.create () in
+  let st = create ~heap_dep ~session ?stats ~penv:prog.preds () in
   match
     inhale_cases st proc.requires
     |> List.iter (fun st ->

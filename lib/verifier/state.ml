@@ -20,17 +20,24 @@ type t = {
   gensym : Gensym.t;
   heap_dep : bool;  (** heap-dependent assertions enabled (A1 toggle) *)
   stats : Vstats.t;  (** instance this run accumulates into *)
+  session : Smt.Session.t;
+      (** the procedure's incremental solver session, shared (mutably)
+          by every branch state forked from this one — see {!entails} *)
   pures : T.t list;  (** path condition; always heap-read-free *)
   chunks : A.t list;  (** Points_to / Ghost / Pred *)
 }
 
-let create ?(heap_dep = true) ?(penv = Smap.empty) ?stats () =
+let create ?(heap_dep = true) ?(penv = Smap.empty) ?session ?stats () =
   let stats = match stats with Some s -> s | None -> Vstats.create () in
+  let session =
+    match session with Some s -> s | None -> Smt.Session.create ()
+  in
   {
     penv;
     gensym = Gensym.create ~prefix:"v" ();
     heap_dep;
     stats;
+    session;
     pures = [];
     chunks = [];
   }
@@ -40,18 +47,31 @@ let fresh ?hint st = Gensym.fresh ?hint st.gensym
 let add_pure st phi = { st with pures = phi :: st.pures }
 let add_chunk st c = { st with chunks = c :: st.chunks }
 
+(* Re-point the procedure's session at this branch's path condition.
+   Branch states are functional copies sharing one mutable session;
+   [Session.sync] pops/pushes only the delta against the previously
+   synced branch, and since [pures] grows by prepending onto shared
+   sublists, sibling branches pay only for their differing suffix. *)
+let sync_session st = Smt.Session.sync st.session (List.rev st.pures)
+
 let entails st phi =
   st.stats.Vstats.obligations <- st.stats.Vstats.obligations + 1;
   T.equal phi T.tru
   || List.exists (T.equal phi) st.pures
   || (match phi with T.Eq (a, b) -> T.equal a b | _ -> false)
-  || Smt.Solver.entails_bool ~hyps:st.pures phi
+  || begin
+       sync_session st;
+       Smt.Session.check_goal_bool st.session phi
+     end
 
-(** Is the current path feasible? Used to prune dead branches. *)
+(** Is the current path feasible? Used to prune dead branches: the path
+    condition is infeasible exactly when the live context entails
+    [False]. *)
 let feasible st =
-  match Smt.Solver.check_sat st.pures with
-  | Smt.Solver.Unsat -> false
-  | _ -> true
+  sync_session st;
+  match Smt.Session.check_goal st.session T.fls with
+  | Smt.Solver.Valid -> false
+  | Smt.Solver.Invalid _ | Smt.Solver.Undecided -> true
 
 (* ------------------------------------------------------------------ *)
 (* Heap reads *)

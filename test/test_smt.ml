@@ -342,6 +342,194 @@ let cc_random =
               (fun i -> List.map (fun j -> (i, j)) [ 0; 1; 2; 3; 4 ])
               [ 0; 1; 2; 3; 4 ])))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions *)
+
+let verdict_kind = function
+  | Solver.Valid -> "valid"
+  | Solver.Invalid _ -> "invalid"
+  | Solver.Undecided -> "undecided"
+
+(* Counter regressions: the representative-bucketed combination keeps
+   the euf-chain near-linear; pin the Stats counters so a quadratic
+   regression shows up as a count, not as a slow test. *)
+let test_euf_chain_counts () =
+  Stats.reset ();
+  (match Solver.check_sat (Suite.Generators.euf_chain 24) with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "euf-chain must be unsat");
+  let s = Stats.snapshot () in
+  Alcotest.(check int) "one query" 1 s.Stats.queries;
+  Alcotest.(check int) "no combination timeouts" 0 s.Stats.combination_timeouts;
+  (* Theory checks include the core-minimization deletion probes, which
+     are linear in the chain length (one pass of drops plus retries); a
+     quadratic combination would push this into the hundreds. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "theory checks linear (got %d)" s.Stats.theory_checks)
+    true
+    (s.Stats.theory_checks <= 4 * 24);
+  (* Equality propagation must stay linear in the chain length {e per
+     check}: the anchor-chain scheme propagates at most one equality
+     per class member, where the old all-pairs scan produced ~k²/2. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "eq propagations linear per check (got %d over %d checks)"
+       s.Stats.eq_propagations s.Stats.theory_checks)
+    true
+    (s.Stats.eq_propagations <= s.Stats.theory_checks * 24)
+
+let test_pigeonhole_counts () =
+  Stats.reset ();
+  (match Solver.check_sat (Suite.Generators.pigeonhole 4) with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole must be unsat");
+  let s = Stats.snapshot () in
+  Alcotest.(check int) "one query" 1 s.Stats.queries;
+  (* Purely propositional: the theory solver never sees a full model
+     (conflicts are found at the SAT level), and the conflict count is
+     what makes PHP(4) hard. *)
+  Alcotest.(check int) "no theory checks" 0 s.Stats.theory_checks;
+  Alcotest.(check bool) "sat conflicts happened" true (s.Stats.sat_conflicts > 0)
+
+let test_session_euf_chain () =
+  Stats.reset ();
+  let s = Session.create () in
+  let xi i = var (Printf.sprintf "x%d" i) in
+  List.iter
+    (fun i ->
+      Session.push s;
+      Session.assert_hyp s (eq (xi i) (xi (i + 1))))
+    (List.init 24 Fun.id);
+  let goal = eq (app "f" [ xi 0 ]) (app "f" [ xi 24 ]) in
+  (match Session.check_goal s goal with
+  | Solver.Valid -> ()
+  | v -> Alcotest.failf "chain goal should be valid, got %s" (verdict_kind v));
+  let st = Stats.snapshot () in
+  Alcotest.(check int) "one session check" 1 st.Stats.session_checks;
+  Alcotest.(check int) "no fallbacks" 0 st.Stats.session_fallbacks;
+  Alcotest.(check int) "no one-shot queries" 0 st.Stats.queries;
+  (* One check establishes the context model (cached thereafter); the
+     negated goal is a disequality between applications, so the session
+     probes its two strict branches — three theory checks total,
+     however long the chain. *)
+  Alcotest.(check int) "three theory checks" 3 st.Stats.theory_checks
+
+(* Pop-then-reassert: retracting a frame must actually retract its
+   facts, and re-asserting the same formula afterwards must reuse the
+   solver state correctly (slack memo, purification). *)
+let test_session_pop_reassert () =
+  let s = Session.create () in
+  let goal = gt (add x y) (int 1) in
+  let hyp = eq (add x y) (int 2) in
+  Alcotest.(check string) "unconstrained" "invalid"
+    (verdict_kind (Session.check_goal s goal));
+  Session.push s;
+  Session.assert_hyp s hyp;
+  Alcotest.(check string) "constrained" "valid"
+    (verdict_kind (Session.check_goal s goal));
+  Session.pop s;
+  Alcotest.(check string) "retracted" "invalid"
+    (verdict_kind (Session.check_goal s goal));
+  Session.push s;
+  Session.assert_hyp s hyp;
+  Alcotest.(check string) "re-asserted" "valid"
+    (verdict_kind (Session.check_goal s goal));
+  Session.pop s
+
+(* Differential: a session driven through a random push/pop/assert
+   interleaving must agree with the one-shot [Solver.entails] on every
+   check, with the hypotheses in scope at that point. Asserts landing
+   after pops exercise pop-then-reassert on shared solver state. *)
+type sess_op = SPush | SPop | SAssert of Term.t | SCheck of Term.t
+
+let pp_sess_op = function
+  | SPush -> "push"
+  | SPop -> "pop"
+  | SAssert t -> "assert " ^ Term.to_string t
+  | SCheck t -> "check " ^ Term.to_string t
+
+let gen_sess_ops : sess_op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        map Term.int (int_range (-3) 3);
+        map Term.var (oneofl [ "x"; "y"; "z" ]);
+      ]
+  in
+  let atom =
+    oneof [ base; map (fun t -> Term.app "f" [ t ]) base; map2 Term.add base base ]
+  in
+  let cmp =
+    oneof [ map2 Term.eq atom atom; map2 Term.le atom atom; map2 Term.lt atom atom ]
+  in
+  let lit = oneof [ cmp; map Term.not_ cmp ] in
+  let form =
+    (* conjunctions assert cleanly; disjunctions in goals exercise
+       [neg_atoms]; nested structure forces the fallback path *)
+    oneof
+      [
+        lit;
+        map2 (fun a b -> Term.and_ [ a; b ]) lit lit;
+        map2 (fun a b -> Term.or_ [ a; b ]) lit lit;
+        map2 (fun a b -> Term.or_ [ a; Term.and_ [ a; b ] ]) lit lit;
+      ]
+  in
+  let op =
+    frequency
+      [
+        (2, return SPush);
+        (2, return SPop);
+        (3, map (fun t -> SAssert t) form);
+        (4, map (fun t -> SCheck t) form);
+      ]
+  in
+  list_size (int_range 6 24) op
+
+let session_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"session-vs-oneshot" ~count:120
+       (QCheck.make
+          ~print:(fun ops -> String.concat "; " (List.map pp_sess_op ops))
+          gen_sess_ops)
+       (fun ops ->
+         let s = Session.create () in
+         (* mirror: stack of frames, each newest-first *)
+         let frames = ref [ [] ] in
+         let ok = ref true in
+         List.iter
+           (fun op ->
+             match op with
+             | SPush ->
+                 Session.push s;
+                 frames := [] :: !frames
+             | SPop -> (
+                 match !frames with
+                 | _ :: (_ :: _ as rest) ->
+                     Session.pop s;
+                     frames := rest
+                 | _ -> () (* no open frame: skip *))
+             | SAssert t -> (
+                 Session.assert_hyp s t;
+                 match !frames with
+                 | f :: rest -> frames := (t :: f) :: rest
+                 | [] -> assert false)
+             | SCheck g ->
+                 let hyps = List.rev (List.concat !frames) in
+                 let expect = Solver.entails ~hyps g in
+                 let got = Session.check_goal s g in
+                 if verdict_kind expect <> verdict_kind got then ok := false)
+           ops;
+         !ok))
+
+let session_cases =
+  [
+    Alcotest.test_case "euf-chain-counts" `Quick test_euf_chain_counts;
+    Alcotest.test_case "pigeonhole-counts" `Quick test_pigeonhole_counts;
+    Alcotest.test_case "session-euf-chain" `Quick test_session_euf_chain;
+    Alcotest.test_case "session-pop-reassert" `Quick test_session_pop_reassert;
+    session_differential;
+  ]
+
 let () =
   Alcotest.run "smt"
     [
@@ -357,4 +545,5 @@ let () =
       ("sat", [ Alcotest.test_case "units" `Quick test_sat ]);
       ("differential", [ differential; simplex_differential; cc_random ]);
       ("entails", entails_cases);
+      ("session", session_cases);
     ]

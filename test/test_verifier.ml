@@ -37,6 +37,26 @@ let stable_variant_cases =
         e.stable_variant)
     Suite.Programs.all
 
+(* Session vs one-shot: routing every obligation through the cached
+   one-shot pipeline (the pre-session verifier) must produce verdicts
+   bit-identical to the incremental sessions, on positive and
+   expect_fail entries alike — including the failure messages. *)
+let test_session_oneshot_identical () =
+  List.iter
+    (fun (e : Suite.Programs.entry) ->
+      let incremental = V.verify e.prog in
+      Smt.Session.oneshot := true;
+      let oneshot =
+        Fun.protect
+          ~finally:(fun () -> Smt.Session.oneshot := false)
+          (fun () -> V.verify e.prog)
+      in
+      Alcotest.(check bool)
+        (e.name ^ ": session ≡ one-shot")
+        true
+        (incremental = oneshot))
+    Suite.Programs.all
+
 let test_heap_dep_toggle () =
   (* The hd spec must be rejected with heap_dep:false, and the stable
      variant must still pass. *)
@@ -219,6 +239,11 @@ let () =
     [
       ("suite", suite_cases);
       ("stable-variants", stable_variant_cases);
+      ( "sessions",
+        [
+          Alcotest.test_case "session-oneshot-identical" `Quick
+            test_session_oneshot_identical;
+        ] );
       ( "destabilization",
         [
           Alcotest.test_case "heap-dep-toggle" `Quick test_heap_dep_toggle;
