@@ -387,6 +387,39 @@ let smt_incremental () =
     ks
 
 (* ------------------------------------------------------------------ *)
+(* A3: static-analysis overhead — lint cost next to solver cost *)
+
+let lint_overhead () =
+  printf "\n== Ablation A3: static-analysis (lint) overhead ==\n";
+  printf "%-14s | %9s %9s %8s | %6s %6s\n" "program" "lint(ms)"
+    "verify(ms)" "lint/ver" "diags" "errors";
+  printf "%s\n" (String.make 62 '-');
+  let total_lint = ref 0.0 and total_verify = ref 0.0 in
+  List.iter
+    (fun (e : Pr.entry) ->
+      (* Best of 5: a single lint pass is microseconds and scheduler
+         noise would swamp the ratio. *)
+      let tl = ref infinity and ds = ref [] in
+      for _ = 1 to 5 do
+        let d, t = time (fun () -> Analysis.analyze_program ~name:e.name e.prog) in
+        if t < !tl then tl := t;
+        ds := d
+      done;
+      let _, tv, _, _ = run_verifier e.prog in
+      total_lint := !total_lint +. !tl;
+      total_verify := !total_verify +. tv;
+      printf "%-14s | %9.3f %9.1f %7.4f%% | %6d %6d\n" e.name (ms !tl)
+        (ms tv)
+        (100.0 *. !tl /. tv)
+        (List.length !ds)
+        (List.length (Diag.errors !ds)))
+    Pr.positive;
+  printf "%s\n" (String.make 62 '-');
+  printf "%-14s | %9.3f %9.1f %7.4f%%\n" "total" (ms !total_lint)
+    (ms !total_verify)
+    (100.0 *. !total_lint /. !total_verify)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let micro () =
@@ -445,6 +478,7 @@ let experiments =
     ("ablation_cores", ablation_cores);
     ("engine_scaling", engine_scaling);
     ("smt_incremental", smt_incremental);
+    ("lint_overhead", lint_overhead);
     ("micro", micro);
   ]
 

@@ -2,6 +2,7 @@
 
     - [daenerys suite -j N]      verify the whole benchmark suite
     - [daenerys verify NAME]     verify one suite entry (verbose)
+    - [daenerys lint [NAME…]]    static analysis only, no solver
     - [daenerys run NAME]        execute a suite program concretely
     - [daenerys list]            list suite entries
 
@@ -9,7 +10,13 @@
     [-j 1] is the same job pipeline on one domain, so parallel and
     sequential runs are comparable by construction. Timing is
     wall-clock ([Unix.gettimeofday]) — CPU time ([Sys.time]) would
-    over-report under parallelism by summing across domains. *)
+    over-report under parallelism by summing across domains.
+
+    [lint] (and the [--lint] gate on [suite]/[verify]) runs the
+    pre-verification static analyzer of [lib/analysis]: spec
+    well-formedness, stability explanations with ⌊·⌋ suggestions, and
+    the per-branch frame lint — exit status 1 on any error-severity
+    diagnostic. *)
 
 module A = Baselogic.Assertion
 module T = Smt.Term
@@ -22,8 +29,14 @@ open Cmdliner
 let find_entry name =
   List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
 
-let config ~jobs ~no_cache =
-  { E.default_config with E.domains = max 1 jobs; cache = not no_cache }
+let config ~jobs ~no_cache ~lint =
+  { E.default_config with E.domains = max 1 jobs; cache = not no_cache; lint }
+
+(** Print per-program lint findings (skipping clean programs). *)
+let print_lint_findings results =
+  List.iter
+    (fun (_, ds) -> if ds <> [] then Fmt.pr "%a@." Diag.pp_list ds)
+    results
 
 (** Print one entry's verdict line; true iff it behaved as expected. *)
 let report_entry (e : Pr.entry) (g : E.group_result) =
@@ -51,16 +64,25 @@ let no_cache_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print the engine stats block.")
 
+let lint_flag =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the static analyzer before verification; programs with \
+           error-severity diagnostics fail without touching the solver.")
+
 let suite_cmd =
   let doc = "Verify every program in the benchmark suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const (fun jobs no_cache stats ->
+      const (fun jobs no_cache stats lint ->
           let report =
             E.verify_programs
-              ~config:(config ~jobs ~no_cache)
+              ~config:(config ~jobs ~no_cache ~lint)
               (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
           in
+          if lint then print_lint_findings report.E.lint;
           let ok =
             List.fold_left2
               (fun acc e g -> report_entry e g && acc)
@@ -72,7 +94,7 @@ let suite_cmd =
             (if no_cache then "off" else "on");
           if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
           if ok then `Ok () else `Error (false, "some entries misbehaved"))
-      $ jobs_arg $ no_cache_arg $ stats_arg
+      $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag
       |> ret)
 
 let name_arg =
@@ -82,14 +104,15 @@ let verify_cmd =
   let doc = "Verify one suite entry, with statistics." in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const (fun name jobs no_cache ->
+      const (fun name jobs no_cache lint ->
           match find_entry name with
           | Some e ->
               let report =
                 E.verify_program
-                  ~config:(config ~jobs ~no_cache)
+                  ~config:(config ~jobs ~no_cache ~lint)
                   ~name:e.name e.prog
               in
+              if lint then print_lint_findings report.E.lint;
               let g = List.hd report.E.groups in
               let ok = report_entry e g in
               List.iter
@@ -102,7 +125,112 @@ let verify_cmd =
               if ok then `Ok ()
               else `Error (false, "verification misbehaved")
           | None -> `Error (false, "unknown entry " ^ name))
-      $ name_arg $ jobs_arg $ no_cache_arg
+      $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag
+      |> ret)
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_targets () =
+  List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all
+  @ Suite.Examples.all
+
+let lint_cmd =
+  let doc =
+    "Run the pre-verification static analyzer (no solver). Lints the \
+     whole suite and the example programs by default, or just the \
+     named entries; exits 1 on any error-severity diagnostic."
+  in
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let ill_formed_arg =
+    Arg.(
+      value & flag
+      & info [ "ill-formed" ]
+          ~doc:
+            "Lint the negative suite of deliberately ill-formed \
+             programs instead, checking each produces its expected \
+             diagnostic codes.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const (fun names jobs json ill_formed stats ->
+          if ill_formed then begin
+            (* Expectation check over the lint-negative suite. *)
+            let failures = ref 0 in
+            List.iter
+              (fun (c : Suite.Ill_formed.case) ->
+                let ds =
+                  Analysis.analyze_program ~name:c.Suite.Ill_formed.name
+                    c.Suite.Ill_formed.prog
+                in
+                let got = List.map (fun d -> d.Diag.code) ds in
+                let missing =
+                  List.filter
+                    (fun code -> not (List.mem code got))
+                    c.Suite.Ill_formed.codes
+                in
+                if missing = [] then
+                  Fmt.pr "%-20s ok  [%s]@." c.Suite.Ill_formed.name
+                    (String.concat " " c.Suite.Ill_formed.codes)
+                else begin
+                  incr failures;
+                  Fmt.pr "%-20s MISSING [%s] — got:@.%a@."
+                    c.Suite.Ill_formed.name
+                    (String.concat " " missing)
+                    Diag.pp_list ds
+                end)
+              Suite.Ill_formed.all;
+            if !failures = 0 then `Ok ()
+            else
+              `Error
+                ( false,
+                  Printf.sprintf "%d ill-formed case(s) missed their codes"
+                    !failures )
+          end
+          else
+            let targets =
+              match names with
+              | [] -> Ok (lint_targets ())
+              | ns ->
+                  let all = lint_targets () in
+                  let rec pick acc = function
+                    | [] -> Ok (List.rev acc)
+                    | n :: rest -> (
+                        match List.assoc_opt n all with
+                        | Some p -> pick ((n, p) :: acc) rest
+                        | None -> Error n)
+                  in
+                  pick [] ns
+            in
+            match targets with
+            | Error n -> `Error (false, "unknown entry " ^ n)
+            | Ok targets ->
+                let results, a =
+                  E.run_analysis ~domains:(max 1 jobs) targets
+                in
+                let all_ds = List.concat_map snd results in
+                if json then
+                  Fmt.pr "%s@." (Diag.list_to_json (Diag.sort all_ds))
+                else begin
+                  print_lint_findings results;
+                  Fmt.pr
+                    "lint: %d program(s), %d finding(s), %d error(s)@."
+                    a.E.a_programs a.E.a_diags a.E.a_errors
+                end;
+                if stats then
+                  Fmt.pr "analysis wall time: %.1fms on %d domain(s)@."
+                    a.E.a_wall_ms (max 1 jobs);
+                if Diag.has_errors all_ds then
+                  `Error (false, "error-severity diagnostics found")
+                else `Ok ())
+      $ names_arg $ jobs_arg $ json_arg $ ill_formed_arg $ stats_arg
       |> ret)
 
 let list_cmd =
@@ -164,4 +292,6 @@ let run_cmd =
 let () =
   let doc = "a destabilized separation-logic verifier" in
   let info = Cmd.info "daenerys" ~version:"0.1" ~doc in
-  exit (Cmd.eval (Cmd.group info [ suite_cmd; verify_cmd; list_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ suite_cmd; verify_cmd; lint_cmd; list_cmd; run_cmd ]))

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-1 gate: everything a PR must keep green.
 #   ./dev/check.sh
-# Runs the build, the full test suite, and a smoke run of the parallel
-# engine (2 worker domains, VC cache on) over the benchmark suite.
+# Runs the build, the full test suite, the static analyzer (suite +
+# examples must lint clean; the ill-formed suite must produce its
+# annotated codes), and a smoke run of the parallel engine (2 worker
+# domains, VC cache on, lint gate on) over the benchmark suite.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,8 +15,14 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== daenerys suite -j 2 (smoke) =="
-dune exec bin/daenerys.exe -- suite -j 2 --stats
+echo "== daenerys lint (suite + examples; fails on any error) =="
+dune exec bin/daenerys.exe -- lint --stats
+
+echo "== daenerys lint --ill-formed (negative-suite expectations) =="
+dune exec bin/daenerys.exe -- lint --ill-formed
+
+echo "== daenerys suite --lint -j 2 (smoke) =="
+dune exec bin/daenerys.exe -- suite --lint -j 2 --stats
 
 echo "== bench smoke: smt_incremental --quick =="
 dune exec bench/main.exe -- smt_incremental --quick

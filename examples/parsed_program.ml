@@ -7,49 +7,17 @@ module A = Baselogic.Assertion
 module T = Smt.Term
 module HL = Heaplang.Ast
 module V = Verifier.Exec
-open Stdx
 
-let src =
-  {|
-  (* absolute difference of the two cells, leaving both intact *)
-  let x = !?a in
-  let y = !?b in
-  if x < y then y - x else x - y
-|}
+(* The source, spec, and procedure live in the {!Suite.Examples}
+   registry (as [absdiff]), where [daenerys lint] sweeps them too. *)
+let src = Suite.Examples.absdiff_src
 
 let () =
   Fmt.pr "== parsed program ==@.source:%s@." src;
-  let body = Heaplang.Parser.parse_exn src in
+  let proc = Suite.Examples.absdiff_proc in
+  let body = proc.V.body in
   Fmt.pr "parsed:@.  @[%a@]@.@." HL.pp_expr body;
-  let proc =
-    {
-      V.pname = "absdiff";
-      params = [ "a"; "b"; "va"; "vb" ];
-      requires =
-        A.seps
-          [
-            A.points_to (T.var "a") (T.var "va");
-            A.points_to (T.var "b") (T.var "vb");
-          ];
-      ensures =
-        A.seps
-          [
-            A.points_to (T.var "a") (T.var "va");
-            A.points_to (T.var "b") (T.var "vb");
-            A.Pure (T.ge (T.var "result") (T.int 0));
-            A.Pure
-              (T.or_
-                 [
-                   T.eq (T.var "result") (T.sub (T.var "va") (T.var "vb"));
-                   T.eq (T.var "result") (T.sub (T.var "vb") (T.var "va"));
-                 ]);
-          ];
-      body;
-      invariants = [];
-      ghost = [];
-    }
-  in
-  (match V.verify_proc { V.procs = [ proc ]; preds = Smap.empty } proc with
+  (match V.verify_proc Suite.Examples.absdiff proc with
   | V.Verified -> Fmt.pr "verifier: VERIFIED@."
   | V.Failed m -> Fmt.pr "verifier: FAILED %s@." m);
   let closed =

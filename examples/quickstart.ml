@@ -13,39 +13,19 @@ module T = Smt.Term
 module HL = Heaplang.Ast
 module V = Verifier.Exec
 module P = Proofmode.Prove
-open Stdx
 
 (* The program: increment a cell twice.
 
      let x = !l in l <- x + 1;
      let y = !l in l <- y + 1;
-     !l                                                              *)
-let sym x = HL.Val (HL.Sym x)
+     !l
 
-let body =
-  HL.Let ("x", HL.Load (sym "l"),
-    HL.Let ("x1", HL.BinOp (HL.Add, HL.Var "x", HL.Val (HL.Int 1)),
-      HL.Seq (HL.Store (sym "l", HL.Var "x1"),
-        HL.Let ("y", HL.Load (sym "l"),
-          HL.Let ("y1", HL.BinOp (HL.Add, HL.Var "y", HL.Val (HL.Int 1)),
-            HL.Seq (HL.Store (sym "l", HL.Var "y1"),
-                    HL.Load (sym "l")))))))
-
-(* The spec, destabilized style: the postcondition reads the heap
-   directly — [!l = v0 + 2] — instead of naming the final value. *)
-let deref l = Baselogic.Hterm.deref (T.var l)
-
-let pre = A.points_to (T.var "l") (T.var "v0")
-
-let post =
-  A.Sep
-    ( A.Exists ("w", A.points_to (T.var "l") (T.var "w")),
-      A.Pure
-        (T.and_
-           [
-             T.eq (deref "l") (T.add (T.var "v0") (T.int 2));
-             T.eq (T.var "result") (T.add (T.var "v0") (T.int 2));
-           ]) )
+   The program, the destabilized spec ([!l = v0 + 2] reads the heap
+   directly), and the procedure all live in the {!Suite.Examples}
+   registry, where [daenerys lint] sweeps them too. *)
+let body = Suite.Examples.incr2_body
+let pre = Suite.Examples.incr2_pre
+let post = Suite.Examples.incr2_post
 
 let () =
   Fmt.pr "== quickstart: increment twice ==@.";
@@ -54,13 +34,10 @@ let () =
   Fmt.pr "post: %a@.@." A.pp post;
 
   (* 1. Automated verification. *)
-  let proc =
-    { V.pname = "incr2"; params = [ "l"; "v0" ]; requires = pre;
-      ensures = post; body; invariants = []; ghost = [] }
-  in
+  let proc = Suite.Examples.incr2_proc in
   let vstats = Verifier.Vstats.create () in
   Smt.Stats.reset ();
-  (match V.verify_proc ~stats:vstats { V.procs = [ proc ]; preds = Smap.empty } proc with
+  (match V.verify_proc ~stats:vstats Suite.Examples.incr2 proc with
   | V.Verified -> Fmt.pr "[auto]     VERIFIED (%d obligations, %d SMT queries)@."
                     vstats.Verifier.Vstats.obligations
                     (Smt.Stats.snapshot ()).Smt.Stats.queries

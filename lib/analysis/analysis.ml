@@ -1,0 +1,109 @@
+(** Pre-verification static analysis over a whole
+    {!Verifier.Exec.program}: spec well-formedness, stability
+    explanations, and the reachability/frame lint — everything that can
+    be diagnosed without touching the SMT solver.
+
+    The three passes and the diagnostics they emit (codes are stable;
+    the full table lives in {!Diag} and DESIGN.md):
+
+    - {!Wellformed} — name resolution and shape: DA001–DA010,
+      DA014–DA017;
+    - {!Stability} — {!Baselogic.Assertion.stable} as an explanation:
+      DA011 (which read escapes which footprint, with a suggested ⌊·⌋
+      placement) and DA012 (predicate bodies stable at declaration, the
+      check [assertion.ml]'s [Pred _ -> true] case assumes);
+    - {!Frame} — per-disjunct resolvability of heap reads: DA013.
+
+    [analyze_program] is pure and solver-free, so the engine runs it as
+    ordinary jobs on the domain pool before any verification job. A
+    program with no error-severity diagnostics cannot reach any
+    spec-shaped [fail] in the symbolic executor. *)
+
+module Diag = Diag
+module Stability = Stability
+module Wellformed = Wellformed
+module Frame = Frame
+
+open Stdx
+module A = Baselogic.Assertion
+module V = Verifier.Exec
+
+(** Stability diagnostics (DA011/DA012) for every spec site. *)
+let stability_diags ~unit_name (prog : V.program) : Diag.t list =
+  let preds =
+    Smap.bindings prog.V.preds
+    |> List.concat_map (fun (_, def) -> Stability.check_pred ~unit_name def)
+  in
+  let proc (p : V.proc) =
+    let loc site = Diag.loc ~unit_name (Diag.Proc p.V.pname) site in
+    Stability.check ~loc:(loc Diag.Requires) p.V.requires
+    @ Stability.check ~loc:(loc Diag.Ensures) p.V.ensures
+    @ List.concat
+        (List.mapi
+           (fun i (_, inv) ->
+             Stability.check ~loc:(loc (Diag.Invariant i)) inv)
+           p.V.invariants)
+    @ List.concat_map
+        (fun (key, cmds) ->
+          List.concat_map
+            (function
+              | V.AssertA a ->
+                  Stability.check ~loc:(loc (Diag.Ghost_block key)) a
+              | _ -> [])
+            cmds)
+        p.V.ghost
+  in
+  preds @ List.concat_map proc prog.V.procs
+
+(** Frame-lint diagnostics (DA013). Requires and invariants inhale
+    into chunk-free states, so uncovered reads there are errors;
+    ensures and ghost asserts are consumed against whatever the
+    execution owns, so those are warnings with the requires footprint
+    as ambient context. *)
+let frame_diags ~unit_name (prog : V.program) : Diag.t list =
+  let preds =
+    Smap.bindings prog.V.preds
+    |> List.concat_map (fun (_, def) ->
+           Frame.check
+             ~loc:
+               (Diag.loc ~unit_name (Diag.Pred def.A.pname) Diag.Pred_body)
+             ~severity:Diag.Warning def.A.body)
+  in
+  let proc (p : V.proc) =
+    let loc site = Diag.loc ~unit_name (Diag.Proc p.V.pname) site in
+    let ambient = A.footprint [] p.V.requires in
+    Frame.check ~loc:(loc Diag.Requires) ~severity:Diag.Error p.V.requires
+    @ Frame.check ~loc:(loc Diag.Ensures) ~severity:Diag.Warning ~ambient
+        p.V.ensures
+    @ List.concat
+        (List.mapi
+           (fun i (_, inv) ->
+             Frame.check
+               ~loc:(loc (Diag.Invariant i))
+               ~severity:Diag.Error inv)
+           p.V.invariants)
+    @ List.concat_map
+        (fun (key, cmds) ->
+          List.concat_map
+            (function
+              | V.AssertA a ->
+                  Frame.check
+                    ~loc:(loc (Diag.Ghost_block key))
+                    ~severity:Diag.Warning ~ambient a
+              | _ -> [])
+            cmds)
+        p.V.ghost
+  in
+  preds @ List.concat_map proc prog.V.procs
+
+(** Run every pass over [prog]; diagnostics come back sorted (unit,
+    context, site, severity, code). [name] labels the program in
+    locations — suite entry name, file, … *)
+let analyze_program ?(name = "") (prog : V.program) : Diag.t list =
+  Diag.sort
+    (Wellformed.check_program ~unit_name:name prog
+    @ stability_diags ~unit_name:name prog
+    @ frame_diags ~unit_name:name prog)
+
+(** [ok diags] — no error-severity findings. *)
+let ok diags = not (Diag.has_errors diags)

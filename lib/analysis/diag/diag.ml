@@ -1,0 +1,214 @@
+(** Structured diagnostics for the pre-verification static analysis.
+
+    Every finding carries a stable code (the [DA0xx] table below), a
+    severity, and a structured location naming the enclosing procedure
+    or predicate, the specification site (requires / ensures / the
+    n-th invariant / a ghost block / the body), and a path into the
+    assertion. Two renderers: a one-line pretty form for terminals and
+    a JSON object for tooling ([daenerys lint --json]).
+
+    This module is deliberately free of verifier dependencies so that
+    [lib/verifier] itself can raise {!Spec_error} on the spec-shaped
+    failure paths (unknown predicate, arity mismatch, missing
+    invariant, …): the analyzer in [lib/analysis] and the runtime
+    checks in the symbolic executor then speak the same language, and
+    a program that lints clean cannot reach any of those runtime
+    failures.
+
+    The code table (keep in sync with DESIGN.md §"Static analysis"):
+
+    {v
+    DA001  unknown predicate                              error
+    DA002  predicate arity mismatch                       error
+    DA003  unknown procedure                              error
+    DA004  procedure call arity mismatch                  error
+    DA005  unbound logical variable in a specification    error
+    DA006  `result` used outside an ensures clause        error
+    DA007  ghost command references an undeclared ghost   error
+    DA008  while loop without an invariant annotation     error
+    DA009  ghost mark without a command block             error
+    DA010  program symbol never bound                     error
+    DA011  unstable assertion (heap read escapes the
+           points-to footprint; suggests a ⌊·⌋ placement) error
+    DA012  predicate body unstable at declaration         error
+    DA013  heap read no points-to chunk covers in its
+           branch (reachability / frame lint)             warning★
+    DA014  construct outside the executable fragment      error
+    DA015  assertion outside the executable fragment      error
+    DA016  dangling invariant annotation                  warning
+    DA017  ghost block never referenced by the body       warning
+    v}
+
+    (★) DA013 is an error at [Requires] and [Invariant] sites, where
+    an uncovered read makes the very first inhale fail; at [Ensures]
+    the exit state may own chunks the spec does not spell out
+    (allocations, callee postconditions), so it is a warning. *)
+
+type severity = Error | Warning | Info
+
+type context =
+  | Proc of string  (** a procedure, by name *)
+  | Pred of string  (** a named predicate definition *)
+  | Program  (** whole-program findings *)
+
+type site =
+  | Requires
+  | Ensures
+  | Invariant of int  (** 0-based index into the proc's annotations *)
+  | Ghost_block of string  (** the [GhostMark] key *)
+  | Body
+  | Pred_body
+
+type loc = {
+  unit_name : string;  (** owning program / suite entry; may be "" *)
+  context : context;
+  site : site;
+  path : string list;  (** descent into the assertion, outermost first *)
+}
+
+type t = {
+  code : string;  (** stable "DA0xx" identifier *)
+  severity : severity;
+  loc : loc;
+  message : string;
+  hint : string option;  (** a suggested fix, e.g. a ⌊·⌋ placement *)
+}
+
+exception Spec_error of t
+(** Raised by the symbolic executor on spec-shaped failure paths. The
+    analyzer reports the same conditions as values, never by raising. *)
+
+let loc ?(unit_name = "") ?(path = []) context site =
+  { unit_name; context; site; path }
+
+let v ?hint ~code ~severity ~loc message =
+  { code; severity; loc; message; hint }
+
+(** [error ~code ~loc fmt] and friends: formatted constructors. *)
+let error ?hint ~code ~loc fmt =
+  Fmt.kstr (fun message -> v ?hint ~code ~severity:Error ~loc message) fmt
+
+let warning ?hint ~code ~loc fmt =
+  Fmt.kstr (fun message -> v ?hint ~code ~severity:Warning ~loc message) fmt
+
+let spec_error ?hint ~code ~loc fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Spec_error (v ?hint ~code ~severity:Error ~loc message)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let has_errors ds = List.exists is_error ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(** Sort key: unit, context, site, severity, code — so one program's
+    findings group together and errors lead within a site. *)
+let compare_diag a b =
+  let c = String.compare a.loc.unit_name b.loc.unit_name in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.loc.context b.loc.context in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.loc.site b.loc.site in
+      if c <> 0 then c
+      else
+        let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c else String.compare a.code b.code
+
+let sort ds = List.stable_sort compare_diag ds
+
+(* ------------------------------------------------------------------ *)
+(* Pretty renderer *)
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let context_to_string = function
+  | Proc p -> "proc " ^ p
+  | Pred p -> "pred " ^ p
+  | Program -> "program"
+
+let site_to_string = function
+  | Requires -> "requires"
+  | Ensures -> "ensures"
+  | Invariant i -> Printf.sprintf "invariant #%d" i
+  | Ghost_block k -> Printf.sprintf "ghost %S" k
+  | Body -> "body"
+  | Pred_body -> "definition"
+
+let pp_loc ppf l =
+  if l.unit_name <> "" then Fmt.pf ppf "%s: " l.unit_name;
+  Fmt.pf ppf "%s, %s" (context_to_string l.context) (site_to_string l.site);
+  match l.path with
+  | [] -> ()
+  | path -> Fmt.pf ppf ", at %s" (String.concat "/" path)
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] %a: %s" (severity_to_string d.severity) d.code pp_loc
+    d.loc d.message;
+  match d.hint with None -> () | Some h -> Fmt.pf ppf "@   hint: %s" h
+
+let pp_list ppf ds = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp) ds
+let to_string d = Fmt.str "%a" pp d
+
+(* ------------------------------------------------------------------ *)
+(* JSON renderer *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let context_to_json = function
+  | Proc p -> Printf.sprintf {|{"kind": "proc", "name": %s}|} (json_string p)
+  | Pred p -> Printf.sprintf {|{"kind": "pred", "name": %s}|} (json_string p)
+  | Program -> {|{"kind": "program"}|}
+
+let to_json d =
+  let fields =
+    [
+      ("code", json_string d.code);
+      ("severity", json_string (severity_to_string d.severity));
+      ("unit", json_string d.loc.unit_name);
+      ("context", context_to_json d.loc.context);
+      ("site", json_string (site_to_string d.loc.site));
+      ( "path",
+        Printf.sprintf "[%s]"
+          (String.concat ", " (List.map json_string d.loc.path)) );
+      ("message", json_string d.message);
+    ]
+    @ match d.hint with None -> [] | Some h -> [ ("hint", json_string h) ]
+  in
+  Printf.sprintf "{%s}"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields))
+
+let list_to_json = function
+  | [] -> "[]"
+  | ds ->
+      Printf.sprintf "[\n  %s\n]" (String.concat ",\n  " (List.map to_json ds))
+
+let () =
+  Printexc.register_printer (function
+    | Spec_error d -> Some (Fmt.str "Spec_error (%a)" pp d)
+    | _ -> None)

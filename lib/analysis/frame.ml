@@ -1,0 +1,114 @@
+(** The reachability / frame lint (DA013): heap reads no points-to
+    chunk can cover in any branch.
+
+    Stability (DA011/DA012) is about *surviving interference* — a read
+    anchored to a footprint. This lint is about *resolvability*: when
+    the executor inhales an assertion it resolves every read in the
+    pure parts against the chunks inhaled in the same disjunctive case
+    ([State.inhale_cases] adds chunks before resolving pures), and a
+    read with no covering chunk fails right there ("heap read without
+    permission"). A read under [Stabilize] passes the stability
+    judgment by construction, so ⌊⌜!l = 5⌝⌋ with no [l ↦ _] anywhere is
+    stable — and still unverifiable. This pass mirrors the executor's
+    case split and flags such reads per branch.
+
+    Severity: at [Requires] and [Invariant] sites the inhale happens in
+    a state with no other chunks (the requires opens the procedure; the
+    invariant opens a havocked loop state), so an uncovered read is an
+    error. At [Ensures] and ghost asserts the state may own chunks the
+    spec does not spell out (allocations, callee postconditions), so it
+    is a warning. *)
+
+module A = Baselogic.Assertion
+module HT = Baselogic.Hterm
+module T = Smt.Term
+
+(** One disjunctive case of an assertion, as the executor would inhale
+    it: the points-to locations it owns and the heap reads its pure
+    parts perform (with the path to each read's [Pure]). Mirrors
+    [State.inhale_cases]'s [collect]: [Sep]/[And] cross-multiply,
+    [Or] splits, binders and modalities descend. Connectives outside
+    the fragment contribute nothing (DA015 already rejects them). *)
+type case = { locs : T.t list; reads : (T.t * string list) list }
+
+let empty_case = { locs = []; reads = [] }
+
+let max_cases = 64
+
+exception Too_many_cases
+
+let cases_of (a : A.t) : case list option =
+  let rec go path (cs : case list) a : case list =
+    if List.length cs > max_cases then raise Too_many_cases;
+    let deeper = Stability.step_of a :: path in
+    match a with
+    | A.Pure t ->
+        let reads =
+          List.map (fun l -> (l, List.rev deeper)) (HT.heap_reads t)
+        in
+        List.map (fun c -> { c with reads = c.reads @ reads }) cs
+    | A.Points_to { loc; _ } ->
+        List.map (fun c -> { c with locs = loc :: c.locs }) cs
+    | A.Emp | A.Ghost _ | A.Pred _ -> cs
+    | A.Sep (p, q) | A.And (p, q) -> go deeper (go deeper cs p) q
+    | A.Or (p, q) -> go deeper cs p @ go deeper cs q
+    | A.Exists (_, p) | A.Stabilize p | A.Later p | A.Persistently p ->
+        go deeper cs p
+    | A.Wand _ | A.Forall _ | A.Upd _ | A.Wp _ -> cs
+  in
+  match go [] [ empty_case ] a with
+  | cs -> Some cs
+  | exception Too_many_cases -> None
+
+(** Uncovered reads of [a]: for each disjunctive case, reads whose
+    location matches (structurally) no chunk of that case and no
+    [ambient] location. Deduplicated across cases — one report per
+    read site. *)
+let uncovered ~(ambient : T.t list) (a : A.t) :
+    (T.t * string list) list option =
+  match cases_of a with
+  | None -> None  (* too many branches; stay silent rather than guess *)
+  | Some cases ->
+      let bad = ref [] in
+      List.iter
+        (fun c ->
+          let covered l =
+            List.exists (T.equal l) c.locs
+            || List.exists (T.equal l) ambient
+          in
+          List.iter
+            (fun (l, path) ->
+              if
+                (not (covered l))
+                && not
+                     (List.exists
+                        (fun (l', p') -> T.equal l l' && p' = path)
+                        !bad)
+              then bad := (l, path) :: !bad)
+            c.reads)
+        cases;
+      Some (List.rev !bad)
+
+let check ~(loc : Diag.loc) ~(severity : Diag.severity)
+    ?(ambient = []) (a : A.t) : Diag.t list =
+  match uncovered ~ambient a with
+  | None | Some [] -> []
+  | Some reads ->
+      List.map
+        (fun (l, path) ->
+          let hint =
+            Fmt.str
+              "the executor resolves !%a against chunks inhaled in the \
+               same branch; add %a ↦ _ to that branch%s"
+              T.pp l T.pp l
+              (match severity with
+              | Diag.Error -> ""
+              | _ -> ", or rely on chunks the verifier owns at this point")
+          in
+          Diag.v ~hint ~code:"DA013" ~severity
+            ~loc:{ loc with Diag.path }
+            (Fmt.str
+               "heap read !%a has no covering points-to chunk in its \
+                branch"
+               T.pp l))
+        reads

@@ -1,0 +1,152 @@
+(** The stability analyzer: {!Baselogic.Assertion.stable} promoted
+    from a boolean to an explanation.
+
+    [Assertion.stable] answers "is every heap read covered by the
+    assertion's own points-to footprint?" — this module answers the
+    follow-up questions a spec author actually needs: *which* read
+    escapes, *where* it sits in the assertion, and *where* an
+    enclosing [Stabilize] (⌊·⌋) would re-anchor it to a covering
+    footprint. The verdict is definitionally aligned with the
+    syntactic judgment: [verdict a = Stable] iff [Assertion.stable a]
+    (pinned by a QCheck agreement test), so the linter never accepts
+    a spec the kernel-side judgment would reject, or vice versa. *)
+
+module A = Baselogic.Assertion
+module HT = Baselogic.Hterm
+module T = Smt.Term
+
+type escape = {
+  read : T.t;  (** the escaping heap-read location *)
+  path : string list;  (** path to the offending [Pure], outermost first *)
+  anchor : string list option;
+      (** path of the innermost enclosing subassertion whose own
+          footprint covers [read] — the suggested ⌊·⌋ placement;
+          [None] when no enclosing footprint covers the read at all *)
+}
+
+type verdict = Stable | Unstable of escape list
+
+let footprint a = A.footprint [] a
+
+(* Path vocabulary, kept short and stable: these strings appear in
+   diagnostics and in the --json output. *)
+let step_of = function
+  | A.Pure _ -> "⌜·⌝"
+  | A.Emp -> "emp"
+  | A.Points_to _ -> "↦"
+  | A.Pred (p, _) -> p
+  | A.Ghost (g, _) -> "own " ^ g
+  | A.Sep _ -> "∗"
+  | A.Wand _ -> "-∗"
+  | A.And _ -> "∧"
+  | A.Or _ -> "∨"
+  | A.Exists (x, _) -> "∃" ^ x
+  | A.Forall (x, _) -> "∀" ^ x
+  | A.Persistently _ -> "□"
+  | A.Later _ -> "▷"
+  | A.Upd _ -> "|==>"
+  | A.Stabilize _ -> "⌊·⌋"
+  | A.Wp _ -> "WP"
+
+(** Explain the stability of [a]. Mirrors [Assertion.stable]: heap
+    reads in [Pure] parts are checked against the *whole* assertion's
+    footprint; [Stabilize] subtrees are stable by construction; only
+    the right-hand side of a wand is inspected. *)
+let verdict (a : A.t) : verdict =
+  let fp = footprint a in
+  let covered l = List.exists (T.equal l) fp in
+  (* [ancestors] is the enclosure stack, innermost first: each entry
+     is (path to that node, its subtree footprint). Subtree footprints
+     are computed on demand — reads escape rarely. *)
+  let escapes = ref [] in
+  let rec go path ancestors a =
+    let here = (List.rev path, lazy (footprint a)) in
+    let enter sub = go (step_of a :: path) (here :: ancestors) sub in
+    match a with
+    | A.Pure t ->
+        List.iter
+          (fun l ->
+            if not (covered l) then
+              let anchor =
+                List.find_map
+                  (fun (p, sub_fp) ->
+                    if List.exists (T.equal l) (Lazy.force sub_fp) then Some p
+                    else None)
+                  ancestors
+              in
+              escapes :=
+                { read = l; path = List.rev (step_of a :: path); anchor }
+                :: !escapes)
+          (HT.heap_reads t)
+    | A.Emp | A.Points_to _ | A.Ghost _ | A.Pred _ -> ()
+    | A.Sep (p, q) | A.And (p, q) | A.Or (p, q) ->
+        enter p;
+        enter q
+    | A.Wand (_, q) -> enter q
+    | A.Exists (_, p) | A.Forall (_, p) | A.Persistently p | A.Later p
+    | A.Upd p ->
+        enter p
+    | A.Stabilize _ -> ()  (* stable by construction *)
+    | A.Wp _ -> ()  (* quantifies over the global state itself *)
+  in
+  go [] [] a;
+  match List.rev !escapes with [] -> Stable | es -> Unstable es
+
+let stable a = verdict a = Stable
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics *)
+
+let pp_path ppf = function
+  | [] -> Fmt.string ppf "the root"
+  | p -> Fmt.string ppf (String.concat "/" p)
+
+let escape_hint (e : escape) =
+  match e.anchor with
+  | Some [] | Some [ _ ] ->
+      Fmt.str "wrap the specification in ⌊·⌋ (Stabilize) at the root to \
+               re-anchor ⌜… !%a …⌝ to its points-to footprint" T.pp e.read
+  | Some p ->
+      Fmt.str "wrap the subassertion at %a in ⌊·⌋ (Stabilize): its \
+               footprint owns %a ↦ _" pp_path p T.pp e.read
+  | None ->
+      Fmt.str "no enclosing footprint owns %a — add a points-to chunk \
+               (%a ↦ _) to the same separating context, or drop the read"
+        T.pp e.read T.pp e.read
+
+(** DA011 diagnostics for an unstable spec assertion at [loc]. *)
+let check ~(loc : Diag.loc) (a : A.t) : Diag.t list =
+  match verdict a with
+  | Stable -> []
+  | Unstable escapes ->
+      List.map
+        (fun (e : escape) ->
+          Diag.error ~code:"DA011" ~hint:(escape_hint e)
+            ~loc:{ loc with Diag.path = e.path }
+            "unstable assertion: heap read !%a escapes the points-to \
+             footprint"
+            T.pp e.read)
+        escapes
+
+(** DA012: a predicate body must be stable at declaration — this is
+    the check [Assertion.stable]'s [Pred _ -> true] case relies on
+    (and which {!Verifier.State.create} now enforces at runtime). *)
+let check_pred ~unit_name (def : A.pred_def) : Diag.t list =
+  match verdict def.A.body with
+  | Stable -> []
+  | Unstable escapes ->
+      List.map
+        (fun (e : escape) ->
+          Diag.error ~code:"DA012" ~hint:(escape_hint e)
+            ~loc:
+              {
+                Diag.unit_name;
+                context = Diag.Pred def.A.pname;
+                site = Diag.Pred_body;
+                path = e.path;
+              }
+            "predicate %s is unstable at declaration: heap read !%a \
+             escapes its body's footprint (chunks assume predicates \
+             stable)"
+            def.A.pname T.pp e.read)
+        escapes

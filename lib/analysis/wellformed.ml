@@ -1,0 +1,431 @@
+(** Spec well-formedness: everything about a {!Verifier.Exec.program}
+    that can be rejected by name resolution and shape alone, before any
+    symbolic execution — unknown or arity-mismatched predicates and
+    procedures, unbound logical variables, [result] outside an ensures
+    clause, ghost commands over undeclared ghost names, [While] bodies
+    without invariants, program symbols that never bind, and constructs
+    or connectives outside the executable fragment.
+
+    Every condition reported here as a diagnostic is one the symbolic
+    executor would otherwise hit as a runtime [Spec_error]/[fail] in
+    the middle of verification; a program this pass accepts cannot
+    reach any of those failure paths (the property pinned by the
+    negative suite in [lib/suite/ill_formed.ml]). *)
+
+open Stdx
+module A = Baselogic.Assertion
+module K = Baselogic.Kernel
+module HL = Heaplang.Ast
+module T = Smt.Term
+module V = Verifier.Exec
+
+module Sset = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Assertion-level checks *)
+
+(** Named-predicate references of an assertion, with their paths:
+    descends everything, including connectives outside the executable
+    fragment (a bad reference under a wand is still a bad reference). *)
+let pred_refs (a : A.t) : (string * int * string list) list =
+  let acc = ref [] in
+  let rec go path a =
+    let enter sub = go (Stability.step_of a :: path) sub in
+    match a with
+    | A.Pred (p, args) ->
+        acc := (p, List.length args, List.rev (Stability.step_of a :: path)) :: !acc
+    | A.Pure _ | A.Emp | A.Points_to _ | A.Ghost _ -> ()
+    | A.Sep (p, q) | A.Wand (p, q) | A.And (p, q) | A.Or (p, q) ->
+        enter p;
+        enter q
+    | A.Exists (_, p) | A.Forall (_, p) | A.Persistently p | A.Later p
+    | A.Upd p | A.Stabilize p ->
+        enter p
+    | A.Wp (_, _, q) -> enter q
+  in
+  go [] a;
+  List.rev !acc
+
+(** The ghost names an assertion owns ([own γ …] chunks). *)
+let rec ghost_names acc = function
+  | A.Ghost (g, _) -> g :: acc
+  | A.Pure _ | A.Emp | A.Points_to _ | A.Pred _ -> acc
+  | A.Sep (p, q) | A.Wand (p, q) | A.And (p, q) | A.Or (p, q) ->
+      ghost_names (ghost_names acc p) q
+  | A.Exists (_, p) | A.Forall (_, p) | A.Persistently p | A.Later p
+  | A.Upd p | A.Stabilize p ->
+      ghost_names acc p
+  | A.Wp (_, _, q) -> ghost_names acc q
+
+(** Connectives the inhale/consume fragment does not support (see
+    [State.inhale_cases] / [State.consume_resolved]). *)
+let fragment_violations (a : A.t) : (string * string list) list =
+  let acc = ref [] in
+  let rec go path a =
+    let enter sub = go (Stability.step_of a :: path) sub in
+    let flag what = acc := (what, List.rev (Stability.step_of a :: path)) :: !acc in
+    match a with
+    | A.Pure _ | A.Emp | A.Points_to _ | A.Ghost _ | A.Pred _ -> ()
+    | A.Sep (p, q) | A.And (p, q) | A.Or (p, q) ->
+        enter p;
+        enter q
+    | A.Wand (p, q) ->
+        flag "-∗ (magic wand)";
+        enter p;
+        enter q
+    | A.Forall (_, p) ->
+        flag "∀ (universal quantifier)";
+        enter p
+    | A.Upd p ->
+        flag "|==> (update modality)";
+        enter p
+    | A.Wp (_, _, q) ->
+        flag "WP (weakest precondition)";
+        enter q
+    | A.Exists (_, p) | A.Persistently p | A.Later p | A.Stabilize p ->
+        enter p
+  in
+  go [] a;
+  List.rev !acc
+
+(** All checks on one spec assertion at [loc]: predicate references
+    (DA001/DA002), variable scoping (DA005/DA006), and executable
+    fragment (DA015). [allowed] are the names the site may mention;
+    [result_ok] admits the reserved [result] variable. *)
+let check_assertion ~(loc : Diag.loc) ~(penv : A.pred_env) ~allowed
+    ?(result_ok = false) (a : A.t) : Diag.t list =
+  let preds =
+    List.concat_map
+      (fun (p, arity, path) ->
+        let loc = { loc with Diag.path } in
+        match Smap.find_opt p penv with
+        | None ->
+            [
+              Diag.error ~code:"DA001" ~loc
+                ~hint:
+                  (Fmt.str "declare %s in the program's predicate \
+                            environment, or fix the spelling" p)
+                "unknown predicate %s" p;
+            ]
+        | Some def ->
+            let want = List.length def.A.params in
+            if arity <> want then
+              [
+                Diag.error ~code:"DA002" ~loc
+                  "predicate %s applied to %d argument%s, declared with %d"
+                  p arity
+                  (if arity = 1 then "" else "s")
+                  want;
+              ]
+            else [])
+      (pred_refs a)
+  in
+  let vars =
+    List.filter_map
+      (fun x ->
+        if Sset.mem x allowed then None
+        else if String.equal x "result" then
+          if result_ok then None
+          else
+            Some
+              (Diag.error ~code:"DA006" ~loc
+                 ~hint:"result names the return value and only an \
+                        ensures clause has one"
+                 "the reserved variable `result` is only meaningful in \
+                  an ensures clause")
+        else
+          Some
+            (Diag.error ~code:"DA005" ~loc
+               ~hint:
+                 (Fmt.str "bind %s with ∃, or add it to the parameter \
+                           list" x)
+               "unbound logical variable %s" x))
+      (A.free_vars a)
+  in
+  let fragment =
+    List.map
+      (fun (what, path) ->
+        Diag.error ~code:"DA015"
+          ~loc:{ loc with Diag.path = path }
+          ~hint:"the symbolic executor handles ⌜·⌝, ↦, own, named \
+                 predicates, ∗, ∧, ∨, ∃, □, ▷ and ⌊·⌋ in specs"
+          "%s is outside the executable spec fragment" what)
+      (fragment_violations a)
+  in
+  preds @ vars @ fragment
+
+(* ------------------------------------------------------------------ *)
+(* Body checks *)
+
+(** Collect [While] nodes, ghost-mark keys, and body diagnostics in one
+    walk. Procedure calls are spine-collected exactly as
+    [Exec.exec_call] does, so what we resolve here is what the executor
+    would resolve. *)
+let check_body ~(loc : Diag.loc) (prog : V.program) (proc : V.proc) :
+    Diag.t list =
+  let diags = ref [] in
+  let whiles = ref [] in
+  let marks = ref Sset.empty in
+  let add d = diags := d :: !diags in
+  let da014 fmt =
+    Fmt.kstr
+      (fun m ->
+        add
+          (Diag.error ~code:"DA014" ~loc
+             ~hint:"pairs, sums and first-class functions are spec-level \
+                    only; name intermediate values instead"
+             "%s" m))
+      fmt
+  in
+  let rec spine acc = function
+    | HL.App (f, a) -> spine (a :: acc) f
+    | e -> (e, acc)
+  in
+  let rec walk e =
+    match e with
+    | HL.Val v -> (
+        match K.value_term v with
+        | Some _ -> ()
+        | None -> da014 "value %a has no term encoding" HL.pp_value v)
+    | HL.Var _ -> ()
+    | HL.GhostMark key ->
+        marks := Sset.add key !marks;
+        if not (List.mem_assoc key proc.V.ghost) then
+          add
+            (Diag.error ~code:"DA009" ~loc
+               ~hint:
+                 (Fmt.str "add a %S entry to the procedure's ghost \
+                           command table" key)
+               "ghost mark %s has no command block" key)
+    | HL.App _ ->
+        let head, args = spine [] e in
+        (match head with
+        | HL.Var f -> (
+            match V.find_proc prog f with
+            | None ->
+                add
+                  (Diag.error ~code:"DA003" ~loc "unknown procedure %s" f)
+            | Some callee ->
+                let want = List.length callee.V.params in
+                if List.length args <> want then
+                  add
+                    (Diag.error ~code:"DA004" ~loc
+                       "call %s: %d argument%s for %d parameter%s" f
+                       (List.length args)
+                       (if List.length args = 1 then "" else "s")
+                       want
+                       (if want = 1 then "" else "s")))
+        | h ->
+            da014 "unsupported callee %a (calls go through named \
+                   procedures)" HL.pp_expr h;
+            walk h);
+        List.iter walk args
+    | HL.While (c, b) ->
+        whiles := e :: !whiles;
+        if not (List.exists (fun (n, _) -> n == e) proc.V.invariants) then
+          add
+            (Diag.error ~code:"DA008" ~loc
+               ~hint:"register the loop node in the procedure's \
+                      invariants table (matched physically)"
+               "while loop without an invariant annotation");
+        walk c;
+        walk b
+    | HL.Rec (_, _, b) ->
+        da014 "first-class function %a in verified code" HL.pp_expr e;
+        walk b
+    | HL.PairE (a, b) ->
+        da014 "pair construction in verified code";
+        walk a;
+        walk b
+    | HL.Fst a | HL.Snd a ->
+        da014 "pair projection in verified code";
+        walk a
+    | HL.InjLE a | HL.InjRE a ->
+        da014 "sum injection in verified code";
+        walk a
+    | HL.Case (a, (_, b), (_, c)) ->
+        da014 "sum match in verified code";
+        walk a;
+        walk b;
+        walk c
+    | HL.UnOp (_, a) | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a ->
+        walk a
+    | HL.BinOp (_, a, b)
+    | HL.Let (_, a, b)
+    | HL.Seq (a, b)
+    | HL.Store (a, b)
+    | HL.Faa (a, b) ->
+        walk a;
+        walk b
+    | HL.If (a, b, c) | HL.Cas (a, b, c) ->
+        walk a;
+        walk b;
+        walk c
+  in
+  walk proc.V.body;
+  (* DA016: invariant annotations no loop in the body points at. *)
+  List.iteri
+    (fun i (node, _) ->
+      if not (List.memq node !whiles) then
+        add
+          (Diag.warning ~code:"DA016"
+             ~loc:{ loc with Diag.site = Diag.Invariant i }
+             ~hint:"invariants are matched to loops by physical \
+                    identity of the While node"
+             "invariant annotation attached to no loop in the body"))
+    proc.V.invariants;
+  (* DA017: ghost command blocks no mark in the body points at. *)
+  List.iter
+    (fun (key, _) ->
+      if not (Sset.mem key !marks) then
+        add
+          (Diag.warning ~code:"DA017" ~loc
+             ~hint:
+               (Fmt.str "insert GhostMark %S in the body, or drop the \
+                         block" key)
+             "ghost block %s is never referenced by the body" key))
+    proc.V.ghost;
+  (* DA010: program symbols that never bind. Params are the spec-level
+     names the requires clause constrains; any other [Sym] is an
+     unconstrained fresh solver variable. *)
+  let params = Sset.of_list proc.V.params in
+  List.iter
+    (fun x ->
+      if not (Sset.mem x params) then
+        add
+          (Diag.error ~code:"DA010" ~loc
+             ~hint:
+               (Fmt.str "add %s to the parameter list or let-bind a \
+                         computed value" x)
+             "program symbol %s never binds (not a parameter)" x))
+    (List.sort_uniq String.compare (A.expr_syms proc.V.body));
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Ghost-command checks *)
+
+let ghost_cmd_terms : V.ghost_cmd -> T.t list = function
+  | V.Fold (_, args) | V.Unfold (_, args) -> args
+  | V.Update (_, from_gv, to_gv) ->
+      A.ghost_val_terms from_gv @ A.ghost_val_terms to_gv
+  | V.GAlloc (_, gv) -> A.ghost_val_terms gv
+  | V.AssertA _ -> []
+
+let check_ghost_block ~(loc : Diag.loc) ~(penv : A.pred_env) ~allowed
+    ~declared (cmds : V.ghost_cmd list) : Diag.t list =
+  List.concat_map
+    (fun (cmd : V.ghost_cmd) ->
+      let pred_check p arity =
+        match Smap.find_opt p penv with
+        | None -> [ Diag.error ~code:"DA001" ~loc "unknown predicate %s" p ]
+        | Some def ->
+            let want = List.length def.A.params in
+            if arity <> want then
+              [
+                Diag.error ~code:"DA002" ~loc
+                  "predicate %s applied to %d argument%s, declared with %d"
+                  p arity
+                  (if arity = 1 then "" else "s")
+                  want;
+              ]
+            else []
+      in
+      let var_check =
+        List.concat_map
+          (fun t ->
+            List.filter_map
+              (fun (x, _) ->
+                if Sset.mem x allowed then None
+                else
+                  Some
+                    (Diag.error ~code:"DA005" ~loc
+                       "unbound logical variable %s in a ghost command" x))
+              (T.vars t))
+          (ghost_cmd_terms cmd)
+      in
+      let cmd_check =
+        match cmd with
+        | V.Fold (p, args) | V.Unfold (p, args) ->
+            pred_check p (List.length args)
+        | V.Update (g, _, _) ->
+            if Sset.mem g declared then []
+            else
+              [
+                Diag.error ~code:"DA007" ~loc
+                  ~hint:"ghost names come from `own` chunks in the \
+                         requires clause or a prior ghost alloc"
+                  "ghost update references undeclared ghost name %s" g;
+              ]
+        | V.GAlloc _ -> []
+        | V.AssertA a -> check_assertion ~loc ~penv ~allowed a
+      in
+      cmd_check @ var_check)
+    cmds
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program entry *)
+
+let check_proc ~unit_name (prog : V.program) (proc : V.proc) : Diag.t list =
+  let ctx = Diag.Proc proc.V.pname in
+  let loc site = Diag.loc ~unit_name ctx site in
+  let penv = prog.V.preds in
+  let params = Sset.of_list proc.V.params in
+  let declared =
+    Sset.of_list
+      (ghost_names [] proc.V.requires
+      @ List.concat_map
+          (fun (_, cmds) ->
+            List.filter_map
+              (function V.GAlloc (g, _) -> Some g | _ -> None)
+              cmds)
+          proc.V.ghost)
+  in
+  let spec_ghosts site a =
+    (* DA007 also covers specs claiming ownership the requires never
+       granted: an ensures/invariant `own γ` with γ nowhere declared
+       can only ever fail its consume. *)
+    List.filter_map
+      (fun g ->
+        if Sset.mem g declared then None
+        else
+          Some
+            (Diag.error ~code:"DA007" ~loc:(loc site)
+               "ghost name %s is never declared (no `own %s` in \
+                requires, no ghost alloc)"
+               g g))
+      (List.sort_uniq String.compare (ghost_names [] a))
+  in
+  check_assertion ~loc:(loc Diag.Requires) ~penv ~allowed:params
+    proc.V.requires
+  @ check_assertion ~loc:(loc Diag.Ensures) ~penv ~allowed:params
+      ~result_ok:true proc.V.ensures
+  @ spec_ghosts Diag.Ensures proc.V.ensures
+  @ List.concat
+      (List.mapi
+         (fun i (_, inv) ->
+           check_assertion ~loc:(loc (Diag.Invariant i)) ~penv
+             ~allowed:params inv
+           @ spec_ghosts (Diag.Invariant i) inv)
+         proc.V.invariants)
+  @ List.concat_map
+      (fun (key, cmds) ->
+        check_ghost_block
+          ~loc:(loc (Diag.Ghost_block key))
+          ~penv ~allowed:params ~declared cmds)
+      proc.V.ghost
+  @ check_body ~loc:(loc Diag.Body) prog proc
+
+let check_pred_def ~unit_name ~(penv : A.pred_env) (def : A.pred_def) :
+    Diag.t list =
+  let loc =
+    Diag.loc ~unit_name (Diag.Pred def.A.pname) Diag.Pred_body
+  in
+  check_assertion ~loc ~penv ~allowed:(Sset.of_list def.A.params) def.A.body
+
+let check_program ?(unit_name = "") (prog : V.program) : Diag.t list =
+  let preds =
+    Smap.bindings prog.V.preds
+    |> List.concat_map (fun (_, def) ->
+           check_pred_def ~unit_name ~penv:prog.V.preds def)
+  in
+  preds @ List.concat_map (check_proc ~unit_name prog) prog.V.procs

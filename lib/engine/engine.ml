@@ -23,11 +23,23 @@ type config = {
   domains : int;  (** worker domains (including the calling one) *)
   cache : bool;  (** consult/fill the content-addressed VC cache *)
   heap_dep : bool;  (** heap-dependent assertions (ablation A1) *)
+  lint : bool;
+      (** run the static analyzer first; programs with error-severity
+          diagnostics are gated (their procedures report [Failed]
+          without touching the solver) *)
 }
 
-let default_config = { domains = 1; cache = true; heap_dep = true }
+let default_config = { domains = 1; cache = true; heap_dep = true; lint = false }
+
+type analysis_stats = {
+  a_programs : int;
+  a_diags : int;  (** all findings, any severity *)
+  a_errors : int;  (** error-severity findings *)
+  a_wall_ms : float;  (** wall clock of the analysis phase *)
+}
 
 type stats = {
+  analysis : analysis_stats option;  (** when [config.lint] *)
   jobs : int;
   wall_ms : float;  (** end-to-end wall clock for the whole run *)
   pool : Pool.stats;
@@ -45,7 +57,12 @@ type group_result = {
   ms : float;  (** summed job time (≥ wall time under parallelism) *)
 }
 
-type report = { groups : group_result list; stats : stats }
+type report = {
+  groups : group_result list;
+  lint : (string * Diag.t list) list;
+      (** per-program analyzer findings (empty unless [config.lint]) *)
+  stats : stats;
+}
 
 let group_ok (g : group_result) =
   List.for_all (fun (_, o) -> o = V.Verified) g.outcomes
@@ -64,16 +81,73 @@ let regroup (results : Job.result array) : group_result list =
     [] results
   |> List.rev_map (fun g -> { g with outcomes = List.rev g.outcomes })
 
+(** The static-analysis phase: one job per program, drained over the
+    same domain pool the verification jobs will use. Pure and
+    solver-free, so no stats prologue/epilogue is needed. *)
+let run_analysis ~domains (progs : (string * V.program) list) :
+    (string * Diag.t list) list * analysis_stats =
+  let t0 = Unix.gettimeofday () in
+  let items = Array.of_list progs in
+  let diags, _, _ =
+    Pool.run ~domains
+      ~epilogue:(fun () -> ())
+      (fun (name, prog) -> (name, Analysis.analyze_program ~name prog))
+      items
+  in
+  let results = Array.to_list diags in
+  let all = List.concat_map snd results in
+  ( results,
+    {
+      a_programs = List.length progs;
+      a_diags = List.length all;
+      a_errors = List.length (Diag.errors all);
+      a_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+    } )
+
 (** Verify a list of named programs. Every procedure of every program
     becomes one job; all jobs share one queue, so parallelism is
-    across programs as well as within them. *)
+    across programs as well as within them. With [config.lint], the
+    analysis phase runs on the pool first and gates error-ridden
+    programs away from the solver. *)
 let verify_programs ?(config = default_config) (progs : (string * V.program) list)
     : report =
+  let lint_results, analysis_stats =
+    if config.lint then
+      let r, s = run_analysis ~domains:config.domains progs in
+      (r, Some s)
+    else ([], None)
+  in
+  (* Gate: a program with error-severity findings never reaches the
+     solver — each of its procedures reports the first error. *)
+  let gated name =
+    match List.assoc_opt name lint_results with
+    | Some ds when Diag.has_errors ds ->
+        Some (List.find Diag.is_error ds)
+    | _ -> None
+  in
+  let live, gated_groups =
+    List.partition_map
+      (fun (name, prog) ->
+        match gated name with
+        | None -> Either.Left (name, prog)
+        | Some d ->
+            Either.Right
+              {
+                group = name;
+                outcomes =
+                  List.map
+                    (fun (p : V.proc) ->
+                      (p.V.pname, V.Failed (Diag.to_string d)))
+                    prog.V.procs;
+                ms = 0.0;
+              })
+      progs
+  in
   let jobs =
     List.concat_map
       (fun (group, prog) ->
         Job.of_program ~heap_dep:config.heap_dep ~group prog)
-      progs
+      live
     |> Array.of_list
   in
   let cache = if config.cache then Some (Vc_cache.create ()) else None in
@@ -97,6 +171,7 @@ let verify_programs ?(config = default_config) (progs : (string * V.program) lis
   in
   let stats =
     {
+      analysis = analysis_stats;
       jobs = Array.length jobs;
       wall_ms;
       pool;
@@ -109,13 +184,34 @@ let verify_programs ?(config = default_config) (progs : (string * V.program) lis
       smt;
     }
   in
-  { groups = regroup results; stats }
+  (* Stitch gated groups back in, preserving the input program order. *)
+  let verified_groups = regroup results in
+  let groups =
+    List.filter_map
+      (fun (name, _) ->
+        match
+          List.find_opt (fun g -> String.equal g.group name) gated_groups
+        with
+        | Some g -> Some g
+        | None ->
+            List.find_opt
+              (fun g -> String.equal g.group name)
+              verified_groups)
+      progs
+  in
+  { groups; lint = lint_results; stats }
 
 (** Convenience wrapper for a single program. *)
 let verify_program ?config ~name (prog : V.program) : report =
   verify_programs ?config [ (name, prog) ]
 
 let pp_stats ppf (s : stats) =
+  (match s.analysis with
+  | Some a ->
+      Fmt.pf ppf
+        "analysis: %d program(s) in %.1fms — %d finding(s), %d error(s)@ "
+        a.a_programs a.a_wall_ms a.a_diags a.a_errors
+  | None -> ());
   let rate =
     if s.cache_hits + s.cache_misses = 0 then 0.0
     else

@@ -1,5 +1,9 @@
-(** The benchmark suite: annotated programs ({!Programs}) and
-    parametric workload generators ({!Generators}). *)
+(** The benchmark suite: annotated programs ({!Programs}), parametric
+    workload generators ({!Generators}), the lint-negative suite of
+    deliberately ill-formed programs ({!Ill_formed}), and the
+    [examples/] program registry ({!Examples}). *)
 
 module Programs = Programs
 module Generators = Generators
+module Ill_formed = Ill_formed
+module Examples = Examples

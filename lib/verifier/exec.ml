@@ -45,12 +45,23 @@ type program = { procs : proc list; preds : A.pred_env }
 
 let find_proc prog f = List.find_opt (fun p -> String.equal p.pname f) prog.procs
 
-let pred_body (penv : A.pred_env) name args =
+(** Spec-shaped failures raise {!Diag.Spec_error} with a structured
+    location (who referenced what, from where), so callers always see
+    where the bad reference sits; [verify_proc] renders them as
+    [Failed]. The static analyzer ([lib/analysis]) reports the same
+    conditions as [DA0xx] diagnostics before execution — a program it
+    passes cannot reach any of these. *)
+let default_loc = Diag.loc Diag.Program Diag.Body
+
+let pred_body ?(loc = default_loc) (penv : A.pred_env) name args =
   match Smap.find_opt name penv with
-  | None -> fail "unknown predicate %s" name
+  | None -> Diag.spec_error ~code:"DA001" ~loc "unknown predicate %s" name
   | Some def ->
       if List.length args <> List.length def.A.params then
-        fail "predicate %s: arity mismatch" name;
+        Diag.spec_error ~code:"DA002" ~loc
+          "predicate %s applied to %d arguments, declared with %d" name
+          (List.length args)
+          (List.length def.A.params);
       A.subst
         (Smap.of_list (List.map2 (fun x t -> (x, t)) def.A.params args))
         def.A.body
@@ -63,16 +74,16 @@ let value_term (v : HL.value) : T.t =
 (* ------------------------------------------------------------------ *)
 (* Ghost commands *)
 
-let exec_ghost (prog : program) (st : t) (cmd : ghost_cmd) : t list =
+let exec_ghost ?loc (prog : program) (st : t) (cmd : ghost_cmd) : t list =
   match cmd with
   | Fold (p, args) ->
-      let body = pred_body prog.preds p args in
+      let body = pred_body ?loc prog.preds p args in
       let st = consume st body in
       [ add_chunk st (A.Pred (p, args)) ]
   | Unfold (p, args) ->
       let st = consume st (A.Pred (p, args)) in
       (* Disjunctive predicate bodies split the state per case. *)
-      inhale_cases st (pred_body prog.preds p args)
+      inhale_cases st (pred_body ?loc prog.preds p args)
   | Update (g, from_gv, to_gv) -> (
       match
         take st (function
@@ -236,11 +247,18 @@ let rec exec (prog : program) (proc : proc) (st : t) (env : env)
   | HL.GhostMark key -> (
       match List.assoc_opt key proc.ghost with
       | Some cmds ->
+          let loc =
+            Diag.loc (Diag.Proc proc.pname) (Diag.Ghost_block key)
+          in
           List.fold_left
-            (fun sts cmd -> List.concat_map (fun st -> exec_ghost prog st cmd) sts)
+            (fun sts cmd ->
+              List.concat_map (fun st -> exec_ghost ~loc prog st cmd) sts)
             [ st ] cmds
           |> List.map (fun st -> (st, T.int 0))
-      | None -> fail "ghost mark %s has no commands" key)
+      | None ->
+          Diag.spec_error ~code:"DA009"
+            ~loc:(Diag.loc (Diag.Proc proc.pname) Diag.Body)
+            "ghost mark %s has no command block" key)
   | HL.App _ -> exec_call prog proc st env e
   | HL.Rec _ | HL.PairE _ | HL.Fst _ | HL.Snd _ | HL.InjLE _ | HL.InjRE _
   | HL.Case _ ->
@@ -271,7 +289,10 @@ and exec_while prog proc st env (loop : HL.expr) : (t * T.t) list =
   let inv =
     match List.find_opt (fun (n, _) -> n == loop) proc.invariants with
     | Some (_, inv) -> inv
-    | None -> fail "while loop without invariant in %s" proc.pname
+    | None ->
+        Diag.spec_error ~code:"DA008"
+          ~loc:(Diag.loc (Diag.Proc proc.pname) Diag.Body)
+          "while loop without an invariant annotation in %s" proc.pname
   in
   st.stats.Vstats.loops <- st.stats.Vstats.loops + 1;
   (* Entry: the invariant must hold; everything else is the frame. *)
@@ -308,13 +329,19 @@ and exec_call prog proc st env (e : HL.expr) : (t * T.t) list =
     | e -> fail "call: unsupported callee %a" HL.pp_expr e
   in
   let f, args = spine [] e in
+  let call_loc = Diag.loc (Diag.Proc proc.pname) Diag.Body in
   let callee =
     match find_proc prog f with
     | Some p -> p
-    | None -> fail "unknown procedure %s" f
+    | None ->
+        Diag.spec_error ~code:"DA003" ~loc:call_loc
+          "unknown procedure %s (called from %s)" f proc.pname
   in
   if List.length args <> List.length callee.params then
-    fail "call %s: arity mismatch" f;
+    Diag.spec_error ~code:"DA004" ~loc:call_loc
+      "call %s from %s: %d arguments for %d parameters" f proc.pname
+      (List.length args)
+      (List.length callee.params);
   st.stats.Vstats.calls <- st.stats.Vstats.calls + 1;
   (* Evaluate arguments left to right, threading states. *)
   let rec eval_args st acc = function
@@ -352,9 +379,11 @@ type outcome = Verified | Failed of string
     the parallel engine's workers stay isolated. *)
 let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
     outcome =
-  let session = Smt.Session.create () in
-  let st = create ~heap_dep ~session ?stats ~penv:prog.preds () in
   match
+    (* [create] is inside the guarded region: it enforces the
+       declaration-time stability of every predicate body (DA012). *)
+    let session = Smt.Session.create () in
+    let st = create ~heap_dep ~session ?stats ~penv:prog.preds () in
     inhale_cases st proc.requires
     |> List.iter (fun st ->
            exec prog proc st Smap.empty proc.body
@@ -364,6 +393,7 @@ let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
   with
   | () -> Verified
   | exception Verification_error m -> Failed m
+  | exception Diag.Spec_error d -> Failed (Diag.to_string d)
 
 (** Verify every procedure of a program; returns per-procedure
     outcomes. A shared [stats] instance accumulates across all

@@ -28,6 +28,19 @@ type t = {
 }
 
 let create ?(heap_dep = true) ?(penv = Smap.empty) ?session ?stats () =
+  (* Declaration-time stability: [A.stable]'s [Pred _ -> true] case is
+     sound only if every predicate body in scope is itself stable — a
+     chunk stands for its body under interference. Enforced here (and
+     reported pre-verification as DA012 by the static analyzer). *)
+  Smap.iter
+    (fun _ (def : A.pred_def) ->
+      if not (A.stable def.A.body) then
+        Diag.spec_error ~code:"DA012"
+          ~loc:(Diag.loc (Diag.Pred def.A.pname) Diag.Pred_body)
+          "predicate %s is unstable at declaration: a heap read escapes \
+           its body's footprint"
+          def.A.pname)
+    penv;
   let stats = match stats with Some s -> s | None -> Vstats.create () in
   let session =
     match session with Some s -> s | None -> Smt.Session.create ()

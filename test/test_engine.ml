@@ -40,7 +40,7 @@ let test_parallel_matches_sequential () =
 (* 2. Cache on ≡ cache off, at one and several domains. *)
 let test_cache_preserves_verdicts () =
   let go domains cache =
-    engine_results { E.domains; cache; heap_dep = true }
+    engine_results { E.default_config with E.domains; cache }
   in
   let reference = go 1 false in
   List.iter
@@ -72,7 +72,7 @@ let test_engine_stats () =
   in
   let report =
     E.verify_programs
-      ~config:{ E.domains = 2; cache = true; heap_dep = true }
+      ~config:{ E.default_config with E.domains = 2; cache = true }
       progs
   in
   let s = report.E.stats in

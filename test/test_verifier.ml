@@ -234,6 +234,42 @@ let test_ghost_cmds () =
       | _ -> Alcotest.fail "update yields one state")
   | _ -> Alcotest.fail "alloc yields one state"
 
+(* Regression: a predicate whose body is unstable at declaration must
+   be rejected before any symbolic execution — [Assertion.stable]'s
+   [Pred _ -> true] case is only sound because [State.create] enforces
+   stability of every definition (DA012). *)
+let test_unstable_pred_decl () =
+  let shaky =
+    {
+      A.pname = "shaky";
+      params = [ "p" ];
+      body = A.Pure (T.eq (Baselogic.Hterm.deref (T.var "p")) (T.int 0));
+    }
+  in
+  let preds = Smap.of_list [ ("shaky", shaky) ] in
+  let user =
+    {
+      V.pname = "user";
+      params = [ "p" ];
+      requires = A.Pred ("shaky", [ T.var "p" ]);
+      ensures = A.Emp;
+      body = HL.Val HL.Unit;
+      invariants = [];
+      ghost = [];
+    }
+  in
+  (match V.verify_proc { V.procs = [ user ]; preds } user with
+  | V.Verified -> Alcotest.fail "unstable predicate body must be rejected"
+  | V.Failed m ->
+      let mentions_da012 =
+        let n = String.length m in
+        let rec go i = i + 5 <= n && (String.sub m i 5 = "DA012" || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "failure names DA012" true mentions_da012);
+  (* the stable clist definitions still load fine *)
+  ignore (St.create ~penv:Suite.Programs.clist_preds ())
+
 let () =
   Alcotest.run "verifier"
     [
@@ -255,6 +291,8 @@ let () =
         [
           Alcotest.test_case "inhale-consume" `Quick test_inhale_consume;
           Alcotest.test_case "ghost-cmds" `Quick test_ghost_cmds;
+          Alcotest.test_case "unstable-pred-decl" `Quick
+            test_unstable_pred_decl;
         ] );
       ( "integration",
         [
