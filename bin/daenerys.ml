@@ -2,9 +2,18 @@
 
     - [daenerys suite -j N]      verify the whole benchmark suite
     - [daenerys verify NAME]     verify one suite entry (verbose)
+    - [daenerys verify FILE.hl]  parse, elaborate and verify a surface file
     - [daenerys lint [NAME…]]    static analysis only, no solver
+                                 (names ending in [.hl] are loaded as files)
     - [daenerys run NAME]        execute a suite program concretely
     - [daenerys list]            list suite entries
+
+    Surface files ([.hl]) go through the located front-end: the lexer
+    and parser stamp every node with a [file:line:col] span, the
+    elaborator records a source map per specification clause, and both
+    lint findings and verification failures are re-anchored at their
+    source — with a caret snippet in pretty output and a ["span"]
+    object in [--json].
 
     All verification goes through the parallel engine ([lib/engine]):
     [-j 1] is the same job pipeline on one domain, so parallel and
@@ -32,10 +41,57 @@ let find_entry name =
 let config ~jobs ~no_cache ~lint =
   { E.default_config with E.domains = max 1 jobs; cache = not no_cache; lint }
 
-(** Print per-program lint findings (skipping clean programs). *)
-let print_lint_findings results =
+(* ------------------------------------------------------------------ *)
+(* Surface (.hl) files *)
+
+let is_hl name = Filename.check_suffix name ".hl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Load an annotated surface file: parse and elaborate, returning the
+    program, its source map, and the source text (for caret snippets).
+    Front-end errors come back rendered, span and snippet included. *)
+let load_hl path :
+    (V.program * Diag.srcmap * string, string) result =
+  if not (Sys.file_exists path) then Error ("no such file: " ^ path)
+  else
+    let src = read_file path in
+    let render what m span =
+      Error
+        (Fmt.str "%s at %a: %s@.%a" what Stdx.Loc.pp span m
+           Stdx.Loc.pp_snippet (src, span))
+    in
+    match Verifier.Elab.program_of_string ~file:path src with
+    | prog, srcmap -> Ok (prog, srcmap, src)
+    | exception Heaplang.Parser.Parse_error (m, sp) ->
+        render "parse error" m sp
+    | exception Heaplang.Lexer.Lex_error (m, sp) -> render "lex error" m sp
+    | exception Baselogic.Elab.Elab_error (m, sp) ->
+        render "elaboration error" m sp
+
+(** Print per-program lint findings (skipping clean programs). When a
+    finding carries a span into one of [sources] (file → text), its
+    caret snippet follows the one-line form. *)
+let print_lint_findings ?(sources = []) results =
+  let snippet d =
+    match d.Diag.loc.Diag.span with
+    | Some s when s.Stdx.Loc.file <> "" -> (
+        match List.assoc_opt s.Stdx.Loc.file sources with
+        | Some src -> Fmt.pr "%a@." Stdx.Loc.pp_snippet (src, s)
+        | None -> ())
+    | _ -> ()
+  in
   List.iter
-    (fun (_, ds) -> if ds <> [] then Fmt.pr "%a@." Diag.pp_list ds)
+    (fun (_, ds) ->
+      List.iter
+        (fun d ->
+          Fmt.pr "%a@." Diag.pp d;
+          snippet d)
+        ds)
     results
 
 (** Print one entry's verdict line; true iff it behaved as expected. *)
@@ -100,11 +156,43 @@ let suite_cmd =
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
 
+let verify_file path ~jobs ~no_cache ~lint ~stats =
+  match load_hl path with
+  | Error m -> `Error (false, m)
+  | Ok (prog, srcmap, src) ->
+      let report =
+        E.verify_programs
+          ~config:(config ~jobs ~no_cache ~lint)
+          ~srcmaps:[ (path, srcmap) ]
+          [ (path, prog) ]
+      in
+      if lint then
+        print_lint_findings ~sources:[ (path, src) ] report.E.lint;
+      let g = List.hd report.E.groups in
+      let ok = E.group_ok g in
+      List.iter
+        (fun (p, o) ->
+          match o with
+          | V.Verified -> Fmt.pr "  proc %-12s ok@." p
+          | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
+        g.E.outcomes;
+      Fmt.pr "%-24s %s  %.1fms@." path
+        (if ok then "VERIFIED" else "FAILED")
+        g.E.ms;
+      if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
+      if ok then `Ok () else `Error (false, "verification failed")
+
 let verify_cmd =
-  let doc = "Verify one suite entry, with statistics." in
+  let doc =
+    "Verify one suite entry (by name) or an annotated surface file \
+     (by .hl path), with statistics."
+  in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const (fun name jobs no_cache lint ->
+          if is_hl name then
+            verify_file name ~jobs ~no_cache ~lint ~stats:false
+          else
           match find_entry name with
           | Some e ->
               let report =
@@ -195,31 +283,41 @@ let lint_cmd =
                     !failures )
           end
           else
+            (* Names ending in [.hl] are surface files; anything else
+               must be a suite / example entry. *)
             let targets =
               match names with
-              | [] -> Ok (lint_targets ())
+              | [] -> Ok (lint_targets (), [], [])
               | ns ->
                   let all = lint_targets () in
-                  let rec pick acc = function
-                    | [] -> Ok (List.rev acc)
+                  let rec pick acc maps srcs = function
+                    | [] -> Ok (List.rev acc, maps, srcs)
+                    | n :: rest when is_hl n -> (
+                        match load_hl n with
+                        | Error m -> Error m
+                        | Ok (prog, srcmap, src) ->
+                            pick ((n, prog) :: acc)
+                              ((n, srcmap) :: maps)
+                              ((n, src) :: srcs)
+                              rest)
                     | n :: rest -> (
                         match List.assoc_opt n all with
-                        | Some p -> pick ((n, p) :: acc) rest
-                        | None -> Error n)
+                        | Some p -> pick ((n, p) :: acc) maps srcs rest
+                        | None -> Error ("unknown entry " ^ n))
                   in
-                  pick [] ns
+                  pick [] [] [] ns
             in
             match targets with
-            | Error n -> `Error (false, "unknown entry " ^ n)
-            | Ok targets ->
+            | Error m -> `Error (false, m)
+            | Ok (targets, srcmaps, sources) ->
                 let results, a =
-                  E.run_analysis ~domains:(max 1 jobs) targets
+                  E.run_analysis ~srcmaps ~domains:(max 1 jobs) targets
                 in
                 let all_ds = List.concat_map snd results in
                 if json then
                   Fmt.pr "%s@." (Diag.list_to_json (Diag.sort all_ds))
                 else begin
-                  print_lint_findings results;
+                  print_lint_findings ~sources results;
                   Fmt.pr
                     "lint: %d program(s), %d finding(s), %d error(s)@."
                     a.E.a_programs a.E.a_diags a.E.a_errors

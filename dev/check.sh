@@ -24,6 +24,38 @@ dune exec bin/daenerys.exe -- lint --ill-formed
 echo "== daenerys suite --lint -j 2 (smoke) =="
 dune exec bin/daenerys.exe -- suite --lint -j 2 --stats
 
+echo "== surface (.hl) gate: parse + lint + verify every examples/*.hl =="
+for f in examples/*.hl; do
+  case "$f" in
+    examples/bad_swap.hl)
+      # negative program: must parse, lint clean, and FAIL verification
+      dune exec bin/daenerys.exe -- lint "$f"
+      if dune exec bin/daenerys.exe -- verify "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f verified but must fail" >&2; exit 1
+      fi
+      echo "$f: failed verification (as expected)"
+      ;;
+    examples/broken.hl)
+      # ill-formed program: lint must report DA001 anchored at 6:12
+      out=$(dune exec bin/daenerys.exe -- lint --json "$f" 2>&1) && {
+        echo "FAIL: lint $f exited 0 but must report errors" >&2; exit 1; }
+      for needle in '"DA001"' 'broken.hl' '"line": 6' '"col": 12'; do
+        case "$out" in
+          *"$needle"*) ;;
+          *) echo "FAIL: lint --json $f missing $needle" >&2
+             echo "$out" >&2; exit 1 ;;
+        esac
+      done
+      echo "$f: DA001 at broken.hl:6:12 (as expected)"
+      ;;
+    *)
+      # positive twins: must lint clean and verify
+      dune exec bin/daenerys.exe -- lint "$f"
+      dune exec bin/daenerys.exe -- verify "$f"
+      ;;
+  esac
+done
+
 echo "== bench smoke: smt_incremental --quick =="
 dune exec bench/main.exe -- smt_incremental --quick
 

@@ -64,6 +64,9 @@ type loc = {
   context : context;
   site : site;
   path : string list;  (** descent into the assertion, outermost first *)
+  span : Stdx.Loc.t option;
+      (** source span of the clause, when the program came from a
+          [.hl] file; [None] for hand-built programs *)
 }
 
 type t = {
@@ -78,8 +81,8 @@ exception Spec_error of t
 (** Raised by the symbolic executor on spec-shaped failure paths. The
     analyzer reports the same conditions as values, never by raising. *)
 
-let loc ?(unit_name = "") ?(path = []) context site =
-  { unit_name; context; site; path }
+let loc ?(unit_name = "") ?(path = []) ?span context site =
+  { unit_name; context; site; path; span }
 
 let v ?hint ~code ~severity ~loc message =
   { code; severity; loc; message; hint }
@@ -96,6 +99,34 @@ let spec_error ?hint ~code ~loc fmt =
     (fun message ->
       raise (Spec_error (v ?hint ~code ~severity:Error ~loc message)))
     fmt
+
+(* ------------------------------------------------------------------ *)
+(* Source maps
+
+   Elaboration from the surface language records, per specification
+   clause, the source span it came from. Diagnostics produced against
+   the elaborated (span-free) program are then re-anchored by looking
+   up their structured location. Keys are at clause granularity —
+   (context, site) — which is exactly the resolution the analyzer and
+   the executor report at. *)
+
+type srcmap = ((context * site) * Stdx.Loc.t) list
+
+let srcmap_find (m : srcmap) ~context ~site =
+  List.assoc_opt (context, site) m
+
+(** Fill in [span] from the source map when the diagnostic does not
+    already carry one. A [Pred p] context is resolved against the map
+    regardless of which unit reported it (predicates are shared). *)
+let relocate (m : srcmap) (d : t) : t =
+  match d.loc.span with
+  | Some _ -> d
+  | None -> (
+      match srcmap_find m ~context:d.loc.context ~site:d.loc.site with
+      | Some span -> { d with loc = { d.loc with span = Some span } }
+      | None -> d)
+
+let relocate_all m ds = List.map (relocate m) ds
 
 (* ------------------------------------------------------------------ *)
 (* Accessors *)
@@ -145,7 +176,9 @@ let site_to_string = function
   | Pred_body -> "definition"
 
 let pp_loc ppf l =
-  if l.unit_name <> "" then Fmt.pf ppf "%s: " l.unit_name;
+  (match l.span with
+  | Some s when not (Stdx.Loc.is_dummy s) -> Fmt.pf ppf "%a: " Stdx.Loc.pp s
+  | _ -> if l.unit_name <> "" then Fmt.pf ppf "%s: " l.unit_name);
   Fmt.pf ppf "%s, %s" (context_to_string l.context) (site_to_string l.site);
   match l.path with
   | [] -> ()
@@ -184,6 +217,12 @@ let context_to_json = function
   | Pred p -> Printf.sprintf {|{"kind": "pred", "name": %s}|} (json_string p)
   | Program -> {|{"kind": "program"}|}
 
+let span_to_json (s : Stdx.Loc.t) =
+  Printf.sprintf
+    {|{"file": %s, "line": %d, "col": %d, "end_line": %d, "end_col": %d}|}
+    (json_string s.Stdx.Loc.file)
+    s.Stdx.Loc.line s.Stdx.Loc.col s.Stdx.Loc.end_line s.Stdx.Loc.end_col
+
 let to_json d =
   let fields =
     [
@@ -197,6 +236,9 @@ let to_json d =
           (String.concat ", " (List.map json_string d.loc.path)) );
       ("message", json_string d.message);
     ]
+    @ (match d.loc.span with
+      | Some s when not (Stdx.Loc.is_dummy s) -> [ ("span", span_to_json s) ]
+      | _ -> [])
     @ match d.hint with None -> [] | Some h -> [ ("hint", json_string h) ]
   in
   Printf.sprintf "{%s}"

@@ -139,12 +139,8 @@ let check_pred ~unit_name (def : A.pred_def) : Diag.t list =
         (fun (e : escape) ->
           Diag.error ~code:"DA012" ~hint:(escape_hint e)
             ~loc:
-              {
-                Diag.unit_name;
-                context = Diag.Pred def.A.pname;
-                site = Diag.Pred_body;
-                path = e.path;
-              }
+              (Diag.loc ~unit_name ~path:e.path
+                 (Diag.Pred def.A.pname) Diag.Pred_body)
             "predicate %s is unstable at declaration: heap read !%a \
              escapes its body's footprint (chunks assume predicates \
              stable)"

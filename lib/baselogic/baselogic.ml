@@ -11,3 +11,4 @@ module Ghost_val = Ghost_val
 module Assertion = Assertion
 module Semantics = Semantics
 module Kernel = Kernel
+module Elab = Elab

@@ -1,0 +1,71 @@
+(** Elaboration of the surface specification language onto the logic.
+
+    {!Heaplang.Surface} terms and assertions are pure located syntax;
+    this module lowers them to {!Smt.Term} and {!Assertion} values:
+
+    - a spec-level heap read [!t] becomes the reserved {!Hterm.deref}
+      application, so heap-dependent pure assertions flow through the
+      destabilized-logic pipeline unchanged;
+    - [&&] / [||] become the n-ary solver connectives;
+    - a points-to without a fraction annotation owns the full chunk
+      ([Q.one]); [{n/d}] lowers to [Q.mk n d];
+    - [exists x y. A] nests single-binder {!Assertion.Exists}.
+
+    Division and remainder have no solver encoding; the parser rejects
+    them in specs, and elaboration double-checks ({!Elab_error}). *)
+
+open Stdx
+module S = Heaplang.Surface
+module T = Smt.Term
+module A = Assertion
+
+exception Elab_error of string * Loc.t
+(** A surface construct with no logical encoding, with its span. *)
+
+let fail span fmt = Fmt.kstr (fun m -> raise (Elab_error (m, span))) fmt
+
+let rec term (t : S.term) : T.t =
+  match t.S.t with
+  | S.TInt n -> T.int n
+  | S.TBool b -> T.bool b
+  | S.TVar x -> T.var x
+  | S.TDeref u -> Hterm.deref (term u)
+  | S.TNeg u -> T.neg (term u)
+  | S.TBin (op, a, b) -> (
+      let a = term a and b = term b in
+      match op with
+      | Heaplang.Ast.Add -> T.add a b
+      | Sub -> T.sub a b
+      | Mul -> T.mul a b
+      | Div | Rem ->
+          fail t.S.tspan
+            "division has no specification-term encoding (solver terms \
+             are linear integer arithmetic)"
+      | Eq -> T.eq a b
+      | Ne -> T.neq a b
+      | Lt -> T.lt a b
+      | Le -> T.le a b
+      | Gt -> T.gt a b
+      | Ge -> T.ge a b
+      | AndOp -> T.and_ [ a; b ]
+      | OrOp -> T.or_ [ a; b ])
+
+let frac : S.frac option -> Q.t = function
+  | None -> Q.one
+  | Some { S.num; den } -> Q.mk num den
+
+let rec assertion (a : S.assertion) : A.t =
+  match a.S.a with
+  | S.AEmp -> A.Emp
+  | S.APure t -> A.Pure (term t)
+  | S.APointsTo { alhs; afrac; arhs } ->
+      A.Points_to { loc = term alhs; frac = frac afrac; value = term arhs }
+  | S.APred (p, args) -> A.Pred (p, List.map term args)
+  | S.ASep (p, q) -> A.Sep (assertion p, assertion q)
+  | S.AOr (p, q) -> A.Or (assertion p, assertion q)
+  | S.AStabilize p -> A.Stabilize (assertion p)
+  | S.AExists (xs, p) ->
+      List.fold_right (fun x acc -> A.Exists (x, acc)) xs (assertion p)
+
+let pred (p : S.pred) : A.pred_def =
+  { A.pname = p.S.pr_name; params = p.S.pr_params; body = assertion p.S.pr_body }

@@ -83,8 +83,12 @@ let regroup (results : Job.result array) : group_result list =
 
 (** The static-analysis phase: one job per program, drained over the
     same domain pool the verification jobs will use. Pure and
-    solver-free, so no stats prologue/epilogue is needed. *)
-let run_analysis ~domains (progs : (string * V.program) list) :
+    solver-free, so no stats prologue/epilogue is needed. [srcmaps]
+    associates program names with the source maps elaboration produced
+    for them; findings on those programs are re-anchored at their
+    source spans. *)
+let run_analysis ?(srcmaps : (string * Diag.srcmap) list = []) ~domains
+    (progs : (string * V.program) list) :
     (string * Diag.t list) list * analysis_stats =
   let t0 = Unix.gettimeofday () in
   let items = Array.of_list progs in
@@ -94,7 +98,13 @@ let run_analysis ~domains (progs : (string * V.program) list) :
       (fun (name, prog) -> (name, Analysis.analyze_program ~name prog))
       items
   in
-  let results = Array.to_list diags in
+  let results =
+    Array.to_list diags
+    |> List.map (fun (name, ds) ->
+           match List.assoc_opt name srcmaps with
+           | Some m -> (name, Diag.relocate_all m ds)
+           | None -> (name, ds))
+  in
   let all = List.concat_map snd results in
   ( results,
     {
@@ -109,11 +119,12 @@ let run_analysis ~domains (progs : (string * V.program) list) :
     across programs as well as within them. With [config.lint], the
     analysis phase runs on the pool first and gates error-ridden
     programs away from the solver. *)
-let verify_programs ?(config = default_config) (progs : (string * V.program) list)
-    : report =
+let verify_programs ?(config = default_config)
+    ?(srcmaps : (string * Diag.srcmap) list = [])
+    (progs : (string * V.program) list) : report =
   let lint_results, analysis_stats =
     if config.lint then
-      let r, s = run_analysis ~domains:config.domains progs in
+      let r, s = run_analysis ~srcmaps ~domains:config.domains progs in
       (r, Some s)
     else ([], None)
   in
@@ -146,7 +157,10 @@ let verify_programs ?(config = default_config) (progs : (string * V.program) lis
   let jobs =
     List.concat_map
       (fun (group, prog) ->
-        Job.of_program ~heap_dep:config.heap_dep ~group prog)
+        let srcmap =
+          Option.value ~default:[] (List.assoc_opt group srcmaps)
+        in
+        Job.of_program ~heap_dep:config.heap_dep ~srcmap ~group prog)
       live
     |> Array.of_list
   in

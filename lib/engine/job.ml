@@ -12,6 +12,9 @@ type t = {
   proc : V.proc;
   prog : V.program;  (** the whole program, for callee specs *)
   heap_dep : bool;
+  srcmap : Diag.srcmap;
+      (** source spans for the program's spec clauses; [[]] for
+          hand-built programs *)
 }
 
 type result = {
@@ -22,8 +25,9 @@ type result = {
 }
 
 (** One job per procedure of [prog], in declaration order. *)
-let of_program ?(heap_dep = true) ~group (prog : V.program) : t list =
-  List.map (fun proc -> { group; proc; prog; heap_dep }) prog.V.procs
+let of_program ?(heap_dep = true) ?(srcmap = []) ~group (prog : V.program) :
+    t list =
+  List.map (fun proc -> { group; proc; prog; heap_dep; srcmap }) prog.V.procs
 
 (** Run a job. Never raises: stray exceptions (beyond the verifier's
     own [Verification_error], which [verify_proc] already converts)
@@ -34,7 +38,8 @@ let run (job : t) : result =
   let t0 = Unix.gettimeofday () in
   let outcome =
     match
-      V.verify_proc ~heap_dep:job.heap_dep ~stats:vstats job.prog job.proc
+      V.verify_proc ~heap_dep:job.heap_dep ~srcmap:job.srcmap ~stats:vstats
+        job.prog job.proc
     with
     | o -> o
     | exception e -> V.Failed (Printexc.to_string e)

@@ -7,4 +7,5 @@ module Heap = Heap
 module Step = Step
 module Interp = Interp
 module Lexer = Lexer
+module Surface = Surface
 module Parser = Parser

@@ -1,11 +1,14 @@
-(** A recursive-descent parser for the surface syntax.
+(** A recursive-descent parser for the surface syntax: expressions,
+    specification assertions, and whole annotated programs.
 
-    Grammar (lowest to highest precedence):
+    Expression grammar (lowest to highest precedence):
     {v
     expr    ::= "let" x "=" expr "in" expr
               | "fun" x "->" expr | "rec" f x "->" expr
               | "if" expr "then" expr "else" expr
-              | "while" expr "do" expr "done"
+              | "while" expr ("invariant" assertion)? "do" expr "done"
+              | "match" expr "with" "|"? "inl" x "->" expr
+                                   "|" "inr" y "->" expr "end"
               | seq
     seq     ::= assign (";" expr)?            — right-associated
     assign  ::= disj ("<-" disj)?             — store
@@ -18,41 +21,84 @@
     app     ::= atom atom*                    — application, also the
                 keyword applications ref/free/assert/fst/snd/inl/inr
     atom    ::= int | "true" | "false" | "(" ")" | ident | ?sym
-              | "ghost" ident
+              | "ghost" ident ("{" gcmds "}")?   — block only in programs
               | "CAS" "(" expr "," expr "," expr ")"
               | "FAA" "(" expr "," expr ")"
-              | "match" expr "with" "inl" x "->" expr "|" … — omitted;
-                use [Ast.Case] directly for sums
               | "(" expr ("," expr)? ")"
     v}
 
-    The parser produces plain {!Ast.expr}; `?x` symbols become [Sym]
-    values, so parsed programs plug directly into the verifier. *)
+    The specification grammar (assertions, spec terms, ghost commands)
+    and the program grammar (predicate / procedure items) are
+    documented in {!Surface}. The parser produces plain {!Ast.expr}
+    for code and located {!Surface} trees for specifications; loop
+    [invariant] annotations and [ghost key { … }] blocks are collected
+    per procedure and keyed by the physical [While] node / the ghost
+    mark, exactly as the verifier expects them.
 
+    Errors ({!Parse_error}, {!Lexer.Lex_error}) carry a {!Stdx.Loc.t}
+    source span (file, 1-based line and column) rather than a raw byte
+    offset. *)
+
+open Stdx
 open Ast
 
-exception Parse_error of string * int
+exception Parse_error of string * Loc.t
 
-let fail_at pos fmt = Fmt.kstr (fun m -> raise (Parse_error (m, pos))) fmt
+let fail_at span fmt = Fmt.kstr (fun m -> raise (Parse_error (m, span))) fmt
 
-type state = { mutable toks : (Lexer.token * int) list }
+type state = {
+  mutable toks : (Lexer.token * Loc.t) list;
+  mutable last_span : Loc.t;  (** span of the most recently consumed token *)
+  in_program : bool;
+      (** whether spec annotations (loop invariants, ghost blocks) are
+          legal — true only under {!parse_program} *)
+  mutable invs : (Ast.expr * Surface.assertion) list;
+      (** collected loop invariants, keyed by the physical While node *)
+  mutable ghosts : (string * Surface.ghost_cmd list * Loc.t) list;
+      (** collected ghost command blocks, keyed by the mark *)
+}
 
-let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+let mk_state ?(in_program = false) toks =
+  { toks; last_span = Loc.dummy; in_program; invs = []; ghosts = [] }
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, Loc.dummy) | t :: _ -> t
+
+(** The token after the next one — one-token lookahead past [peek],
+    used to tell a predicate application [p(…)] from a points-to whose
+    left-hand side is the variable [p]. *)
+let peek2 st =
+  match st.toks with
+  | _ :: t :: _ -> t
+  | _ -> (Lexer.EOF, Loc.dummy)
+
+let here st = snd (peek st)
 
 let advance st =
-  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+  match st.toks with
+  | [] -> ()
+  | (_, span) :: rest ->
+      st.last_span <- span;
+      st.toks <- rest
 
 let expect st tok what =
-  let t, pos = peek st in
+  let t, span = peek st in
   if t = tok then advance st
-  else fail_at pos "expected %s, found %a" what Lexer.pp_token t
+  else fail_at span "expected %s, found %a" what Lexer.pp_token t
 
 let expect_ident st what =
   match peek st with
   | Lexer.IDENT x, _ ->
       advance st;
       x
-  | t, pos -> fail_at pos "expected %s, found %a" what Lexer.pp_token t
+  | t, span -> fail_at span "expected %s, found %a" what Lexer.pp_token t
+
+let expect_int st what =
+  match peek st with
+  | Lexer.INT n, _ ->
+      advance st;
+      n
+  | t, span -> fail_at span "expected %s, found %a" what Lexer.pp_token t
 
 let bin_of_string = function
   | "+" -> Add
@@ -69,6 +115,318 @@ let bin_of_string = function
   | "&&" -> AndOp
   | "||" -> OrOp
   | s -> invalid_arg ("bin_of_string: " ^ s)
+
+(* ================================================================== *)
+(* Specification terms *)
+
+(* [allow_star] disables "*" (multiplication) at the factor level so
+   that points-to operands do not swallow a following separating
+   conjunction; inside "[ … ]", "( … )" and predicate arguments the
+   full grammar (including "*") applies. Division and remainder have
+   no solver-term encoding, so the spec grammar rejects them. *)
+
+let mk_term t tspan : Surface.term = { Surface.t; tspan }
+
+let rec sterm st : Surface.term = sdisj ~allow_star:true st
+
+and sdisj ~allow_star st =
+  let rec go (acc : Surface.term) =
+    match peek st with
+    | Lexer.OP "||", _ ->
+        advance st;
+        let rhs = sconj ~allow_star st in
+        go
+          (mk_term
+             (Surface.TBin (OrOp, acc, rhs))
+             (Loc.union acc.Surface.tspan rhs.Surface.tspan))
+    | _ -> acc
+  in
+  go (sconj ~allow_star st)
+
+and sconj ~allow_star st =
+  let rec go (acc : Surface.term) =
+    match peek st with
+    | Lexer.OP "&&", _ ->
+        advance st;
+        let rhs = scmp ~allow_star st in
+        go
+          (mk_term
+             (Surface.TBin (AndOp, acc, rhs))
+             (Loc.union acc.Surface.tspan rhs.Surface.tspan))
+    | _ -> acc
+  in
+  go (scmp ~allow_star st)
+
+and scmp ~allow_star st =
+  let lhs = sarith ~allow_star st in
+  match peek st with
+  | Lexer.OP o, _ when List.mem o [ "=="; "!="; "<"; "<="; ">"; ">=" ] ->
+      advance st;
+      let rhs = sarith ~allow_star st in
+      mk_term
+        (Surface.TBin (bin_of_string o, lhs, rhs))
+        (Loc.union lhs.Surface.tspan rhs.Surface.tspan)
+  | _ -> lhs
+
+and sarith ~allow_star st =
+  let rec go (acc : Surface.term) =
+    match peek st with
+    | Lexer.OP (("+" | "-") as o), _ ->
+        advance st;
+        let rhs = sfactor ~allow_star st in
+        go
+          (mk_term
+             (Surface.TBin (bin_of_string o, acc, rhs))
+             (Loc.union acc.Surface.tspan rhs.Surface.tspan))
+    | _ -> acc
+  in
+  go (sfactor ~allow_star st)
+
+and sfactor ~allow_star st =
+  let rec go (acc : Surface.term) =
+    match peek st with
+    | Lexer.OP "*", _ when allow_star ->
+        advance st;
+        let rhs = sprefix ~allow_star st in
+        go
+          (mk_term
+             (Surface.TBin (Mul, acc, rhs))
+             (Loc.union acc.Surface.tspan rhs.Surface.tspan))
+    | Lexer.OP (("/" | "%") as o), span ->
+        fail_at span
+          "'%s' has no specification-term encoding (the solver terms \
+           are linear integer arithmetic)" o
+    | _ -> acc
+  in
+  go (sprefix ~allow_star st)
+
+and sprefix ~allow_star st : Surface.term =
+  match peek st with
+  | Lexer.BANG, span ->
+      advance st;
+      let t = sprefix ~allow_star st in
+      mk_term (Surface.TDeref t) (Loc.union span t.Surface.tspan)
+  | Lexer.OP "-", span ->
+      advance st;
+      let t = sprefix ~allow_star st in
+      mk_term (Surface.TNeg t) (Loc.union span t.Surface.tspan)
+  | _ -> satom st
+
+and satom st : Surface.term =
+  match peek st with
+  | Lexer.INT n, span ->
+      advance st;
+      mk_term (Surface.TInt n) span
+  | Lexer.KW "true", span ->
+      advance st;
+      mk_term (Surface.TBool true) span
+  | Lexer.KW "false", span ->
+      advance st;
+      mk_term (Surface.TBool false) span
+  | Lexer.IDENT x, span ->
+      advance st;
+      mk_term (Surface.TVar x) span
+  | Lexer.LPAREN, lspan ->
+      advance st;
+      let t = sterm st in
+      expect st Lexer.RPAREN "')'";
+      { t with Surface.tspan = Loc.union lspan st.last_span }
+  | t, span ->
+      fail_at span "expected a specification term, found %a" Lexer.pp_token t
+
+(* ================================================================== *)
+(* Assertions *)
+
+let mk_assert a aspan : Surface.assertion = { Surface.a; aspan }
+
+let rec assertion st : Surface.assertion =
+  let rec go (acc : Surface.assertion) =
+    match peek st with
+    | Lexer.OP "||", _ ->
+        advance st;
+        let rhs = asep st in
+        go
+          (mk_assert
+             (Surface.AOr (acc, rhs))
+             (Loc.union acc.Surface.aspan rhs.Surface.aspan))
+    | _ -> acc
+  in
+  go (asep st)
+
+and asep st : Surface.assertion =
+  let lhs = aprim st in
+  match peek st with
+  | Lexer.OP "*", _ ->
+      advance st;
+      let rhs = asep st in
+      (* right-nested, mirroring [Assertion.seps] *)
+      mk_assert
+        (Surface.ASep (lhs, rhs))
+        (Loc.union lhs.Surface.aspan rhs.Surface.aspan)
+  | _ -> lhs
+
+and aprim st : Surface.assertion =
+  match peek st with
+  | Lexer.KW "emp", span ->
+      advance st;
+      mk_assert Surface.AEmp span
+  | Lexer.LBRACKET, lspan ->
+      advance st;
+      let t = sterm st in
+      expect st Lexer.RBRACKET "']' closing the pure assertion";
+      mk_assert (Surface.APure t) (Loc.union lspan st.last_span)
+  | Lexer.LSTAB, lspan ->
+      advance st;
+      let a = assertion st in
+      expect st Lexer.RSTAB "'_|' closing the stabilization bracket";
+      mk_assert (Surface.AStabilize a) (Loc.union lspan st.last_span)
+  | Lexer.KW "exists", lspan ->
+      advance st;
+      let rec binders acc =
+        match peek st with
+        | Lexer.IDENT x, _ ->
+            advance st;
+            binders (x :: acc)
+        | Lexer.DOT, _ ->
+            advance st;
+            List.rev acc
+        | t, span ->
+            fail_at span "expected a binder or '.', found %a" Lexer.pp_token
+              t
+      in
+      let xs = binders [] in
+      if xs = [] then fail_at lspan "exists needs at least one binder";
+      let body = assertion st in
+      mk_assert
+        (Surface.AExists (xs, body))
+        (Loc.union lspan body.Surface.aspan)
+  | Lexer.LPAREN, _ ->
+      let lspan = here st in
+      advance st;
+      let a = assertion st in
+      expect st Lexer.RPAREN "')'";
+      { a with Surface.aspan = Loc.union lspan st.last_span }
+  | Lexer.IDENT p, pspan when fst (peek2 st) = Lexer.LPAREN ->
+      (* predicate application *)
+      advance st;
+      advance st;
+      let rec args acc =
+        match peek st with
+        | Lexer.RPAREN, _ ->
+            advance st;
+            List.rev acc
+        | _ -> (
+            let t = sterm st in
+            match peek st with
+            | Lexer.COMMA, _ ->
+                advance st;
+                args (t :: acc)
+            | Lexer.RPAREN, _ ->
+                advance st;
+                List.rev (t :: acc)
+            | tok, span ->
+                fail_at span "expected ',' or ')', found %a" Lexer.pp_token
+                  tok)
+      in
+      let ts = args [] in
+      mk_assert (Surface.APred (p, ts)) (Loc.union pspan st.last_span)
+  | _ ->
+      (* points-to: term "|->" ("{" n "/" d "}")? term *)
+      let lhs = sarith ~allow_star:false st in
+      expect st Lexer.MAPSTO "'|->' (or a bracketed pure assertion)";
+      let afrac =
+        match peek st with
+        | Lexer.LBRACE, _ ->
+            advance st;
+            let num = expect_int st "fraction numerator" in
+            expect st (Lexer.OP "/") "'/'";
+            let den = expect_int st "fraction denominator" in
+            expect st Lexer.RBRACE "'}'";
+            if den <= 0 || num <= 0 then
+              fail_at st.last_span "fractions must be positive";
+            Some { Surface.num; den }
+        | _ -> None
+      in
+      let rhs = sarith ~allow_star:false st in
+      mk_assert
+        (Surface.APointsTo { alhs = lhs; afrac; arhs = rhs })
+        (Loc.union lhs.Surface.tspan rhs.Surface.tspan)
+
+(* ================================================================== *)
+(* Ghost command blocks *)
+
+let ghost_cmd st : Surface.ghost_cmd =
+  let fold_like what =
+    advance st;
+    let p = expect_ident st "predicate name" in
+    expect st Lexer.LPAREN "'('";
+    let rec args acc =
+      match peek st with
+      | Lexer.RPAREN, _ ->
+          advance st;
+          List.rev acc
+      | _ -> (
+          let t = sterm st in
+          match peek st with
+          | Lexer.COMMA, _ ->
+              advance st;
+              args (t :: acc)
+          | Lexer.RPAREN, _ ->
+              advance st;
+              List.rev (t :: acc)
+          | tok, span ->
+              fail_at span "expected ',' or ')', found %a" Lexer.pp_token tok)
+    in
+    (p, args [], what)
+  in
+  match peek st with
+  | Lexer.KW "fold", _ ->
+      let p, args, _ = fold_like `Fold in
+      Surface.GFold (p, args)
+  | Lexer.KW "unfold", _ ->
+      let p, args, _ = fold_like `Unfold in
+      Surface.GUnfold (p, args)
+  | Lexer.KW "assert", _ ->
+      advance st;
+      Surface.GAssert (assertion st)
+  | t, span ->
+      fail_at span
+        "expected a ghost command (fold / unfold / assert), found %a"
+        Lexer.pp_token t
+
+let ghost_block st key kspan =
+  (* "{" already peeked *)
+  let lspan = here st in
+  advance st;
+  let rec cmds acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> (
+        let c = ghost_cmd st in
+        match peek st with
+        | Lexer.SEMI, _ ->
+            advance st;
+            cmds (c :: acc)
+        | Lexer.RBRACE, _ ->
+            advance st;
+            List.rev (c :: acc)
+        | t, span ->
+            fail_at span "expected ';' or '}' in a ghost block, found %a"
+              Lexer.pp_token t)
+  in
+  let block = cmds [] in
+  if List.exists (fun (k, _, _) -> String.equal k key) st.ghosts then
+    fail_at kspan "duplicate ghost block %S in this procedure" key;
+  st.ghosts <-
+    (key, block, Loc.union kspan st.last_span) :: st.ghosts;
+  if not st.in_program then
+    fail_at (Loc.union lspan st.last_span)
+      "ghost command blocks are only allowed inside procedure bodies"
+
+(* ================================================================== *)
+(* Expressions *)
 
 let rec expr st : expr =
   (* any construct may be followed by `; rest` *)
@@ -111,10 +469,42 @@ and head st : expr =
   | Lexer.KW "while", _ ->
       advance st;
       let c = expr st in
+      let inv =
+        match peek st with
+        | Lexer.KW "invariant", span ->
+            advance st;
+            if not st.in_program then
+              fail_at span
+                "loop invariants are only allowed inside procedure bodies";
+            Some (assertion st)
+        | _ -> None
+      in
       expect st (Lexer.KW "do") "'do'";
       let b = expr st in
       expect st (Lexer.KW "done") "'done'";
-      While (c, b)
+      let node = While (c, b) in
+      (match inv with
+      | Some a -> st.invs <- (node, a) :: st.invs
+      | None -> ());
+      node
+  | Lexer.KW "match", _ ->
+      advance st;
+      let scrut = expr st in
+      expect st (Lexer.KW "with") "'with'";
+      (match peek st with
+      | Lexer.BAR, _ -> advance st
+      | _ -> ());
+      expect st (Lexer.KW "inl") "'inl'";
+      let x = expect_ident st "left binder" in
+      expect st Lexer.ARROW "'->'";
+      let e1 = expr st in
+      expect st Lexer.BAR "'|'";
+      expect st (Lexer.KW "inr") "'inr'";
+      let y = expect_ident st "right binder" in
+      expect st Lexer.ARROW "'->'";
+      let e2 = expr st in
+      expect st (Lexer.KW "end") "'end' closing the match";
+      Case (scrut, (x, e1), (y, e2))
   | _ -> assign st
 
 and assign st : expr =
@@ -211,7 +601,12 @@ and atom st : expr =
       Val (Sym x)
   | Lexer.KW "ghost", _ ->
       advance st;
-      GhostMark (expect_ident st "ghost key")
+      let kspan = here st in
+      let key = expect_ident st "ghost key" in
+      (match peek st with
+      | Lexer.LBRACE, _ -> ghost_block st key kspan
+      | _ -> ());
+      GhostMark key
   | Lexer.KW "CAS", _ ->
       advance st;
       expect st Lexer.LPAREN "'('";
@@ -247,21 +642,140 @@ and atom st : expr =
           | _ ->
               expect st Lexer.RPAREN "')'";
               e))
-  | t, pos -> fail_at pos "expected an expression, found %a" Lexer.pp_token t
+  | t, span -> fail_at span "expected an expression, found %a" Lexer.pp_token t
 
-(** Parse a complete program. *)
-let parse (src : string) : expr =
-  let st = { toks = Lexer.tokenize src } in
-  let e = expr st in
+(* ================================================================== *)
+(* Annotated programs *)
+
+let params_list st =
+  expect st Lexer.LPAREN "'('";
+  let rec go acc =
+    match peek st with
+    | Lexer.RPAREN, _ ->
+        advance st;
+        List.rev acc
+    | Lexer.IDENT x, _ -> (
+        advance st;
+        match peek st with
+        | Lexer.COMMA, _ ->
+            advance st;
+            go (x :: acc)
+        | Lexer.RPAREN, _ ->
+            advance st;
+            List.rev (x :: acc)
+        | t, span ->
+            fail_at span "expected ',' or ')', found %a" Lexer.pp_token t)
+    | t, span -> fail_at span "expected a parameter, found %a" Lexer.pp_token t
+  in
+  go []
+
+let predicate_item st : Surface.pred =
+  let pspan = here st in
+  expect st (Lexer.KW "predicate") "'predicate'";
+  let name = expect_ident st "predicate name" in
+  let params = params_list st in
+  expect st (Lexer.OP "=") "'='";
+  let body = assertion st in
+  {
+    Surface.pr_name = name;
+    pr_params = params;
+    pr_body = body;
+    pr_span = Loc.union pspan body.Surface.aspan;
+  }
+
+let procedure_item st : Surface.proc =
+  let pspan = here st in
+  expect st (Lexer.KW "procedure") "'procedure'";
+  let name = expect_ident st "procedure name" in
+  let params = params_list st in
+  let requires = ref None and ensures = ref None in
+  let rec clauses () =
+    match peek st with
+    | Lexer.KW "requires", span ->
+        advance st;
+        if !requires <> None then
+          fail_at span "duplicate requires clause";
+        requires := Some (assertion st);
+        clauses ()
+    | Lexer.KW "ensures", span ->
+        advance st;
+        if !ensures <> None then fail_at span "duplicate ensures clause";
+        ensures := Some (assertion st);
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  (* fresh collectors per procedure *)
+  st.invs <- [];
+  st.ghosts <- [];
+  let bspan = here st in
+  expect st Lexer.LBRACE "'{' opening the procedure body";
+  let body = expr st in
+  expect st Lexer.RBRACE "'}' closing the procedure body";
+  let body_span = Loc.union bspan st.last_span in
+  {
+    Surface.p_name = name;
+    p_params = params;
+    p_requires = !requires;
+    p_ensures = !ensures;
+    p_body = body;
+    p_invariants = List.rev st.invs;
+    p_ghost = List.rev st.ghosts;
+    p_body_span = body_span;
+    p_span = Loc.union pspan st.last_span;
+  }
+
+(* ================================================================== *)
+(* Entry points *)
+
+let finish st (k : state -> 'a) : 'a =
+  let v = k st in
   (match peek st with
   | Lexer.EOF, _ -> ()
-  | t, pos -> fail_at pos "trailing input: %a" Lexer.pp_token t);
-  e
+  | t, span -> fail_at span "trailing input: %a" Lexer.pp_token t);
+  v
+
+(** Parse a complete expression (no spec annotations). *)
+let parse ?file (src : string) : expr =
+  let st = mk_state (Lexer.tokenize ?file src) in
+  finish st expr
+
+(** Parse a specification assertion. *)
+let parse_assertion ?file (src : string) : Surface.assertion =
+  let st = mk_state (Lexer.tokenize ?file src) in
+  finish st assertion
+
+(** Parse a specification term. *)
+let parse_term ?file (src : string) : Surface.term =
+  let st = mk_state (Lexer.tokenize ?file src) in
+  finish st sterm
+
+(** Parse a whole annotated program (predicates and procedures). *)
+let parse_program ?file (src : string) : Surface.program =
+  let st = mk_state ~in_program:true (Lexer.tokenize ?file src) in
+  finish st (fun st ->
+      let preds = ref [] and procs = ref [] in
+      let rec items () =
+        match peek st with
+        | Lexer.KW "predicate", _ ->
+            preds := predicate_item st :: !preds;
+            items ()
+        | Lexer.KW "procedure", _ ->
+            procs := procedure_item st :: !procs;
+            items ()
+        | Lexer.EOF, _ -> ()
+        | t, span ->
+            fail_at span
+              "expected 'predicate' or 'procedure' at top level, found %a"
+              Lexer.pp_token t
+      in
+      items ();
+      { Surface.prog_preds = List.rev !preds; prog_procs = List.rev !procs })
 
 (** Parse, raising [Failure] with a readable message on errors. *)
-let parse_exn src =
-  try parse src with
-  | Parse_error (m, pos) ->
-      failwith (Printf.sprintf "parse error at offset %d: %s" pos m)
-  | Lexer.Lex_error (m, pos) ->
-      failwith (Printf.sprintf "lex error at offset %d: %s" pos m)
+let parse_exn ?file src =
+  try parse ?file src with
+  | Parse_error (m, span) ->
+      failwith (Fmt.str "parse error at %a: %s" Loc.pp span m)
+  | Lexer.Lex_error (m, span) ->
+      failwith (Fmt.str "lex error at %a: %s" Loc.pp span m)

@@ -1,0 +1,216 @@
+(** The surface language of *annotated programs*: located abstract
+    syntax for whole verification units — predicate definitions and
+    procedures with [requires]/[ensures] clauses, loop invariants, and
+    ghost command blocks — plus the specification sub-language of
+    assertions and spec-level terms.
+
+    This module is pure syntax: every node carries a {!Stdx.Loc.t}
+    span and nothing here depends on the logic or the solver. The
+    parser ({!Parser.parse_program}) produces these trees;
+    [Baselogic.Elab] and [Verifier.Elab] lower them onto
+    [Baselogic.Assertion.t] and [Verifier.Exec.program], carrying the
+    spans into a source map for diagnostics.
+
+    Concrete syntax (see README §"Surface syntax" for the worked
+    grammar):
+    {v
+    program   ::= (predicate | procedure)*
+    predicate ::= "predicate" name "(" params ")" "=" assertion
+    procedure ::= "procedure" name "(" params ")"
+                    ("requires" assertion)? ("ensures" assertion)?
+                  "{" expr "}"
+    assertion ::= asep ("||" asep)*
+    asep      ::= aprim ("*" aprim)*
+    aprim     ::= "emp" | "[" term "]" | "|_" assertion "_|"
+                | "exists" x+ "." assertion | name "(" term,* ")"
+                | term "|->" ("{" n "/" d "}")? term
+                | "(" assertion ")"
+    term      ::= spec-level integer/boolean terms, with "!" t a heap
+                  read (a {!Baselogic.Hterm} deref after elaboration)
+    v} *)
+
+open Stdx
+
+(* ------------------------------------------------------------------ *)
+(* Spec-level terms *)
+
+type term = { t : term_desc; tspan : Loc.t }
+
+and term_desc =
+  | TInt of int
+  | TBool of bool
+  | TVar of string
+  | TDeref of term  (** [!t] — a heap read inside a specification *)
+  | TNeg of term
+  | TBin of Ast.bin_op * term * term
+
+(** A literal fraction annotation [{num/den}] on a points-to. *)
+type frac = { num : int; den : int }
+
+(* ------------------------------------------------------------------ *)
+(* Assertions *)
+
+type assertion = { a : assertion_desc; aspan : Loc.t }
+
+and assertion_desc =
+  | AEmp
+  | APure of term  (** [\[ t \]] *)
+  | APointsTo of { alhs : term; afrac : frac option; arhs : term }
+  | APred of string * term list
+  | ASep of assertion * assertion
+  | AOr of assertion * assertion
+  | AStabilize of assertion  (** [|_ A _|], the ⌊·⌋ modality *)
+  | AExists of string list * assertion
+
+(* ------------------------------------------------------------------ *)
+(* Annotated programs *)
+
+type ghost_cmd =
+  | GFold of string * term list
+  | GUnfold of string * term list
+  | GAssert of assertion
+
+type proc = {
+  p_name : string;
+  p_params : string list;
+  p_requires : assertion option;  (** [None] elaborates to [emp] *)
+  p_ensures : assertion option;
+  p_body : Ast.expr;
+  p_invariants : (Ast.expr * assertion) list;
+      (** keyed by the physical [While] node, as the verifier expects *)
+  p_ghost : (string * ghost_cmd list * Loc.t) list;
+      (** inline [ghost key { … }] blocks, in body order *)
+  p_body_span : Loc.t;  (** the braced body region *)
+  p_span : Loc.t;  (** the whole declaration *)
+}
+
+type pred = {
+  pr_name : string;
+  pr_params : string list;
+  pr_body : assertion;
+  pr_span : Loc.t;
+}
+
+type program = { prog_preds : pred list; prog_procs : proc list }
+
+(* ------------------------------------------------------------------ *)
+(* Span-insensitive equality (round-trip properties compare these) *)
+
+let rec term_equal (a : term) (b : term) =
+  match (a.t, b.t) with
+  | TInt m, TInt n -> m = n
+  | TBool p, TBool q -> p = q
+  | TVar x, TVar y -> String.equal x y
+  | TDeref s, TDeref u | TNeg s, TNeg u -> term_equal s u
+  | TBin (o1, a1, b1), TBin (o2, a2, b2) ->
+      o1 = o2 && term_equal a1 a2 && term_equal b1 b2
+  | _ -> false
+
+let rec assertion_equal (a : assertion) (b : assertion) =
+  match (a.a, b.a) with
+  | AEmp, AEmp -> true
+  | APure s, APure u -> term_equal s u
+  | APointsTo x, APointsTo y ->
+      term_equal x.alhs y.alhs && x.afrac = y.afrac
+      && term_equal x.arhs y.arhs
+  | APred (p, xs), APred (q, ys) ->
+      String.equal p q && List.equal term_equal xs ys
+  | ASep (a1, a2), ASep (b1, b2) | AOr (a1, a2), AOr (b1, b2) ->
+      assertion_equal a1 b1 && assertion_equal a2 b2
+  | AStabilize p, AStabilize q -> assertion_equal p q
+  | AExists (xs, p), AExists (ys, q) ->
+      List.equal String.equal xs ys && assertion_equal p q
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Grammar-exact printers
+
+   Composite nodes print fully parenthesized (or bracketed), so the
+   output of every printer re-parses to the same tree — the QCheck
+   round-trip property [parse (print x) ≡ x] pins this. *)
+
+let rec pp_term ppf (t : term) =
+  match t.t with
+  | TInt n -> Fmt.int ppf n
+  | TBool b -> Fmt.bool ppf b
+  | TVar x -> Fmt.string ppf x
+  | TDeref s -> Fmt.pf ppf "!%a" pp_term s
+  | TNeg s -> Fmt.pf ppf "(-%a)" pp_term s
+  | TBin (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" pp_term a Ast.pp_bin_op op pp_term b
+
+let pp_frac ppf { num; den } = Fmt.pf ppf "{%d/%d}" num den
+
+let rec pp_assertion ppf (a : assertion) =
+  match a.a with
+  | AEmp -> Fmt.string ppf "emp"
+  | APure t -> Fmt.pf ppf "[%a]" pp_term t
+  | APointsTo { alhs; afrac; arhs } ->
+      Fmt.pf ppf "%a |->%a %a" pp_term alhs
+        (Fmt.option pp_frac) afrac pp_term arhs
+  | APred (p, args) ->
+      Fmt.pf ppf "%s(%a)" p (Fmt.list ~sep:(Fmt.any ", ") pp_term) args
+  | ASep (p, q) -> Fmt.pf ppf "(%a * %a)" pp_assertion p pp_assertion q
+  | AOr (p, q) -> Fmt.pf ppf "(%a || %a)" pp_assertion p pp_assertion q
+  | AStabilize p -> Fmt.pf ppf "|_ %a _|" pp_assertion p
+  | AExists (xs, p) ->
+      Fmt.pf ppf "(exists %a. %a)"
+        (Fmt.list ~sep:Fmt.sp Fmt.string) xs pp_assertion p
+
+let term_to_string t = Fmt.str "%a" pp_term t
+let assertion_to_string a = Fmt.str "%a" pp_assertion a
+
+(** Print an expression in grammar-exact form: like {!Ast.pp_expr} but
+    guaranteed to re-parse to the same tree for the parseable fragment
+    (no closures, no [Loc]/[Pair]/[Inj] *values*, no [UnOp Not] — the
+    surface grammar has no such literals). Raises [Invalid_argument]
+    outside the fragment. *)
+let pp_expr ppf (e : Ast.expr) =
+  let open Ast in
+  let rec pp_expr ppf e =
+    match e with
+  | Val Unit -> Fmt.string ppf "()"
+  | Val (Bool b) -> Fmt.bool ppf b
+  | Val (Int n) when n >= 0 -> Fmt.int ppf n
+  | Val (Int n) -> Fmt.pf ppf "(-%d)" (-n)
+  | Val (Sym x) -> Fmt.pf ppf "?%s" x
+  | Val (Loc _ | Pair _ | InjL _ | InjR _ | RecV _) ->
+      invalid_arg "Surface.pp_expr: value outside the surface grammar"
+  | Var x -> Fmt.string ppf x
+  | Rec (Some f, x, b) -> Fmt.pf ppf "(rec %s %s -> %a)" f x pp_expr b
+  | Rec (None, x, b) -> Fmt.pf ppf "(fun %s -> %a)" x pp_expr b
+    (* application and the keyword-applied forms take *atoms*, so
+       function and argument print under their own parentheses *)
+    | App (f, a) -> Fmt.pf ppf "((%a) (%a))" pp_expr f pp_expr a
+  | UnOp (Neg, e) -> Fmt.pf ppf "(-%a)" pp_expr e
+  | UnOp (Not, _) ->
+      invalid_arg "Surface.pp_expr: boolean negation has no surface form"
+  | BinOp (op, a, b) ->
+      Fmt.pf ppf "(%a %a %a)" pp_expr a Ast.pp_bin_op op pp_expr b
+  | If (c, a, b) ->
+      Fmt.pf ppf "(if %a then %a else %a)" pp_expr c pp_expr a pp_expr b
+  | Let (x, e1, e2) ->
+      Fmt.pf ppf "(let %s = %a in %a)" x pp_expr e1 pp_expr e2
+  | Seq (a, b) -> Fmt.pf ppf "(%a; %a)" pp_expr a pp_expr b
+  | While (c, b) -> Fmt.pf ppf "(while %a do %a done)" pp_expr c pp_expr b
+  | PairE (a, b) -> Fmt.pf ppf "(%a, %a)" pp_expr a pp_expr b
+    | Fst e -> Fmt.pf ppf "(fst (%a))" pp_expr e
+    | Snd e -> Fmt.pf ppf "(snd (%a))" pp_expr e
+    | InjLE e -> Fmt.pf ppf "(inl (%a))" pp_expr e
+    | InjRE e -> Fmt.pf ppf "(inr (%a))" pp_expr e
+  | Case (e, (x, e1), (y, e2)) ->
+      Fmt.pf ppf "(match %a with inl %s -> %a | inr %s -> %a end)" pp_expr e
+        x pp_expr e1 y pp_expr e2
+    | Alloc e -> Fmt.pf ppf "(ref (%a))" pp_expr e
+  | Load e -> Fmt.pf ppf "!%a" pp_expr e
+  | Store (l, e) -> Fmt.pf ppf "(%a <- %a)" pp_expr l pp_expr e
+    | Free e -> Fmt.pf ppf "(free (%a))" pp_expr e
+  | Cas (l, a, b) ->
+      Fmt.pf ppf "CAS(%a, %a, %a)" pp_expr l pp_expr a pp_expr b
+  | Faa (l, d) -> Fmt.pf ppf "FAA(%a, %a)" pp_expr l pp_expr d
+    | Assert e -> Fmt.pf ppf "(assert (%a))" pp_expr e
+    | GhostMark k -> Fmt.pf ppf "ghost %s" k
+  in
+  pp_expr ppf e
+
+let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -1,0 +1,120 @@
+(** Source locations: file / line / column spans.
+
+    The whole front-end speaks this type — the lexer stamps every token
+    with a span, the parser unions them into node spans, elaboration
+    indexes specification clauses by span, and diagnostics render them
+    as [file:line:col] (with a caret snippet when the source text is at
+    hand). Lines and columns are 1-based, as editors count; [byte_start]
+    / [byte_stop] keep the raw offsets so snippets can be cut without
+    re-scanning. *)
+
+type t = {
+  file : string;  (** "" for anonymous buffers (inline strings) *)
+  line : int;  (** 1-based start line *)
+  col : int;  (** 1-based start column *)
+  end_line : int;
+  end_col : int;  (** column just past the last character *)
+  byte_start : int;
+  byte_stop : int;  (** offset just past the last character *)
+}
+
+let dummy =
+  {
+    file = "";
+    line = 0;
+    col = 0;
+    end_line = 0;
+    end_col = 0;
+    byte_start = 0;
+    byte_stop = 0;
+  }
+
+let is_dummy l = l.line = 0
+
+(* ------------------------------------------------------------------ *)
+(* Building spans from byte offsets *)
+
+(** An index of line-start offsets for one source buffer, so that
+    offset → line/col queries are a binary search instead of a scan. *)
+type index = { src : string; starts : int array (* starts.(i) = offset of line i+1 *) }
+
+let index (src : string) : index =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) src;
+  { src; starts = Array.of_list (List.rev !starts) }
+
+(** Line number (1-based) of [off] in the indexed source. *)
+let line_of (ix : index) (off : int) : int =
+  let lo = ref 0 and hi = ref (Array.length ix.starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if ix.starts.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  !lo + 1
+
+let pos_of (ix : index) (off : int) : int * int =
+  let line = line_of ix off in
+  (line, off - ix.starts.(line - 1) + 1)
+
+(** [span ix ~file start stop] — the span covering bytes
+    [start..stop-1] (as the lexer and parser count). *)
+let span (ix : index) ~file (byte_start : int) (byte_stop : int) : t =
+  let line, col = pos_of ix byte_start in
+  let end_line, end_col = pos_of ix (max byte_start byte_stop) in
+  { file; line; col; end_line; end_col; byte_start; byte_stop }
+
+(** The smallest span covering both arguments (dummy is an identity). *)
+let union (a : t) (b : t) : t =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let left = if a.byte_start <= b.byte_start then a else b in
+    let right = if a.byte_stop >= b.byte_stop then a else b in
+    {
+      file = a.file;
+      line = left.line;
+      col = left.col;
+      end_line = right.end_line;
+      end_col = right.end_col;
+      byte_start = left.byte_start;
+      byte_stop = right.byte_stop;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+(** [file:line:col] — the editor-clickable form. Omits the file part
+    when anonymous; never prints the end position (diagnostic text
+    stays one line; the snippet shows the extent). *)
+let pp ppf (l : t) =
+  if l.file <> "" then Fmt.pf ppf "%s:" l.file;
+  Fmt.pf ppf "%d:%d" l.line l.col
+
+let to_string l = Fmt.str "%a" pp l
+
+(** The caret snippet for [l] against its source text:
+    {v
+      3 |   requires mystery(l)
+        |            ^^^^^^^^^^
+    v}
+    Multi-line spans underline to the end of the first line. *)
+let pp_snippet ppf ((src : string), (l : t)) =
+  if not (is_dummy l) then begin
+    let ix = index src in
+    let lstart = ix.starts.(min (l.line - 1) (Array.length ix.starts - 1)) in
+    let lstop =
+      match String.index_from_opt src lstart '\n' with
+      | Some i -> i
+      | None -> String.length src
+    in
+    let text = String.sub src lstart (lstop - lstart) in
+    let width =
+      if l.end_line = l.line then max 1 (l.end_col - l.col)
+      else max 1 (lstop - lstart - l.col + 1)
+    in
+    Fmt.pf ppf "@[<v>%4d | %s@,     | %s%s@]" l.line text
+      (String.make (l.col - 1) ' ')
+      (String.make width '^')
+  end
+
+let snippet ~src l = Fmt.str "%a" pp_snippet (src, l)

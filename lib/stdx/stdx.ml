@@ -1,5 +1,6 @@
 (** Entry point for the utility substrate. *)
 
+module Loc = Loc
 module Q = Q
 module Union_find = Union_find
 module Gensym = Gensym

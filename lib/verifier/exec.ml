@@ -377,8 +377,8 @@ type outcome = Verified | Failed of string
     instead of shipping the full hypothesis list to a fresh solver per
     query. Sessions are per-procedure (never shared across jobs), so
     the parallel engine's workers stay isolated. *)
-let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
-    outcome =
+let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
+    (prog : program) (proc : proc) : outcome =
   match
     (* [create] is inside the guarded region: it enforces the
        declaration-time stability of every predicate body (DA012). *)
@@ -393,10 +393,14 @@ let verify_proc ?(heap_dep = true) ?stats (prog : program) (proc : proc) :
   with
   | () -> Verified
   | exception Verification_error m -> Failed m
-  | exception Diag.Spec_error d -> Failed (Diag.to_string d)
+  | exception Diag.Spec_error d ->
+      Failed (Diag.to_string (Diag.relocate srcmap d))
 
 (** Verify every procedure of a program; returns per-procedure
     outcomes. A shared [stats] instance accumulates across all
     procedures. *)
-let verify ?heap_dep ?stats (prog : program) : (string * outcome) list =
-  List.map (fun p -> (p.pname, verify_proc ?heap_dep ?stats prog p)) prog.procs
+let verify ?heap_dep ?srcmap ?stats (prog : program) :
+    (string * outcome) list =
+  List.map
+    (fun p -> (p.pname, verify_proc ?heap_dep ?srcmap ?stats prog p))
+    prog.procs

@@ -4,4 +4,5 @@
 
 module State = State
 module Exec = Exec
+module Elab = Elab
 module Vstats = Vstats
