@@ -25,7 +25,16 @@
     pre-verification static analyzer of [lib/analysis]: spec
     well-formedness, stability explanations with ⌊·⌋ suggestions, and
     the per-branch frame lint — exit status 1 on any error-severity
-    diagnostic. *)
+    diagnostic.
+
+    Exit codes separate judgement from abstention: 0 means every entry
+    behaved as expected, 1 means a program is wrong (a failed
+    verification, a misbehaving suite entry, or error-severity lint
+    findings), 2 means the verifier {e gave up} somewhere — timeout,
+    resource exhaustion, or crash — without finding anything wrong.
+    [--timeout-ms]/[--retries] bound and retry each verification job;
+    [--faults] (or [DAENERYS_FAULTS]) activates seeded fault
+    injection for chaos testing. *)
 
 module A = Baselogic.Assertion
 module T = Smt.Term
@@ -38,8 +47,34 @@ open Cmdliner
 let find_entry name =
   List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
 
-let config ~jobs ~no_cache ~lint =
-  { E.default_config with E.domains = max 1 jobs; cache = not no_cache; lint }
+let config ~jobs ~no_cache ~lint ~timeout_ms ~retries =
+  {
+    E.default_config with
+    E.domains = max 1 jobs;
+    cache = not no_cache;
+    lint;
+    timeout_ms;
+    retries;
+  }
+
+(* Exit codes (also in the README): the program is wrong vs. the
+   verifier gave up. *)
+let exit_ok = 0
+let exit_wrong = 1
+let exit_gave_up = 2
+
+let fail_cli msg =
+  Fmt.epr "daenerys: %s@." msg;
+  exit_wrong
+
+(** Activate [--faults SPEC] before any verification work. *)
+let with_faults faults k =
+  match faults with
+  | None -> k ()
+  | Some spec -> (
+      match Stdx.Fault.configure_from_string spec with
+      | Ok () -> k ()
+      | Error m -> fail_cli m)
 
 (* ------------------------------------------------------------------ *)
 (* Surface (.hl) files *)
@@ -94,18 +129,103 @@ let print_lint_findings ?(sources = []) results =
         ds)
     results
 
-(** Print one entry's verdict line; true iff it behaved as expected. *)
+(** How one suite entry behaved against its expectation. [Gave_up] is
+    neither: the verifier abstained (timeout, resource exhaustion,
+    crash) without finding anything wrong, so neither "verified" nor
+    "rejected" may be claimed. *)
+type entry_status = Good | Bad | Gave_up
+
+let entry_status (e : Pr.entry) (g : E.group_result) =
+  let failed =
+    List.exists
+      (fun (_, o) -> match o with V.Failed _ -> true | _ -> false)
+      g.E.outcomes
+  in
+  if failed then if e.expect_fail then Good else Bad
+  else if E.group_ok g then if e.expect_fail then Bad else Good
+  else Gave_up
+
+(** Print one entry's verdict line; returns its status. *)
 let report_entry (e : Pr.entry) (g : E.group_result) =
-  let ok = E.group_ok g in
+  let status = entry_status e g in
   let verdict =
-    match (ok, e.expect_fail) with
-    | true, false -> "VERIFIED"
-    | false, true -> "rejected (as expected)"
-    | true, true -> "VERIFIED — BUT THIS ENTRY MUST FAIL"
-    | false, false -> "FAILED"
+    match (status, e.expect_fail) with
+    | Good, false -> "VERIFIED"
+    | Good, true -> "rejected (as expected)"
+    | Bad, true -> "VERIFIED — BUT THIS ENTRY MUST FAIL"
+    | Bad, false -> "FAILED"
+    | Gave_up, _ -> "GAVE UP"
   in
   Fmt.pr "%-14s %-24s %6.1fms@." e.name verdict g.E.ms;
-  ok = not e.expect_fail
+  status
+
+(** Fold entry statuses into an exit code: any [Bad] means the run
+    found (or wrongly produced) a failure — exit 1; otherwise any
+    [Gave_up] taints completeness — exit 2. *)
+let exit_of_statuses statuses =
+  if List.mem Bad statuses then exit_wrong
+  else if List.mem Gave_up statuses then exit_gave_up
+  else exit_ok
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering for [suite --json] *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_outcome (o : V.outcome) =
+  let kind, msg =
+    match o with
+    | V.Verified -> ("verified", None)
+    | V.Failed m -> ("failed", Some m)
+    | V.Timeout m -> ("timeout", Some m)
+    | V.Resource_out m -> ("resource_out", Some m)
+    | V.Crashed { V.exn; _ } -> ("crashed", Some exn)
+  in
+  match msg with
+  | None -> Printf.sprintf {|{"kind":"%s"}|} kind
+  | Some m ->
+      Printf.sprintf {|{"kind":"%s","message":"%s"}|} kind (json_escape m)
+
+(* [rows]: one (name, expect_fail, status) triple per report group. *)
+let json_of_report (report : E.report) rows =
+  let entries =
+    List.map2
+      (fun (name, expect_fail, status) g ->
+        let procs =
+          List.map
+            (fun (p, o) ->
+              Printf.sprintf {|{"proc":"%s","outcome":%s}|} (json_escape p)
+                (json_of_outcome o))
+            g.E.outcomes
+        in
+        Printf.sprintf
+          {|{"entry":"%s","expect_fail":%b,"status":"%s","ms":%.1f,"procs":[%s]}|}
+          (json_escape name) expect_fail
+          (match status with
+          | Good -> "ok"
+          | Bad -> "misbehaved"
+          | Gave_up -> "gave_up")
+          g.E.ms (String.concat "," procs))
+      rows report.E.groups
+  in
+  let s = report.E.stats in
+  Printf.sprintf
+    {|{"entries":[%s],"stats":{"jobs":%d,"wall_ms":%.1f,"timeouts":%d,"resource_outs":%d,"crashes":%d,"retries":%d,"cache_corrupt":%d,"session_fallbacks":%d}}|}
+    (String.concat "," entries)
+    s.E.jobs s.E.wall_ms s.E.timeouts s.E.resource_outs s.E.crashes
+    s.E.retries s.E.cache_corrupt s.E.smt.Smt.Stats.session_fallbacks
 
 let jobs_arg =
   Arg.(
@@ -128,59 +248,125 @@ let lint_flag =
           "Run the static analyzer before verification; programs with \
            error-severity diagnostics fail without touching the solver.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline per verification job, in milliseconds. A \
+           job that overruns reports $(b,timeout) instead of hanging its \
+           worker; see $(b,--retries).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a job up to $(docv) times when it times out or runs out \
+           of solver fuel, escalating the deadline 8x per attempt.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Activate seeded fault injection for chaos testing, e.g. \
+           $(b,session=0.3,cache=0.1,seed=42). Sites: solver, session, \
+           cache, pool. Equivalent to setting $(b,DAENERYS_FAULTS).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit per-procedure outcomes and run stats as JSON.")
+
 let suite_cmd =
   let doc = "Verify every program in the benchmark suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const (fun jobs no_cache stats lint ->
+      const (fun jobs no_cache stats lint timeout_ms retries faults json ->
+          with_faults faults @@ fun () ->
           let report =
             E.verify_programs
-              ~config:(config ~jobs ~no_cache ~lint)
+              ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
               (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
           in
-          if lint then print_lint_findings report.E.lint;
-          let ok =
-            List.fold_left2
-              (fun acc e g -> report_entry e g && acc)
-              true Pr.all report.E.groups
-          in
-          Fmt.pr "total %.1fms wall (%d jobs, %d domain(s), cache %s)@."
-            report.E.stats.E.wall_ms report.E.stats.E.jobs
-            report.E.stats.E.pool.E.Pool.domains
-            (if no_cache then "off" else "on");
-          if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
-          if ok then `Ok () else `Error (false, "some entries misbehaved"))
-      $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag
-      |> ret)
+          if json then begin
+            let statuses =
+              List.map2 entry_status Pr.all report.E.groups
+            in
+            let rows =
+              List.map2
+                (fun (e : Pr.entry) s -> (e.Pr.name, e.Pr.expect_fail, s))
+                Pr.all statuses
+            in
+            Fmt.pr "%s@." (json_of_report report rows);
+            exit_of_statuses statuses
+          end
+          else begin
+            if lint then print_lint_findings report.E.lint;
+            let statuses =
+              List.map2 (fun e g -> report_entry e g) Pr.all report.E.groups
+            in
+            Fmt.pr "total %.1fms wall (%d jobs, %d domain(s), cache %s)@."
+              report.E.stats.E.wall_ms report.E.stats.E.jobs
+              report.E.stats.E.pool.E.Pool.domains
+              (if no_cache then "off" else "on");
+            if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
+            (match exit_of_statuses statuses with
+            | 0 -> ()
+            | 1 -> Fmt.epr "daenerys: some entries misbehaved@."
+            | _ ->
+                Fmt.epr
+                  "daenerys: the verifier gave up on some entries \
+                   (timeout/resource/crash)@.");
+            exit_of_statuses statuses
+          end)
+      $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag $ timeout_arg
+      $ retries_arg $ faults_arg $ json_flag)
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
 
-let verify_file path ~jobs ~no_cache ~lint ~stats =
+let print_proc_outcomes (g : E.group_result) =
+  List.iter
+    (fun (p, o) -> Fmt.pr "  proc %-12s %a@." p V.pp_outcome o)
+    g.E.outcomes
+
+let verify_file path ~jobs ~no_cache ~lint ~stats ~timeout_ms ~retries ~json =
   match load_hl path with
-  | Error m -> `Error (false, m)
+  | Error m -> fail_cli m
   | Ok (prog, srcmap, src) ->
       let report =
         E.verify_programs
-          ~config:(config ~jobs ~no_cache ~lint)
+          ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
           ~srcmaps:[ (path, srcmap) ]
           [ (path, prog) ]
       in
-      if lint then
-        print_lint_findings ~sources:[ (path, src) ] report.E.lint;
       let g = List.hd report.E.groups in
       let ok = E.group_ok g in
-      List.iter
-        (fun (p, o) ->
-          match o with
-          | V.Verified -> Fmt.pr "  proc %-12s ok@." p
-          | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
-        g.E.outcomes;
-      Fmt.pr "%-24s %s  %.1fms@." path
-        (if ok then "VERIFIED" else "FAILED")
-        g.E.ms;
-      if stats then Fmt.pr "%a@." E.pp_stats report.E.stats;
-      if ok then `Ok () else `Error (false, "verification failed")
+      let status =
+        if ok then Good else if E.group_gave_up g then Gave_up else Bad
+      in
+      if json then
+        Fmt.pr "%s@." (json_of_report report [ (path, false, status) ])
+      else begin
+        if lint then
+          print_lint_findings ~sources:[ (path, src) ] report.E.lint;
+        print_proc_outcomes g;
+        Fmt.pr "%-24s %s  %.1fms@." path
+          (if ok then "VERIFIED"
+           else if E.group_gave_up g then "GAVE UP"
+           else "FAILED")
+          g.E.ms;
+        if stats then Fmt.pr "%a@." E.pp_stats report.E.stats
+      end;
+      (match status with
+      | Good -> exit_ok
+      | Gave_up -> exit_gave_up
+      | Bad -> exit_wrong)
 
 let verify_cmd =
   let doc =
@@ -189,32 +375,45 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const (fun name jobs no_cache lint ->
+      const (fun name jobs no_cache lint timeout_ms retries faults json ->
+          with_faults faults @@ fun () ->
           if is_hl name then
-            verify_file name ~jobs ~no_cache ~lint ~stats:false
+            verify_file name ~jobs ~no_cache ~lint ~stats:false ~timeout_ms
+              ~retries ~json
           else
           match find_entry name with
           | Some e ->
               let report =
                 E.verify_program
-                  ~config:(config ~jobs ~no_cache ~lint)
+                  ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
                   ~name:e.name e.prog
               in
-              if lint then print_lint_findings report.E.lint;
               let g = List.hd report.E.groups in
-              let ok = report_entry e g in
-              List.iter
-                (fun (p, o) ->
-                  match o with
-                  | V.Verified -> Fmt.pr "  proc %-12s ok@." p
-                  | V.Failed m -> Fmt.pr "  proc %-12s %s@." p m)
-                g.E.outcomes;
-              Fmt.pr "%a@." E.pp_stats report.E.stats;
-              if ok then `Ok ()
-              else `Error (false, "verification misbehaved")
-          | None -> `Error (false, "unknown entry " ^ name))
-      $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag
-      |> ret)
+              if json then begin
+                let status = entry_status e g in
+                Fmt.pr "%s@."
+                  (json_of_report report
+                     [ (e.Pr.name, e.Pr.expect_fail, status) ]);
+                match status with
+                | Good -> exit_ok
+                | Gave_up -> exit_gave_up
+                | Bad -> exit_wrong
+              end
+              else begin
+                if lint then print_lint_findings report.E.lint;
+                let status = report_entry e g in
+                print_proc_outcomes g;
+                Fmt.pr "%a@." E.pp_stats report.E.stats;
+                match status with
+                | Good -> exit_ok
+                | Gave_up -> exit_gave_up
+                | Bad ->
+                    Fmt.epr "daenerys: verification misbehaved@.";
+                    exit_wrong
+              end
+          | None -> fail_cli ("unknown entry " ^ name))
+      $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag $ timeout_arg
+      $ retries_arg $ faults_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)
@@ -275,12 +474,11 @@ let lint_cmd =
                     Diag.pp_list ds
                 end)
               Suite.Ill_formed.all;
-            if !failures = 0 then `Ok ()
+            if !failures = 0 then exit_ok
             else
-              `Error
-                ( false,
-                  Printf.sprintf "%d ill-formed case(s) missed their codes"
-                    !failures )
+              fail_cli
+                (Printf.sprintf "%d ill-formed case(s) missed their codes"
+                   !failures)
           end
           else
             (* Names ending in [.hl] are surface files; anything else
@@ -308,7 +506,7 @@ let lint_cmd =
                   pick [] [] [] ns
             in
             match targets with
-            | Error m -> `Error (false, m)
+            | Error m -> fail_cli m
             | Ok (targets, srcmaps, sources) ->
                 let results, a =
                   E.run_analysis ~srcmaps ~domains:(max 1 jobs) targets
@@ -326,10 +524,9 @@ let lint_cmd =
                   Fmt.pr "analysis wall time: %.1fms on %d domain(s)@."
                     a.E.a_wall_ms (max 1 jobs);
                 if Diag.has_errors all_ds then
-                  `Error (false, "error-severity diagnostics found")
-                else `Ok ())
-      $ names_arg $ jobs_arg $ json_arg $ ill_formed_arg $ stats_arg
-      |> ret)
+                  fail_cli "error-severity diagnostics found"
+                else exit_ok)
+      $ names_arg $ jobs_arg $ json_arg $ ill_formed_arg $ stats_arg)
 
 let list_cmd =
   let doc = "List the suite entries." in
@@ -340,7 +537,8 @@ let list_cmd =
             (fun (e : Pr.entry) ->
               Fmt.pr "%-14s %s%s@." e.name e.descr
                 (if e.expect_fail then "  [negative test]" else ""))
-            Pr.all)
+            Pr.all;
+          exit_ok)
       $ const ())
 
 let run_cmd =
@@ -351,14 +549,14 @@ let run_cmd =
     Term.(
       const (fun name ->
           match find_entry name with
-          | None -> `Error (false, "unknown entry " ^ name)
+          | None -> fail_cli ("unknown entry " ^ name)
           | Some e -> (
               match
                 List.find_opt
                   (fun p -> String.equal p.V.pname e.main)
                   e.prog.V.procs
               with
-              | None -> `Error (false, "no main procedure")
+              | None -> fail_cli "no main procedure"
               | Some p ->
                   (* Allocate a cell per pointer-looking parameter,
                      close the rest with small integers. *)
@@ -383,13 +581,12 @@ let run_cmd =
                       Fmt.pr "result: %a@." HL.pp_value v
                   | Heaplang.Interp.Error m -> Fmt.pr "runtime error: %s@." m
                   | Heaplang.Interp.Timeout -> Fmt.pr "timeout@.");
-                  `Ok ()))
-      $ name_arg
-      |> ret)
+                  exit_ok))
+      $ name_arg)
 
 let () =
   let doc = "a destabilized separation-logic verifier" in
   let info = Cmd.info "daenerys" ~version:"0.1" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info [ suite_cmd; verify_cmd; lint_cmd; list_cmd; run_cmd ]))

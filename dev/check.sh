@@ -56,7 +56,29 @@ for f in examples/*.hl; do
   esac
 done
 
-echo "== bench smoke: smt_incremental --quick =="
+echo "== chaos gate: session+cache faults must not move any verdict =="
+# Session faults force the incremental-session fallback path and cache
+# faults corrupt every stored VC entry; both are absorbed (fallback /
+# re-solve), so the suite must still exit 0 with every verdict intact.
+dune exec bin/daenerys.exe -- suite --faults "session=1,cache=0.5,seed=7" -j 2
+
+echo "== chaos gate: solver/pool faults may degrade but never flip =="
+# Injected solver/pool crashes turn verdicts into 'crashed' (exit 2,
+# "the verifier gave up"); what they must never do is flip an entry to
+# the wrong verdict (exit 1).
+if dune exec bin/daenerys.exe -- suite --faults "solver=0.2,pool=0.2,seed=11" -j 4; then
+  :  # clean run: every fault landed on a retried/absorbed path
+else
+  st=$?
+  if [ "$st" -ne 2 ]; then
+    echo "FAIL: chaos suite exited $st (a fault flipped a verdict)" >&2
+    exit 1
+  fi
+  echo "(verifier gave up on some entries under faults — expected)"
+fi
+
+echo "== bench smoke: smt_incremental + budget_overhead --quick =="
 dune exec bench/main.exe -- smt_incremental --quick
+dune exec bench/main.exe -- budget_overhead --quick
 
 echo "tier-1 gate: OK"

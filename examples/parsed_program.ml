@@ -19,7 +19,7 @@ let () =
   Fmt.pr "parsed:@.  @[%a@]@.@." HL.pp_expr body;
   (match V.verify_proc Suite.Examples.absdiff proc with
   | V.Verified -> Fmt.pr "verifier: VERIFIED@."
-  | V.Failed m -> Fmt.pr "verifier: FAILED %s@." m);
+  | o -> Fmt.pr "verifier: %a@." V.pp_outcome o);
   let closed =
     Heaplang.Subst.close_expr [ ("a", HL.Loc 0); ("b", HL.Loc 1) ] body
   in

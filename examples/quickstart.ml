@@ -41,7 +41,7 @@ let () =
   | V.Verified -> Fmt.pr "[auto]     VERIFIED (%d obligations, %d SMT queries)@."
                     vstats.Verifier.Vstats.obligations
                     (Smt.Stats.snapshot ()).Smt.Stats.queries
-  | V.Failed m -> Fmt.pr "[auto]     FAILED: %s@." m);
+  | o -> Fmt.pr "[auto]     %a@." V.pp_outcome o);
 
   (* 2. The certified baseline: same triple as a kernel theorem. *)
   Baselogic.Kernel.reset_rule_count ();

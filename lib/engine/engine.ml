@@ -27,9 +27,20 @@ type config = {
       (** run the static analyzer first; programs with error-severity
           diagnostics are gated (their procedures report [Failed]
           without touching the solver) *)
+  timeout_ms : float option;  (** per-job wall-clock deadline *)
+  retries : int;
+      (** budget-escalated retries per job on [Timeout]/[Resource_out] *)
 }
 
-let default_config = { domains = 1; cache = true; heap_dep = true; lint = false }
+let default_config =
+  {
+    domains = 1;
+    cache = true;
+    heap_dep = true;
+    lint = false;
+    timeout_ms = None;
+    retries = 0;
+  }
 
 type analysis_stats = {
   a_programs : int;
@@ -47,6 +58,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  cache_corrupt : int;  (** entries that failed validation on read *)
+  timeouts : int;  (** jobs whose final outcome was [Timeout] *)
+  resource_outs : int;  (** jobs whose final outcome was [Resource_out] *)
+  crashes : int;  (** jobs whose final outcome was [Crashed] *)
+  retries : int;  (** extra attempts spent across all jobs *)
   vstats : Verifier.Vstats.t;  (** merged over all jobs *)
   smt : Smt.Stats.t;  (** merged over all worker domains *)
 }
@@ -66,6 +82,14 @@ type report = {
 
 let group_ok (g : group_result) =
   List.for_all (fun (_, o) -> o = V.Verified) g.outcomes
+
+(** Did the verifier abstain somewhere in this group (timeout,
+    resource exhaustion, crash) without finding an actual failure?
+    Distinguishes "the program is wrong" from "the verifier gave up" —
+    the CLI maps the two onto different exit codes. *)
+let group_gave_up (g : group_result) =
+  List.exists (fun (_, o) -> not (V.decided o)) g.outcomes
+  && not (List.exists (fun (_, o) -> match o with V.Failed _ -> true | _ -> false) g.outcomes)
 
 (** Fold per-job results back into per-program groups, preserving the
     input program order (jobs of one program are contiguous). *)
@@ -172,7 +196,9 @@ let verify_programs ?(config = default_config)
       ~finally:(fun () -> if config.cache then Vc_cache.uninstall ())
       (fun () ->
         Pool.run ~domains:config.domains
-          ~prologue:Smt.Stats.reset ~epilogue:Smt.Stats.snapshot Job.run jobs)
+          ~prologue:Smt.Stats.reset ~epilogue:Smt.Stats.snapshot
+          (Job.run ?timeout_ms:config.timeout_ms ~retries:config.retries)
+          jobs)
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   let vstats =
@@ -182,6 +208,11 @@ let verify_programs ?(config = default_config)
   in
   let smt =
     Array.fold_left Smt.Stats.sum (Smt.Stats.create ()) smt_per_domain
+  in
+  let count pred =
+    Array.fold_left
+      (fun n (r : Job.result) -> if pred r.Job.outcome then n + 1 else n)
+      0 results
   in
   let stats =
     {
@@ -194,6 +225,15 @@ let verify_programs ?(config = default_config)
       cache_hits = (match cache with Some c -> Vc_cache.hits c | None -> 0);
       cache_misses = (match cache with Some c -> Vc_cache.misses c | None -> 0);
       cache_entries = (match cache with Some c -> Vc_cache.size c | None -> 0);
+      cache_corrupt =
+        (match cache with Some c -> Vc_cache.corrupt c | None -> 0);
+      timeouts = count (function V.Timeout _ -> true | _ -> false);
+      resource_outs = count (function V.Resource_out _ -> true | _ -> false);
+      crashes = count (function V.Crashed _ -> true | _ -> false);
+      retries =
+        Array.fold_left
+          (fun n (r : Job.result) -> n + r.Job.attempts - 1)
+          0 results;
       vstats;
       smt;
     }
@@ -236,7 +276,9 @@ let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<v>engine: %d jobs on %d domain(s) in %.1fms (steals=%d)@ \
      per-domain jobs=[%a] wall=[%a]ms solver=[%a]ms@ \
-     vc-cache: %d hits / %d misses (%.1f%% hit rate, %d entries)@ \
+     vc-cache: %d hits / %d misses (%.1f%% hit rate, %d entries, %d \
+     corrupt)@ \
+     resilience: timeouts=%d resource-outs=%d crashes=%d retries=%d@ \
      %a@ %a@]"
     s.jobs s.pool.Pool.domains s.wall_ms s.pool.Pool.steals
     Fmt.(array ~sep:(any ",") int)
@@ -245,4 +287,5 @@ let pp_stats ppf (s : stats) =
     s.pool.Pool.ms_per_domain
     Fmt.(array ~sep:(any ",") (fmt "%.1f"))
     s.solver_ms_per_domain s.cache_hits s.cache_misses rate s.cache_entries
+    s.cache_corrupt s.timeouts s.resource_outs s.crashes s.retries
     Verifier.Vstats.pp s.vstats Smt.Stats.pp s.smt

@@ -7,6 +7,10 @@
 
 module V = Verifier.Exec
 
+(* Backtraces must be recorded for [Crashed] outcomes to carry one;
+   negligible cost when nothing raises. *)
+let () = Printexc.record_backtrace true
+
 type t = {
   group : string;  (** owning program (suite entry / file) *)
   proc : V.proc;
@@ -22,6 +26,7 @@ type result = {
   outcome : V.outcome;
   vstats : Verifier.Vstats.t;
   ms : float;  (** wall-clock verification time for this job *)
+  attempts : int;  (** 1 = first try; >1 means budget-escalated retries *)
 }
 
 (** One job per procedure of [prog], in declaration order. *)
@@ -29,19 +34,61 @@ let of_program ?(heap_dep = true) ?(srcmap = []) ~group (prog : V.program) :
     t list =
   List.map (fun proc -> { group; proc; prog; heap_dep; srcmap }) prog.V.procs
 
-(** Run a job. Never raises: stray exceptions (beyond the verifier's
-    own [Verification_error], which [verify_proc] already converts)
-    become [Failed] outcomes so one bad job cannot take down a worker
-    domain and strand the queue. *)
-let run (job : t) : result =
+(** Each retry multiplies the previous deadline by this factor, so a
+    job that timed out narrowly gets decisively more room instead of
+    timing out again a hair later. *)
+let escalation = 8.0
+
+let run_once (job : t) vstats ~timeout_ms : V.outcome =
+  let verify () =
+    (* Chaos-testing hook inside the guarded region: a worker-level
+       fault surfaces as [Crashed], exercising the engine's promise
+       that one dying job cannot strand the queue or flip a verdict. *)
+    Stdx.Fault.inject Stdx.Fault.Pool;
+    V.verify_proc ~heap_dep:job.heap_dep ~srcmap:job.srcmap ~stats:vstats
+      job.prog job.proc
+  in
+  match
+    match timeout_ms with
+    | None -> verify ()
+    | Some ms ->
+        Stdx.Budget.with_budget (Stdx.Budget.create ~timeout_ms:ms ()) verify
+  with
+  | o -> o
+  | exception
+      Stdx.Budget.Exhausted
+        ((Stdx.Budget.Deadline _ | Stdx.Budget.Cancelled) as r) ->
+      (* A poll point can fire between [verify_proc]'s own handler and
+         here (e.g. inside a [Fun.protect] finalizer); same outcome. *)
+      let s = Smt.Stats.current () in
+      s.Smt.Stats.deadline_stops <- s.Smt.Stats.deadline_stops + 1;
+      V.Timeout (Stdx.Budget.reason_to_string r)
+  | exception Stdx.Budget.Exhausted (Stdx.Budget.Fuel _ as r) ->
+      V.Resource_out (Stdx.Budget.reason_to_string r)
+  | exception e ->
+      (* Anything else — including [Out_of_memory] and [Stack_overflow],
+         which earlier versions silently conflated with [Failed] — is a
+         crash of the verifier, not a judgement about the program. *)
+      let backtrace = Printexc.get_backtrace () in
+      V.Crashed { V.exn = Printexc.to_string e; backtrace }
+
+(** Run a job; never raises. [timeout_ms] bounds one attempt's wall
+    clock; on [Timeout]/[Resource_out] the job is retried up to
+    [retries] times with the deadline escalated by {!escalation} per
+    attempt (graceful degradation in the other direction: given more
+    room, most resource-outs resolve to a real verdict). [Failed],
+    [Verified] and [Crashed] are never retried — the first two are
+    judgements, and a crash is a bug to surface, not to mask. *)
+let run ?timeout_ms ?(retries = 0) (job : t) : result =
   let vstats = Verifier.Vstats.create () in
   let t0 = Unix.gettimeofday () in
-  let outcome =
-    match
-      V.verify_proc ~heap_dep:job.heap_dep ~srcmap:job.srcmap ~stats:vstats
-        job.prog job.proc
-    with
-    | o -> o
-    | exception e -> V.Failed (Printexc.to_string e)
+  let rec attempt n ~timeout_ms =
+    let outcome = run_once job vstats ~timeout_ms in
+    match outcome with
+    | V.Timeout _ | V.Resource_out _ when n <= retries ->
+        attempt (n + 1)
+          ~timeout_ms:(Option.map (fun ms -> ms *. escalation) timeout_ms)
+    | _ -> (outcome, n)
   in
-  { job; outcome; vstats; ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+  let outcome, attempts = attempt 1 ~timeout_ms in
+  { job; outcome; vstats; ms = (Unix.gettimeofday () -. t0) *. 1000.0; attempts }

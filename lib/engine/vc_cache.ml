@@ -4,20 +4,33 @@
     ([Smt.Solver.serialize_vc]); we address results by the MD5 digest
     of those bytes, so structurally identical VCs — recurring path
     conditions within one procedure, identical obligations across
-    repeated verification runs — are discharged once. Stored verdicts
-    ([Sat] with its model, [Unsat], [Unknown]) are immutable, so
-    sharing them across domains is safe.
+    repeated verification runs — are discharged once.
+
+    Entries are defensive: the verdict is stored as marshalled bytes
+    together with a digest of those bytes, and every read re-digests
+    and deserializes under a guard. An entry that fails validation —
+    whether from an injected cache fault, a future spill-to-disk
+    picking up a truncated file, or a plain bug — is {e evicted and
+    counted as a miss}, so corruption can cost a re-solve but can never
+    resurface as a wrong verdict. The [corrupt] counter makes such
+    events visible in [--stats].
 
     One table serves every worker domain: lookups and stores take a
     mutex (the critical section is a hashtable probe — far cheaper than
     any solver call it saves), hit/miss counters are atomic so the
     report needs no lock. *)
 
+type entry = {
+  payload : string;  (** [Marshal]ed {!Smt.Solver.result} *)
+  digest : string;  (** MD5 of [payload], checked on every read *)
+}
+
 type t = {
-  tbl : (string, Smt.Solver.result) Hashtbl.t;
+  tbl : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  corrupt : int Atomic.t;
 }
 
 let create () =
@@ -26,21 +39,73 @@ let create () =
     lock = Mutex.create ();
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    corrupt = Atomic.make 0;
   }
+
+let decode (e : entry) : Smt.Solver.result option =
+  if not (String.equal (Digest.string e.payload) e.digest) then None
+  else
+    (* The digest already vouches for the bytes; the guard covers
+       truncation-shaped corruption where the digest was forged or the
+       payload predates a format change. *)
+    match (Marshal.from_string e.payload 0 : Smt.Solver.result) with
+    | r -> Some r
+    | exception _ -> None
 
 let lookup t serialized =
   let key = Digest.string serialized in
   match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl key) with
-  | Some _ as r ->
-      Atomic.incr t.hits;
-      r
   | None ->
       Atomic.incr t.misses;
       None
+  | Some e -> (
+      match decode e with
+      | Some _ as r ->
+          Atomic.incr t.hits;
+          r
+      | None ->
+          (* Corrupt entry: evict so the re-solved result replaces it,
+             count, and report a miss. *)
+          Mutex.protect t.lock (fun () -> Hashtbl.remove t.tbl key);
+          Atomic.incr t.corrupt;
+          Atomic.incr t.misses;
+          None)
 
 let store t serialized result =
   let key = Digest.string serialized in
-  Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key result)
+  let payload = Marshal.to_string (result : Smt.Solver.result) [] in
+  let entry = { payload; digest = Digest.string payload } in
+  let entry =
+    (* Chaos-testing hook: an injected cache fault corrupts the stored
+       bytes *after* the digest was computed, exactly the failure the
+       read-side validation exists to absorb. *)
+    if Stdx.Fault.fires Stdx.Fault.Cache then
+      { entry with payload = entry.payload ^ "\xde\xad" }
+    else entry
+  in
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key entry)
+
+(** Deliberately corrupt the stored entry for [serialized], for
+    regression tests. [`Flip] flips a payload bit; [`Truncate] drops
+    the payload's tail. Returns [false] when no entry exists. *)
+let corrupt_entry ?(mode = `Flip) t serialized =
+  let key = Digest.string serialized in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> false
+      | Some e ->
+          let payload =
+            match mode with
+            | `Flip ->
+                let b = Bytes.of_string e.payload in
+                let i = Bytes.length b / 2 in
+                Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+                Bytes.to_string b
+            | `Truncate ->
+                String.sub e.payload 0 (String.length e.payload / 2)
+          in
+          Hashtbl.replace t.tbl key { e with payload };
+          true)
 
 (** Route every [Smt.Solver.check_sat] in the process through [t]. *)
 let install t =
@@ -51,6 +116,7 @@ let uninstall () = Smt.Solver.set_cache None
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let corrupt t = Atomic.get t.corrupt
 let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
 
 (** Fraction of lookups answered from the cache, in [0;1]. *)

@@ -16,7 +16,11 @@ let var_of_lit l = l lsr 1
 let neg_lit l = l lxor 1
 let is_pos l = l land 1 = 0
 
-type result = Sat | Unsat | Unknown
+type result =
+  | Sat
+  | Unsat
+  | Unknown
+  | Resource_out  (** stopped by the [max_conflicts] fuel knob *)
 
 type clause = { lits : lit array; mutable activity : float; learnt : bool }
 
@@ -345,11 +349,16 @@ let solve ?(max_conflicts = max_int) t =
       let conflicts_here = ref 0 in
       (try
          while !result = None && !conflicts_here < budget do
+           Stdx.Budget.poll ();
            match propagate t with
            | Some confl ->
                t.conflicts <- t.conflicts + 1;
                incr conflicts_here;
-               if t.conflicts > max_conflicts then result := Some Unknown
+               if t.conflicts > max_conflicts then begin
+                 (Stats.current ()).fuel_sat_conflicts <-
+                   (Stats.current ()).fuel_sat_conflicts + 1;
+                 result := Some Resource_out
+               end
                else if decision_level t = 0 then begin
                  t.ok <- false;
                  result := Some Unsat

@@ -37,7 +37,7 @@ open Stdx
 type ctx_status =
   | CtxUnsat  (** the hypotheses themselves are inconsistent *)
   | CtxSat of int Smap.t  (** trusted model of the context *)
-  | CtxUnknown  (** untrusted [Sat] or solver [Unknown] *)
+  | CtxUnknown  (** untrusted [Sat] or an inconclusive theory check *)
 
 type t = {
   th : Theory.state;
@@ -162,7 +162,7 @@ let context_status s =
         match r with
         | Theory.Unsat -> CtxUnsat
         | Theory.Sat m when s.nonlit = 0 && s.neqs = 0 -> CtxSat m
-        | Theory.Sat _ | Theory.Unknown -> CtxUnknown
+        | Theory.Sat _ | Theory.Resource_out _ -> CtxUnknown
       in
       s.ctx_cache <- Some (s.gen, st);
       st
@@ -283,6 +283,12 @@ let check_goal s (goal : Term.t) : Solver.verdict =
     stats.Stats.session_fallbacks <- stats.Stats.session_fallbacks + 1;
     Solver.entails_uncached ~hyps:(List.rev s.hyps) goal
   in
+  (* Chaos-testing hook: an injected session fault stands for a lost or
+     corrupted incremental state. Degrading to the one-shot pipeline is
+     exactly the recovery the fallback path exists for, so verdicts are
+     unchanged — only [session_fallbacks] moves. *)
+  if Fault.fires Fault.Session then fallback ()
+  else
   match neg_atoms [] goal with
   | None -> fallback ()
   | Some natoms -> (

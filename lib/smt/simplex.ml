@@ -435,6 +435,7 @@ let check_rational t =
     let steps = ref 0 in
     while !result = None do
       incr steps;
+      Budget.poll ();
       (* Bland's rule (smallest index both for the leaving and the
          entering variable) guarantees termination; the assertion
          guards against implementation bugs, not theory. *)
@@ -517,24 +518,27 @@ let concrete_model t =
       let b = t.beta.(x) in
       Q.add b.Dq.v (Q.mul b.Dq.d d))
 
-type int_result = IModel of int Smap.t | IUnsat | IUnknown
+type int_result = IModel of int Smap.t | IUnsat | IResource_out
 
 (** Integer feasibility by branch-and-bound on the named (problem)
     variables. With integer coefficients, integrality of the problem
     variables forces integrality of slacks, so branching on problem
-    variables is complete. Running out of [fuel] reports [IUnknown] —
-    never silently [IUnsat], since the caller uses unsatisfiability to
-    claim entailments.
+    variables is complete. Running out of [fuel] reports
+    [IResource_out] — never silently [IUnsat], since the caller uses
+    unsatisfiability to claim entailments.
 
     Branches are explored by tightening a bound under {!push} and
     undoing it with {!pop}, so the caller's bounds are intact on
     return (the basis may have moved, which is semantics-preserving). *)
 let check_int ?(fuel = 10_000) t : int_result =
-  let fuel = ref fuel in
+  let fuel = Budget.Fuel.create ~knob:"simplex_fuel" fuel in
   let rec go () =
-    if !fuel <= 0 then IUnknown
+    Budget.poll ();
+    if not (Budget.Fuel.spend fuel) then begin
+      (Stats.current ()).fuel_simplex <- (Stats.current ()).fuel_simplex + 1;
+      IResource_out
+    end
     else begin
-      decr fuel;
       match check_rational t with
       | Unsat -> IUnsat
       | Sat -> (
@@ -568,7 +572,7 @@ let check_int ?(fuel = 10_000) t : int_result =
               | IUnsat ->
                   branch (fun () ->
                       tighten_lower t id (Dq.of_q (Q.of_int (Q.ceil q))))
-              | IUnknown -> IUnknown))
+              | IResource_out -> IResource_out))
     end
   in
   go ()

@@ -11,7 +11,13 @@ open Stdx
 
 type model = { ints : int Smap.t; bools : bool Smap.t }
 
-type result = Sat of model | Unsat | Unknown
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** genuinely incomplete: the VC left the decided fragment *)
+  | Resource_out of Budget.reason
+      (** a fuel knob ran dry before an answer; distinct from [Unknown]
+          because a retry with a bigger budget may well succeed *)
 
 let pp_model ppf m =
   Fmt.pf ppf "@[<v>%a@ %a@]"
@@ -209,11 +215,15 @@ let sync ts (lits : Theory.atom list) =
 
 (** Check a literal sequence against the persistent stack. The check
     itself runs under a checkpoint ({!Theory.check_scoped}), so the
-    synced literals remain reusable for the next round or probe. *)
-let theory_check ?eq_budget ts (lits : Theory.atom list) : Theory.result =
+    synced literals remain reusable for the next round or probe.
+    [None] means the literals left the supported fragment entirely
+    (e.g. an unpurifiable term) — genuine incompleteness, not a
+    resource exhaustion. *)
+let theory_check ?eq_budget ts (lits : Theory.atom list) :
+    Theory.result option =
   match sync ts lits with
-  | () -> Theory.check_scoped ?eq_budget ts.tstate
-  | exception Invalid_argument _ -> Theory.Unknown
+  | () -> Some (Theory.check_scoped ?eq_budget ts.tstate)
+  | exception Invalid_argument _ -> None
 
 (** Unsat-core minimization by chunked deletion: first try dropping
     whole blocks (an eighth of the literals at a time), then refine the
@@ -230,7 +240,7 @@ let minimize_core ts (lits : Theory.atom list) : Theory.atom list =
   let drop_block kept rest block =
     let remaining = List.filter (fun l -> not (List.memq l block)) rest in
     match check (kept @ remaining) with
-    | Theory.Unsat -> Some remaining
+    | Some Theory.Unsat -> Some remaining
     | _ -> None
   in
   let rec blocks kept rest size =
@@ -246,7 +256,7 @@ let minimize_core ts (lits : Theory.atom list) : Theory.atom list =
     | [] -> kept
     | l :: rest -> (
         match check (kept @ rest) with
-        | Theory.Unsat -> singles kept rest
+        | Some Theory.Unsat -> singles kept rest
         | _ -> singles (kept @ [ l ]) rest)
   in
   let n = List.length lits in
@@ -285,6 +295,9 @@ let serialize_vc ~max_rounds ~minimize (assertions : Term.t list) : string =
 
 let check_sat_uncached ~max_rounds ~minimize
     (assertions : Term.t list) : result =
+  (* Chaos-testing hook: a solver fault crashes the query (caught and
+     reported as [Crashed] by the engine), it never alters a verdict. *)
+  Fault.inject Fault.Solver;
   let stats = Stats.current () in
   let gensym = Gensym.create ~prefix:"%" () in
   let assertions = elim_ite gensym assertions in
@@ -316,12 +329,18 @@ let check_sat_uncached ~max_rounds ~minimize
       let result = ref None in
       let rounds = ref 0 in
       while !result = None do
+        Budget.poll ();
         incr rounds;
-        if !rounds > max_rounds then result := Some Unknown
+        if !rounds > max_rounds then begin
+          stats.Stats.fuel_lazy_rounds <- stats.Stats.fuel_lazy_rounds + 1;
+          result := Some (Resource_out (Budget.Fuel "max_rounds"))
+        end
         else begin
           match Sat.solve enc.sat with
           | Sat.Unsat -> result := Some Unsat
           | Sat.Unknown -> result := Some Unknown
+          | Sat.Resource_out ->
+              result := Some (Resource_out (Budget.Fuel "sat_conflicts"))
           | Sat.Sat -> (
               let lits =
                 List.filter_map
@@ -330,7 +349,10 @@ let check_sat_uncached ~max_rounds ~minimize
                   enc.atoms
               in
               match theory_check ts lits with
-              | Theory.Sat m ->
+              | None -> result := Some Unknown
+              | Some (Theory.Resource_out r) ->
+                  result := Some (Resource_out r)
+              | Some (Theory.Sat m) ->
                   let bools =
                     List.fold_left
                       (fun acc (v, atom) ->
@@ -344,8 +366,7 @@ let check_sat_uncached ~max_rounds ~minimize
                     Smap.filter (fun x _ -> x.[0] <> '%') m
                   in
                   result := Some (Sat { ints; bools })
-              | Theory.Unknown -> result := Some Unknown
-              | Theory.Unsat ->
+              | Some Theory.Unsat ->
                   let core =
                     if minimize then minimize_core ts lits else lits
                   in
@@ -400,13 +421,22 @@ let check_sat ?(max_rounds = 5_000) ?(minimize = true)
       | Some r -> r
       | None ->
           let r = solve () in
-          c.store key r;
+          (* Budget-dependent outcomes must not be cached: a retry with
+             an escalated budget would be poisoned by the stored
+             giving-up result. *)
+          (match r with Resource_out _ -> () | _ -> c.store key r);
           r)
 
 (* ------------------------------------------------------------------ *)
 (* Entailment interface used by the verifier and the kernel *)
 
-type verdict = Valid | Invalid of model | Undecided
+type verdict =
+  | Valid
+  | Invalid of model
+  | Undecided
+  | Gave_up of Budget.reason
+      (** the solver ran out of some resource — says nothing about the
+          goal either way, but unlike [Undecided] a retry can help *)
 
 (** Is [goal] entailed by [hyps]? Checks unsatisfiability of
     [hyps ∧ ¬goal]. *)
@@ -417,7 +447,8 @@ let entails ?(hyps = []) (goal : Term.t) : verdict =
       match check_sat [ t ] with
       | Unsat -> Valid
       | Sat m -> Invalid m
-      | Unknown -> Undecided)
+      | Unknown -> Undecided
+      | Resource_out r -> Gave_up r)
 
 let entails_bool ?hyps goal =
   match entails ?hyps goal with Valid -> true | _ -> false
@@ -435,4 +466,5 @@ let entails_uncached ?(hyps = []) (goal : Term.t) : verdict =
       match check_sat_uncached ~max_rounds:5_000 ~minimize:true [ t ] with
       | Unsat -> Valid
       | Sat m -> Invalid m
-      | Unknown -> Undecided)
+      | Unknown -> Undecided
+      | Resource_out r -> Gave_up r)

@@ -27,8 +27,21 @@ type t = {
           under SMT_DEBUG *)
   mutable session_checks : int;  (** incremental [Session.check_goal] calls *)
   mutable session_fallbacks : int;
-      (** session checks outside the convex-literal fragment, re-solved
-          through the full one-shot pipeline *)
+      (** session checks outside the convex-literal fragment (or hit by
+          an injected session fault), re-solved through the full
+          one-shot pipeline *)
+  mutable fuel_sat_conflicts : int;
+      (** CDCL searches stopped by the [max_conflicts] knob *)
+  mutable fuel_lazy_rounds : int;
+      (** lazy-loop exits via the [max_rounds] knob *)
+  mutable fuel_simplex : int;
+      (** branch-and-bound exits via the simplex [fuel] knob *)
+  mutable fuel_combination : int;
+      (** Nelson–Oppen combination-loop fuel exhaustions *)
+  mutable fuel_eq_budget : int;
+      (** cross-theory equality probes starved by [eq_budget] *)
+  mutable deadline_stops : int;
+      (** solver exits forced by a wall-clock deadline / cancellation *)
   mutable solve_ms : float;  (** wall-clock time inside [check_sat] *)
 }
 
@@ -46,6 +59,12 @@ let create () =
     combination_timeouts = 0;
     session_checks = 0;
     session_fallbacks = 0;
+    fuel_sat_conflicts = 0;
+    fuel_lazy_rounds = 0;
+    fuel_simplex = 0;
+    fuel_combination = 0;
+    fuel_eq_budget = 0;
+    deadline_stops = 0;
     solve_ms = 0.0;
   }
 
@@ -68,6 +87,12 @@ let reset () =
   s.combination_timeouts <- 0;
   s.session_checks <- 0;
   s.session_fallbacks <- 0;
+  s.fuel_sat_conflicts <- 0;
+  s.fuel_lazy_rounds <- 0;
+  s.fuel_simplex <- 0;
+  s.fuel_combination <- 0;
+  s.fuel_eq_budget <- 0;
+  s.deadline_stops <- 0;
   s.solve_ms <- 0.0
 
 let copy s = { s with queries = s.queries }
@@ -89,6 +114,12 @@ let diff a b =
     combination_timeouts = a.combination_timeouts - b.combination_timeouts;
     session_checks = a.session_checks - b.session_checks;
     session_fallbacks = a.session_fallbacks - b.session_fallbacks;
+    fuel_sat_conflicts = a.fuel_sat_conflicts - b.fuel_sat_conflicts;
+    fuel_lazy_rounds = a.fuel_lazy_rounds - b.fuel_lazy_rounds;
+    fuel_simplex = a.fuel_simplex - b.fuel_simplex;
+    fuel_combination = a.fuel_combination - b.fuel_combination;
+    fuel_eq_budget = a.fuel_eq_budget - b.fuel_eq_budget;
+    deadline_stops = a.deadline_stops - b.deadline_stops;
     solve_ms = a.solve_ms -. b.solve_ms;
   }
 
@@ -107,13 +138,23 @@ let sum a b =
     combination_timeouts = a.combination_timeouts + b.combination_timeouts;
     session_checks = a.session_checks + b.session_checks;
     session_fallbacks = a.session_fallbacks + b.session_fallbacks;
+    fuel_sat_conflicts = a.fuel_sat_conflicts + b.fuel_sat_conflicts;
+    fuel_lazy_rounds = a.fuel_lazy_rounds + b.fuel_lazy_rounds;
+    fuel_simplex = a.fuel_simplex + b.fuel_simplex;
+    fuel_combination = a.fuel_combination + b.fuel_combination;
+    fuel_eq_budget = a.fuel_eq_budget + b.fuel_eq_budget;
+    deadline_stops = a.deadline_stops + b.deadline_stops;
     solve_ms = a.solve_ms +. b.solve_ms;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "queries=%d conflicts=%d decisions=%d theory=%d lia=%d euf=%d blocked=%d \
-     eqprop=%d timeouts=%d session=%d/%d solve=%.1fms"
+     eqprop=%d timeouts=%d session=%d/%d solve=%.1fms@ \
+     fuel-out: sat_conflicts=%d lazy_rounds=%d simplex=%d combination=%d \
+     eq_budget=%d deadline-stops=%d"
     s.queries s.sat_conflicts s.sat_decisions s.theory_checks s.lia_checks
     s.euf_checks s.blocking_clauses s.eq_propagations s.combination_timeouts
-    s.session_checks s.session_fallbacks s.solve_ms
+    s.session_checks s.session_fallbacks s.solve_ms s.fuel_sat_conflicts
+    s.fuel_lazy_rounds s.fuel_simplex s.fuel_combination s.fuel_eq_budget
+    s.deadline_stops

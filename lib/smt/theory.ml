@@ -28,7 +28,12 @@ open Stdx
 
 type atom = { term : Term.t; pos : bool }
 
-type result = Sat of int Smap.t | Unsat | Unknown
+type result =
+  | Sat of int Smap.t
+  | Unsat
+  | Resource_out of Budget.reason
+      (** a fuel knob ran out before the combination converged — which
+          one is in the {!Budget.reason} *)
 
 (* Read once per process instead of per conflict-loop iteration; the
    environment does not change under the solver. *)
@@ -310,10 +315,12 @@ let check ?(eq_budget = max_int) st : result =
       st.shared []
   in
   let rec loop fuel =
+    Budget.poll ();
     if fuel <= 0 then begin
       stats.Stats.combination_timeouts <- stats.Stats.combination_timeouts + 1;
+      stats.Stats.fuel_combination <- stats.Stats.fuel_combination + 1;
       if Lazy.force debug then prerr_endline "DEBUG: combination fuel out";
-      Unknown
+      Resource_out (Budget.Fuel "combination")
     end
     else begin
       stats.Stats.euf_checks <- stats.Stats.euf_checks + 1;
@@ -361,11 +368,12 @@ let check ?(eq_budget = max_int) st : result =
         stats.Stats.lia_checks <- stats.Stats.lia_checks + 1;
         match Simplex.check_int st.lia with
         | Simplex.IUnsat -> Unsat
-        | Simplex.IUnknown ->
+        | Simplex.IResource_out ->
             stats.Stats.combination_timeouts <-
               stats.Stats.combination_timeouts + 1;
-            if Lazy.force debug then prerr_endline "DEBUG: check_int unknown";
-            Unknown
+            if Lazy.force debug then
+              prerr_endline "DEBUG: check_int out of fuel";
+            Resource_out (Budget.Fuel "simplex_fuel")
         | Simplex.IModel m ->
             (* LIA → EUF: model-guided entailed equalities. Only pairs
                the model already makes equal can be entailed, and
@@ -420,9 +428,14 @@ let check ?(eq_budget = max_int) st : result =
               by_value;
             if !merged then loop (fuel - 1)
             else begin
-              if !budget_hit then
+              if !budget_hit then begin
                 stats.Stats.combination_timeouts <-
                   stats.Stats.combination_timeouts + 1;
+                stats.Stats.fuel_eq_budget <- stats.Stats.fuel_eq_budget + 1
+              end;
+              (* An eq-budget-starved [Sat] stays [Sat]: callers that
+                 set a small budget (unsat-core minimization) only
+                 trust [Unsat], and the starvation is now counted. *)
               Sat m
             end
       end

@@ -1,0 +1,130 @@
+(** Deadlines, cooperative cancellation, and unified fuel accounting.
+
+    A budget is a wall-clock deadline plus a cancellation flag,
+    optionally chained to a parent (per-run limits compose with
+    per-job ones: a child is exhausted as soon as any ancestor is).
+    Exhaustion is reported by raising {!Exhausted} from a poll point —
+    the long-running loops of the SMT substrate poll cooperatively, so
+    one pathological VC terminates at the next poll instead of hanging
+    its worker domain.
+
+    Polling is designed for hot loops: {!poll} reads the calling
+    domain's {e ambient} budget (installed with {!with_budget},
+    domain-local like {!Smt.Stats}) and only touches the clock every
+    {!val-mask} calls; with no ambient budget it is a domain-local read
+    and a conditional — cheap enough for the SAT solver's inner loop
+    (the [bench budget_overhead] target pins the overhead on T1).
+
+    {!Fuel} unifies the solver's scattered step-count knobs
+    ([max_rounds], [fuel], [max_conflicts], [eq_budget]) behind one
+    named-counter type, so every budget-exhaustion exit can say {e
+    which} resource ran out ([Fuel knob] in {!reason}) and be counted
+    per knob in the statistics. *)
+
+type reason =
+  | Deadline of float  (** the configured limit, in milliseconds *)
+  | Cancelled
+  | Fuel of string  (** a named step-count knob ran out *)
+
+exception Exhausted of reason
+
+let pp_reason ppf = function
+  | Deadline ms -> Fmt.pf ppf "deadline of %gms exceeded" ms
+  | Cancelled -> Fmt.string ppf "cancelled"
+  | Fuel knob -> Fmt.pf ppf "%s budget exhausted" knob
+
+let reason_to_string r = Fmt.str "%a" pp_reason r
+
+type t = {
+  deadline : float option;  (** absolute [Unix.gettimeofday] seconds *)
+  limit_ms : float;  (** the configured duration, for messages *)
+  cancelled : bool Atomic.t;  (** atomic: any domain may cancel *)
+  parent : t option;
+  mutable polls : int;  (** cheap-poll counter, clock read at [mask] *)
+}
+
+(** Clock reads happen once per [mask] {!check} calls. A power of two
+    so the test compiles to a mask. *)
+let mask = 255
+
+let create ?parent ?timeout_ms () =
+  {
+    deadline =
+      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.0)) timeout_ms;
+    limit_ms = Option.value ~default:infinity timeout_ms;
+    cancelled = Atomic.make false;
+    parent;
+    polls = 0;
+  }
+
+let cancel b = Atomic.set b.cancelled true
+
+(** The exhausted ancestor closest to [b], if any. One clock read
+    covers the whole chain. *)
+let exhausted b =
+  let now = lazy (Unix.gettimeofday ()) in
+  let rec go b =
+    if Atomic.get b.cancelled then Some Cancelled
+    else
+      match b.deadline with
+      | Some d when Lazy.force now > d -> Some (Deadline b.limit_ms)
+      | _ -> Option.bind b.parent go
+  in
+  go b
+
+(** Forced check: reads the clock unconditionally. *)
+let check_now b =
+  match exhausted b with Some r -> raise (Exhausted r) | None -> ()
+
+(** Cheap check: cancellation every call, the clock every [mask]+1
+    calls. *)
+let check b =
+  if Atomic.get b.cancelled then raise (Exhausted Cancelled)
+  else begin
+    b.polls <- b.polls + 1;
+    if b.polls land mask = 0 then check_now b
+  end
+
+(* --------------------------------------------------------------- *)
+(* The ambient (domain-local) budget *)
+
+let key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () : t option = !(Domain.DLS.get key)
+
+(** Install [b] as the calling domain's ambient budget for the
+    duration of [f]. Nests: the previous ambient budget is restored on
+    exit, and callers wanting composition chain via [?parent]. *)
+let with_budget b f =
+  let cell = Domain.DLS.get key in
+  let saved = !cell in
+  cell := Some b;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(** The hot-loop poll: check the ambient budget, if any. *)
+let poll () = match current () with Some b -> check b | None -> ()
+
+(** Forced ambient poll, for coarse-grained points (one per proof
+    obligation, say) where a guaranteed clock read is worth 20ns. *)
+let poll_now () = match current () with Some b -> check_now b | None -> ()
+
+(* --------------------------------------------------------------- *)
+(* Fuel: named step-count budgets *)
+
+module Fuel = struct
+  type nonrec t = { knob : string; mutable remaining : int }
+
+  let create ~knob n = { knob; remaining = n }
+
+  (** Spend one unit; [false] once the knob is dry (the caller exits
+      with a structured [Resource_out], counting the exhaustion). *)
+  let spend f =
+    if f.remaining <= 0 then false
+    else begin
+      f.remaining <- f.remaining - 1;
+      true
+    end
+
+  let exhausted f = f.remaining <= 0
+  let reason f = Fuel f.knob
+end

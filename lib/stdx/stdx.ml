@@ -1,5 +1,7 @@
 (** Entry point for the utility substrate. *)
 
+module Budget = Budget
+module Fault = Fault
 module Loc = Loc
 module Q = Q
 module Union_find = Union_find

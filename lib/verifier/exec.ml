@@ -364,7 +364,31 @@ and exec_call prog proc st env (e : HL.expr) : (t * T.t) list =
 (* ------------------------------------------------------------------ *)
 (* Entry points *)
 
-type outcome = Verified | Failed of string
+(** Captured crash information: the exception and the backtrace at the
+    point it escaped, both already rendered (exceptions don't cross
+    domain boundaries reliably and the engine ships results between
+    domains). *)
+type exn_info = { exn : string; backtrace : string }
+
+type outcome =
+  | Verified
+  | Failed of string  (** the program violates its specification *)
+  | Timeout of string  (** deadline/cancellation — the verifier gave up *)
+  | Resource_out of string  (** a fuel knob ran dry — the verifier gave up *)
+  | Crashed of exn_info  (** an unexpected exception escaped the verifier *)
+
+let pp_outcome ppf = function
+  | Verified -> Fmt.string ppf "verified"
+  | Failed m -> Fmt.pf ppf "failed: %s" m
+  | Timeout m -> Fmt.pf ppf "timeout: %s" m
+  | Resource_out m -> Fmt.pf ppf "resource-out: %s" m
+  | Crashed { exn; _ } -> Fmt.pf ppf "crashed: %s" exn
+
+(** Did the verifier actually decide the program? [Timeout],
+    [Resource_out] and [Crashed] are abstentions, not judgements. *)
+let decided = function
+  | Verified | Failed _ -> true
+  | Timeout _ | Resource_out _ | Crashed _ -> false
 
 (** Verify one procedure against its specification. [stats] is the
     {!Vstats} instance obligations are accounted to; each call gets a
@@ -380,6 +404,10 @@ type outcome = Verified | Failed of string
 let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
     (prog : program) (proc : proc) : outcome =
   match
+    (* Deadline check on entry: a procedure whose budget is already
+       spent (e.g. late in a tight per-job deadline) stops here rather
+       than starting work it cannot finish. *)
+    Budget.poll_now ();
     (* [create] is inside the guarded region: it enforces the
        declaration-time stability of every predicate body (DA012). *)
     let session = Smt.Session.create () in
@@ -395,6 +423,13 @@ let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
   | exception Verification_error m -> Failed m
   | exception Diag.Spec_error d ->
       Failed (Diag.to_string (Diag.relocate srcmap d))
+  | exception Budget.Exhausted ((Budget.Deadline _ | Budget.Cancelled) as r)
+    ->
+      let s = Smt.Stats.current () in
+      s.Smt.Stats.deadline_stops <- s.Smt.Stats.deadline_stops + 1;
+      Timeout (Budget.reason_to_string r)
+  | exception Budget.Exhausted (Budget.Fuel _ as r) ->
+      Resource_out (Budget.reason_to_string r)
 
 (** Verify every procedure of a program; returns per-procedure
     outcomes. A shared [stats] instance accumulates across all

@@ -69,22 +69,36 @@ let sync_session st = Smt.Session.sync st.session (List.rev st.pures)
 
 let entails st phi =
   st.stats.Vstats.obligations <- st.stats.Vstats.obligations + 1;
+  (* One guaranteed deadline check per proof obligation: even a VC
+     whose solver work happens entirely inside fast paths cannot
+     overshoot its budget by more than one obligation. *)
+  Budget.poll_now ();
   T.equal phi T.tru
   || List.exists (T.equal phi) st.pures
   || (match phi with T.Eq (a, b) -> T.equal a b | _ -> false)
   || begin
        sync_session st;
-       Smt.Session.check_goal_bool st.session phi
+       match Smt.Session.check_goal st.session phi with
+       | Smt.Solver.Valid -> true
+       | Smt.Solver.Invalid _ | Smt.Solver.Undecided -> false
+       | Smt.Solver.Gave_up r -> raise (Budget.Exhausted r)
      end
 
 (** Is the current path feasible? Used to prune dead branches: the path
     condition is infeasible exactly when the live context entails
     [False]. *)
 let feasible st =
+  Budget.poll_now ();
   sync_session st;
   match Smt.Session.check_goal st.session T.fls with
   | Smt.Solver.Valid -> false
   | Smt.Solver.Invalid _ | Smt.Solver.Undecided -> true
+  | Smt.Solver.Gave_up (Budget.Fuel _) ->
+      (* Fuel-starved feasibility: treating the path as live is the
+         sound direction (it only means more work), same as Undecided. *)
+      true
+  | Smt.Solver.Gave_up ((Budget.Deadline _ | Budget.Cancelled) as r) ->
+      raise (Budget.Exhausted r)
 
 (* ------------------------------------------------------------------ *)
 (* Heap reads *)

@@ -10,9 +10,7 @@ module E = Engine
 
 let outcome : V.outcome Alcotest.testable =
   Alcotest.testable
-    (fun ppf -> function
-      | V.Verified -> Fmt.string ppf "Verified"
-      | V.Failed m -> Fmt.pf ppf "Failed(%s)" m)
+    (fun ppf o -> V.pp_outcome ppf o)
     ( = )
 
 let proc_results = Alcotest.(list (pair string outcome))
@@ -120,6 +118,7 @@ let verdict = function
   | Smt.Solver.Sat _ -> "sat"
   | Smt.Solver.Unsat -> "unsat"
   | Smt.Solver.Unknown -> "unknown"
+  | Smt.Solver.Resource_out _ -> "resource-out"
 
 let cache_hammer =
   QCheck_alcotest.to_alcotest

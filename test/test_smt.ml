@@ -13,6 +13,7 @@ let check_result name expected asserts () =
     | Solver.Sat _ -> "sat"
     | Solver.Unsat -> "unsat"
     | Solver.Unknown -> "unknown"
+    | Solver.Resource_out _ -> "resource-out"
   in
   Alcotest.(check string) name expected s
 
@@ -222,7 +223,7 @@ let differential =
                 and depth-1 arithmetic: if the solver says unsat, the
                 domain search must find nothing. *)
              not (brute_force_sat t)
-         | Solver.Unknown -> true))
+         | Solver.Unknown | Solver.Resource_out _ -> true))
 
 let entails_cases =
   [
@@ -312,7 +313,7 @@ let simplex_differential =
                 have a solution inside if one exists at all — checked
                 empirically; a false negative here would fail) *)
              not (lia_brute_sat atoms)
-         | Simplex.IUnknown -> true))
+         | Simplex.IResource_out -> true))
 
 (* Random congruence-closure instances vs a naive fixpoint oracle. *)
 let cc_random =
@@ -349,6 +350,7 @@ let verdict_kind = function
   | Solver.Valid -> "valid"
   | Solver.Invalid _ -> "invalid"
   | Solver.Undecided -> "undecided"
+  | Solver.Gave_up _ -> "gave-up"
 
 (* Counter regressions: the representative-bucketed combination keeps
    the euf-chain near-linear; pin the Stats counters so a quadratic

@@ -132,6 +132,7 @@ let test_verify_failure_span () =
         ("failure message carries the body span: " ^ m)
         true
         (has_substring m "DA008" && has_substring m "spin.hl:4:1")
+  | o -> Alcotest.failf "spin: expected a failure, got %a" V.pp_outcome o
 
 (* ------------------------------------------------------------------ *)
 (* Located front-end errors. *)

@@ -137,10 +137,10 @@ let test_mutation_invalidates () =
   let prog = { V.procs = [ stale; fixed ]; preds = Smap.empty } in
   (match V.verify_proc prog stale with
   | V.Failed _ -> ()
-  | V.Verified -> Alcotest.fail "stale heap fact must not survive a store");
+  | o -> Alcotest.failf "stale heap fact must not survive a store: %a" V.pp_outcome o);
   match V.verify_proc prog fixed with
   | V.Verified -> ()
-  | V.Failed m -> Alcotest.failf "fixed spec must verify: %s" m
+  | o -> Alcotest.failf "fixed spec must verify: %a" V.pp_outcome o
 
 let test_generated_sizes () =
   List.iter
@@ -148,14 +148,14 @@ let test_generated_sizes () =
       let p, _ = Suite.Generators.straightline n in
       match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
       | V.Verified -> ()
-      | V.Failed m -> Alcotest.failf "straightline %d: %s" n m)
+      | o -> Alcotest.failf "straightline %d: %a" n V.pp_outcome o)
     [ 1; 3; 7 ];
   List.iter
     (fun k ->
       let p = Suite.Generators.multicell k in
       match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
       | V.Verified -> ()
-      | V.Failed m -> Alcotest.failf "multicell %d: %s" k m)
+      | o -> Alcotest.failf "multicell %d: %a" k V.pp_outcome o)
     [ 1; 3; 5 ]
 
 (* Mutated suite programs must fail: spec fuzzing. *)
@@ -170,7 +170,8 @@ let test_spec_mutations () =
       | V.Verified ->
           (* Some programs survive (pure ones with Emp pre already);
              heap-manipulating ones must not. *)
-          Alcotest.failf "%s verified without its precondition!" name)
+          Alcotest.failf "%s verified without its precondition!" name
+      | o -> Alcotest.failf "%s: unexpected outcome %a" name V.pp_outcome o)
     [
       ("swap", Suite.Programs.swap_proc, Smap.empty);
       ("length", Suite.Programs.length_proc, Suite.Programs.clist_preds);
@@ -260,6 +261,8 @@ let test_unstable_pred_decl () =
   in
   (match V.verify_proc { V.procs = [ user ]; preds } user with
   | V.Verified -> Alcotest.fail "unstable predicate body must be rejected"
+  | (V.Timeout _ | V.Resource_out _ | V.Crashed _) as o ->
+      Alcotest.failf "unstable predicate: unexpected outcome %a" V.pp_outcome o
   | V.Failed m ->
       let mentions_da012 =
         let n = String.length m in
