@@ -286,17 +286,18 @@ let engine_scaling () =
 let json_entries : (string * (string * float) list) list ref = ref []
 let record_json name fields = json_entries := (name, fields) :: !json_entries
 
-let write_json path =
+let write_json_list path entries =
   let oc = open_out path in
   let entry (name, fields) =
     Printf.sprintf "  %S: {%s}" name
       (String.concat ", "
          (List.map (fun (k, v) -> Printf.sprintf "%S: %g" k v) fields))
   in
-  Printf.fprintf oc "{\n%s\n}\n"
-    (String.concat ",\n" (List.map entry (List.rev !json_entries)));
+  Printf.fprintf oc "{\n%s\n}\n" (String.concat ",\n" (List.map entry entries));
   close_out oc;
   printf "wrote %s\n" path
+
+let write_json path = write_json_list path (List.rev !json_entries)
 
 (** --quick trims sizes so the target doubles as a CI smoke test. *)
 let quick = ref false
@@ -469,6 +470,124 @@ let budget_overhead () =
     (if overhead <= 2.0 then "" else "  << OVER TARGET (2%)")
 
 (* ------------------------------------------------------------------ *)
+(* S1: daemon throughput — cold vs warm cache at several worker counts *)
+
+let percentile p lats =
+  match lats with
+  | [] -> nan
+  | lats ->
+      let a = Array.of_list lats in
+      Array.sort compare a;
+      let n = Array.length a in
+      let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) i))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let serve_json : (string * (string * float) list) list ref = ref []
+
+(** One daemon per worker count, fresh socket + fresh disk-cache dir.
+    The cold pass is a single client walking the whole suite once —
+    every request misses the verdict cache and runs the verifier. The
+    warm pass is [workers] concurrent clients each repeating the
+    suite, so every request is a cache hit; its throughput is the
+    daemon's ceiling (scheduler + wire + cache lookup, no solver). *)
+let serve_throughput () =
+  printf "\n== S1: daemon throughput — cold vs warm cache ==\n";
+  let module SC = Server.Client in
+  let module SP = Server.Protocol in
+  let module SJ = Server.Json in
+  let entries = List.map (fun (e : Pr.entry) -> e.Pr.name) Pr.all in
+  let reps = if !quick then 2 else 15 in
+  printf "(suite of %d entries; warm pass = one suite x %d per client)\n"
+    (List.length entries) reps;
+  printf "%7s %6s | %9s %9s %9s\n" "workers" "pass" "req/s" "p50(ms)"
+    "p99(ms)";
+  printf "%s\n" (String.make 50 '-');
+  let run_config workers =
+    let tmp = Filename.get_temp_dir_name () in
+    let tag = Printf.sprintf "daenerys-bench-%d-j%d" (Unix.getpid ()) workers in
+    let socket = Filename.concat tmp (tag ^ ".sock") in
+    let cache_dir = Filename.concat tmp (tag ^ ".cache") in
+    rm_rf cache_dir;
+    rm_rf socket;
+    let cfg =
+      {
+        Server.Daemon.default_config with
+        Server.Daemon.socket_path = socket;
+        workers;
+        queue_bound = 256;
+        cache_dir = Some cache_dir;
+      }
+    in
+    let daemon = Domain.spawn (fun () -> Server.Daemon.run cfg) in
+    let connect () =
+      match SC.connect_retry ~attempts:200 ~delay:0.02 socket with
+      | Ok c -> c
+      | Error m -> failwith ("serve_throughput: connect: " ^ m)
+    in
+    let request c name =
+      let t0 = Unix.gettimeofday () in
+      let ok =
+        match SC.rpc c (SP.verify_request (SP.Entry name)) with
+        | Ok v -> Option.bind (SJ.member "ok" v) SJ.to_bool = Some true
+        | Error _ -> false
+      in
+      ((Unix.gettimeofday () -. t0) *. 1000.0, ok)
+    in
+    let sweep c = List.map (request c) entries in
+    (* Cold: single client, empty cache — every request verifies. *)
+    let c0 = connect () in
+    let cold, cold_wall = time (fun () -> sweep c0) in
+    SC.close c0;
+    (* Warm: [workers] concurrent clients, all requests cache hits. *)
+    let warm, warm_wall =
+      time (fun () ->
+          List.init workers (fun _ ->
+              Domain.spawn (fun () ->
+                  let c = connect () in
+                  let lats =
+                    List.concat (List.init reps (fun _ -> sweep c))
+                  in
+                  SC.close c;
+                  lats))
+          |> List.concat_map Domain.join)
+    in
+    let c = connect () in
+    ignore (SC.rpc c (SP.shutdown_request ()));
+    SC.close c;
+    (match Domain.join daemon with
+    | Ok () -> ()
+    | Error m -> printf "  << daemon exit: %s\n" m);
+    rm_rf cache_dir;
+    let row pass lats wall =
+      let ms_lats = List.map fst lats in
+      let rps = float_of_int (List.length lats) /. wall in
+      let p50 = percentile 50.0 ms_lats and p99 = percentile 99.0 ms_lats in
+      printf "%7d %6s | %9.1f %9.2f %9.2f%s\n" workers pass rps p50 p99
+        (if List.for_all snd lats then "" else "  << ERROR RESPONSES");
+      [
+        (pass ^ "_reqs_per_s", rps);
+        (pass ^ "_p50_ms", p50);
+        (pass ^ "_p99_ms", p99);
+      ]
+    in
+    let cold_fields = row "cold" cold cold_wall in
+    let warm_fields = row "warm" warm warm_wall in
+    let fields = cold_fields @ warm_fields in
+    serve_json :=
+      (Printf.sprintf "serve_j%d" workers, fields) :: !serve_json
+  in
+  List.iter run_config [ 1; 2; 4 ];
+  write_json_list "BENCH_serve.json" (List.rev !serve_json)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let micro () =
@@ -529,6 +648,7 @@ let experiments =
     ("smt_incremental", smt_incremental);
     ("lint_overhead", lint_overhead);
     ("budget_overhead", budget_overhead);
+    ("serve_throughput", serve_throughput);
     ("micro", micro);
   ]
 

@@ -42,6 +42,8 @@ module HL = Heaplang.Ast
 module V = Verifier.Exec
 module Pr = Suite.Programs
 module E = Engine
+module R = Server.Render
+module Json = Server.Json
 open Cmdliner
 
 let find_entry name =
@@ -58,10 +60,10 @@ let config ~jobs ~no_cache ~lint ~timeout_ms ~retries =
   }
 
 (* Exit codes (also in the README): the program is wrong vs. the
-   verifier gave up. *)
-let exit_ok = 0
-let exit_wrong = 1
-let exit_gave_up = 2
+   verifier gave up. Shared with the daemon via [Server.Render]. *)
+let exit_ok = R.exit_ok
+let exit_wrong = R.exit_wrong
+let exit_gave_up = R.exit_gave_up
 
 let fail_cli msg =
   Fmt.epr "daenerys: %s@." msg;
@@ -89,24 +91,17 @@ let read_file path =
 
 (** Load an annotated surface file: parse and elaborate, returning the
     program, its source map, and the source text (for caret snippets).
-    Front-end errors come back rendered, span and snippet included. *)
+    Front-end errors come back rendered, span and snippet included —
+    the elaboration (and its error rendering) is the daemon's, so a
+    file fed through [daenerys client] fails with the same message. *)
 let load_hl path :
     (V.program * Diag.srcmap * string, string) result =
   if not (Sys.file_exists path) then Error ("no such file: " ^ path)
   else
     let src = read_file path in
-    let render what m span =
-      Error
-        (Fmt.str "%s at %a: %s@.%a" what Stdx.Loc.pp span m
-           Stdx.Loc.pp_snippet (src, span))
-    in
-    match Verifier.Elab.program_of_string ~file:path src with
-    | prog, srcmap -> Ok (prog, srcmap, src)
-    | exception Heaplang.Parser.Parse_error (m, sp) ->
-        render "parse error" m sp
-    | exception Heaplang.Lexer.Lex_error (m, sp) -> render "lex error" m sp
-    | exception Baselogic.Elab.Elab_error (m, sp) ->
-        render "elaboration error" m sp
+    Result.map
+      (fun (prog, srcmap) -> (prog, srcmap, src))
+      (Server.Daemon.elaborate_source ~file:path src)
 
 (** Print per-program lint findings (skipping clean programs). When a
     finding carries a span into one of [sources] (file → text), its
@@ -129,103 +124,23 @@ let print_lint_findings ?(sources = []) results =
         ds)
     results
 
-(** How one suite entry behaved against its expectation. [Gave_up] is
-    neither: the verifier abstained (timeout, resource exhaustion,
-    crash) without finding anything wrong, so neither "verified" nor
-    "rejected" may be claimed. *)
-type entry_status = Good | Bad | Gave_up
+(* Entry statuses, verdict lines, exit-code folding and the [--json]
+   report document all live in [Server.Render], shared with the
+   daemon. *)
 
 let entry_status (e : Pr.entry) (g : E.group_result) =
-  let failed =
-    List.exists
-      (fun (_, o) -> match o with V.Failed _ -> true | _ -> false)
-      g.E.outcomes
-  in
-  if failed then if e.expect_fail then Good else Bad
-  else if E.group_ok g then if e.expect_fail then Bad else Good
-  else Gave_up
+  R.entry_status ~expect_fail:e.expect_fail g
 
 (** Print one entry's verdict line; returns its status. *)
 let report_entry (e : Pr.entry) (g : E.group_result) =
   let status = entry_status e g in
-  let verdict =
-    match (status, e.expect_fail) with
-    | Good, false -> "VERIFIED"
-    | Good, true -> "rejected (as expected)"
-    | Bad, true -> "VERIFIED — BUT THIS ENTRY MUST FAIL"
-    | Bad, false -> "FAILED"
-    | Gave_up, _ -> "GAVE UP"
-  in
-  Fmt.pr "%-14s %-24s %6.1fms@." e.name verdict g.E.ms;
+  Fmt.pr "%-14s %-24s %6.1fms@." e.name
+    (R.verdict_line ~expect_fail:e.expect_fail status)
+    g.E.ms;
   status
 
-(** Fold entry statuses into an exit code: any [Bad] means the run
-    found (or wrongly produced) a failure — exit 1; otherwise any
-    [Gave_up] taints completeness — exit 2. *)
-let exit_of_statuses statuses =
-  if List.mem Bad statuses then exit_wrong
-  else if List.mem Gave_up statuses then exit_gave_up
-  else exit_ok
-
-(* ------------------------------------------------------------------ *)
-(* JSON rendering for [suite --json] *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_of_outcome (o : V.outcome) =
-  let kind, msg =
-    match o with
-    | V.Verified -> ("verified", None)
-    | V.Failed m -> ("failed", Some m)
-    | V.Timeout m -> ("timeout", Some m)
-    | V.Resource_out m -> ("resource_out", Some m)
-    | V.Crashed { V.exn; _ } -> ("crashed", Some exn)
-  in
-  match msg with
-  | None -> Printf.sprintf {|{"kind":"%s"}|} kind
-  | Some m ->
-      Printf.sprintf {|{"kind":"%s","message":"%s"}|} kind (json_escape m)
-
-(* [rows]: one (name, expect_fail, status) triple per report group. *)
-let json_of_report (report : E.report) rows =
-  let entries =
-    List.map2
-      (fun (name, expect_fail, status) g ->
-        let procs =
-          List.map
-            (fun (p, o) ->
-              Printf.sprintf {|{"proc":"%s","outcome":%s}|} (json_escape p)
-                (json_of_outcome o))
-            g.E.outcomes
-        in
-        Printf.sprintf
-          {|{"entry":"%s","expect_fail":%b,"status":"%s","ms":%.1f,"procs":[%s]}|}
-          (json_escape name) expect_fail
-          (match status with
-          | Good -> "ok"
-          | Bad -> "misbehaved"
-          | Gave_up -> "gave_up")
-          g.E.ms (String.concat "," procs))
-      rows report.E.groups
-  in
-  let s = report.E.stats in
-  Printf.sprintf
-    {|{"entries":[%s],"stats":{"jobs":%d,"wall_ms":%.1f,"timeouts":%d,"resource_outs":%d,"crashes":%d,"retries":%d,"cache_corrupt":%d,"session_fallbacks":%d}}|}
-    (String.concat "," entries)
-    s.E.jobs s.E.wall_ms s.E.timeouts s.E.resource_outs s.E.crashes
-    s.E.retries s.E.cache_corrupt s.E.smt.Smt.Stats.session_fallbacks
+let exit_of_statuses = R.exit_of_statuses
+let json_of_report = R.json_of_report
 
 let jobs_arg =
   Arg.(
@@ -348,7 +263,7 @@ let verify_file path ~jobs ~no_cache ~lint ~stats ~timeout_ms ~retries ~json =
       let g = List.hd report.E.groups in
       let ok = E.group_ok g in
       let status =
-        if ok then Good else if E.group_gave_up g then Gave_up else Bad
+        if ok then R.Good else if E.group_gave_up g then R.Gave_up else R.Bad
       in
       if json then
         Fmt.pr "%s@." (json_of_report report [ (path, false, status) ])
@@ -364,9 +279,9 @@ let verify_file path ~jobs ~no_cache ~lint ~stats ~timeout_ms ~retries ~json =
         if stats then Fmt.pr "%a@." E.pp_stats report.E.stats
       end;
       (match status with
-      | Good -> exit_ok
-      | Gave_up -> exit_gave_up
-      | Bad -> exit_wrong)
+      | R.Good -> exit_ok
+      | R.Gave_up -> exit_gave_up
+      | R.Bad -> exit_wrong)
 
 let verify_cmd =
   let doc =
@@ -395,9 +310,9 @@ let verify_cmd =
                   (json_of_report report
                      [ (e.Pr.name, e.Pr.expect_fail, status) ]);
                 match status with
-                | Good -> exit_ok
-                | Gave_up -> exit_gave_up
-                | Bad -> exit_wrong
+                | R.Good -> exit_ok
+                | R.Gave_up -> exit_gave_up
+                | R.Bad -> exit_wrong
               end
               else begin
                 if lint then print_lint_findings report.E.lint;
@@ -405,9 +320,9 @@ let verify_cmd =
                 print_proc_outcomes g;
                 Fmt.pr "%a@." E.pp_stats report.E.stats;
                 match status with
-                | Good -> exit_ok
-                | Gave_up -> exit_gave_up
-                | Bad ->
+                | R.Good -> exit_ok
+                | R.Gave_up -> exit_gave_up
+                | R.Bad ->
                     Fmt.epr "daenerys: verification misbehaved@.";
                     exit_wrong
               end
@@ -584,9 +499,220 @@ let run_cmd =
                   exit_ok))
       $ name_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the daemon and its CLI front door (lib/server) *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Server.Daemon.default_config.Server.Daemon.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let doc =
+    "Run the verification daemon: a long-lived process with warm worker \
+     domains and a two-tier (memory + disk) VC cache, serving \
+     newline-delimited JSON requests on a Unix-domain socket."
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the VC cache on disk under $(docv), so verdicts for \
+             unchanged programs survive daemon restarts. Default: memory \
+             only.")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Size bound for the disk cache tier, in MiB (LRU eviction).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Max queued requests per client; further submissions get an \
+             immediate $(b,busy) response instead of unbounded buffering.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const
+        (fun socket jobs cache_dir cache_mb queue timeout_ms retries faults ->
+          with_faults faults @@ fun () ->
+          let cfg =
+            {
+              Server.Daemon.default_config with
+              Server.Daemon.socket_path = socket;
+              workers = max 1 jobs;
+              queue_bound = queue;
+              cache_dir;
+              cache_max_bytes = cache_mb * 1024 * 1024;
+              timeout_ms;
+              retries;
+            }
+          in
+          Fmt.pr "daenerys: serving on %s (%d worker(s), cache: %s)@." socket
+            (max 1 jobs)
+            (match cache_dir with
+            | Some d -> "memory + disk at " ^ d
+            | None -> "memory only");
+          match Server.Daemon.run cfg with
+          | Ok () ->
+              Fmt.pr "daenerys: daemon stopped@.";
+              exit_ok
+          | Error m -> fail_cli m)
+      $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_mb_arg $ queue_arg
+      $ timeout_arg $ retries_arg $ faults_arg)
+
+(** One round trip; [Error] covers transport failures and [ok:false]
+    responses (busy, unknown entry, injected fault, …). *)
+let client_rpc c req : (Json.t, string) result =
+  match Server.Client.rpc c req with
+  | Error _ as e -> e
+  | Ok resp ->
+      if Option.value ~default:false (Json.bool_member "ok" resp) then Ok resp
+      else
+        Error
+          (Option.value ~default:"daemon error" (Json.str_member "error" resp))
+
+let client_target name : (Server.Protocol.target, string) result =
+  if is_hl name then
+    if Sys.file_exists name then
+      (* Ship the source inline: daemon and client need not share a
+         working directory. *)
+      Ok (Server.Protocol.Source { file = name; source = read_file name })
+    else Error ("no such file: " ^ name)
+  else Ok (Server.Protocol.Entry name)
+
+(* Fold per-request exit codes like [Render.exit_of_statuses]: a wrong
+   program (1) dominates the verifier giving up (2). *)
+let combine_exits a b = if a = exit_wrong || b = exit_wrong then exit_wrong else max a b
+
+let client_cmd =
+  let doc =
+    "Drive a running daemon: verify suite entries or .hl files over the \
+     socket, print the daemon's reports, and propagate its 0/1/2 exit \
+     codes. CI and the test suite use this to exercise the warm path."
+  in
+  let names_arg = Arg.(value & pos_all string [] & info [] ~docv:"NAME") in
+  let suite_flag =
+    Arg.(
+      value & flag
+      & info [ "suite" ] ~doc:"Verify every suite entry through the daemon.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the daemon's statistics (scheduler + cache) as JSON.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Ask the daemon to drain in-flight work and exit.")
+  in
+  (* Per-request override: absent means "use the daemon's default",
+     unlike the local [retries_arg] whose default is 0. *)
+  let retries_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Per-request retry override; defaults to the daemon's \
+             configured retries.")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const
+        (fun socket names suite stats shutdown json lint timeout_ms retries ->
+          match Server.Client.connect socket with
+          | Error m -> fail_cli m
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Server.Client.close c)
+                (fun () ->
+                  let names =
+                    if suite then
+                      List.map (fun (e : Pr.entry) -> e.Pr.name) Pr.all
+                    else names
+                  in
+                  if stats then
+                    match client_rpc c (Server.Protocol.stats_request ()) with
+                    | Error m -> fail_cli m
+                    | Ok resp ->
+                        Fmt.pr "%s@."
+                          (Json.to_string
+                             (Option.value ~default:resp
+                                (Json.member "stats" resp)));
+                        exit_ok
+                  else if names = [] && not shutdown then
+                    fail_cli
+                      "nothing to do: give entry NAMEs, .hl files, --suite, \
+                       --stats or --shutdown"
+                  else
+                    let verify_one name =
+                      match client_target name with
+                      | Error m ->
+                          Fmt.epr "daenerys: %s@." m;
+                          exit_wrong
+                      | Ok target -> (
+                          match
+                            client_rpc c
+                              (Server.Protocol.verify_request ~lint ?timeout_ms
+                                 ?retries target)
+                          with
+                          | Error m ->
+                              Fmt.epr "daenerys: %s: %s@." name m;
+                              exit_wrong
+                          | Ok resp ->
+                              if json then
+                                Fmt.pr "%s@."
+                                  (Json.to_string
+                                     (Option.value ~default:resp
+                                        (Json.member "report" resp)))
+                              else
+                                Fmt.pr "%s"
+                                  (Option.value ~default:""
+                                     (Json.str_member "output" resp));
+                              Option.value ~default:exit_wrong
+                                (Json.int_member "exit" resp))
+                    in
+                    let ec =
+                      List.fold_left
+                        (fun acc n -> combine_exits acc (verify_one n))
+                        exit_ok names
+                    in
+                    if shutdown then
+                      match
+                        client_rpc c (Server.Protocol.shutdown_request ())
+                      with
+                      | Error m -> fail_cli m
+                      | Ok _ ->
+                          Fmt.pr "daenerys: shutdown acknowledged@.";
+                          ec
+                    else ec))
+          $ socket_arg $ names_arg $ suite_flag $ stats_flag $ shutdown_flag
+          $ json_flag $ lint_flag $ timeout_arg $ retries_opt_arg)
+
 let () =
   let doc = "a destabilized separation-logic verifier" in
   let info = Cmd.info "daenerys" ~version:"0.1" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ suite_cmd; verify_cmd; lint_cmd; list_cmd; run_cmd ]))
+       (Cmd.group info
+          [
+            suite_cmd;
+            verify_cmd;
+            lint_cmd;
+            list_cmd;
+            run_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

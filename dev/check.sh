@@ -77,8 +77,75 @@ else
   echo "(verifier gave up on some entries under faults — expected)"
 fi
 
-echo "== bench smoke: smt_incremental + budget_overhead --quick =="
+echo "== daemon gate: serve + client, warm cache >=10x, restart reuses disk =="
+DAE=./_build/default/bin/daenerys.exe
+TMPD=$(mktemp -d)
+SOCK="$TMPD/daenerys.sock"
+CACHE="$TMPD/cache"
+SRV=""
+trap '[ -n "$SRV" ] && kill "$SRV" 2>/dev/null; rm -rf "$TMPD"' EXIT
+
+start_daemon() {
+  "$DAE" serve --socket "$SOCK" -j 2 --cache-dir "$CACHE" &
+  SRV=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "FAIL: daemon did not bind $SOCK" >&2; exit 1; }
+    sleep 0.05
+  done
+}
+
+stop_daemon() {
+  "$DAE" client --socket "$SOCK" --shutdown >/dev/null
+  wait "$SRV"
+  SRV=""
+}
+
+# Daemon-side verification time (sums the per-request wall_ms of the
+# engine reports, so client process startup doesn't pollute the ratio).
+sum_wall_ms() {
+  grep -o '"wall_ms":[0-9.]*' | awk -F: '{ s += $2 } END { printf "%.3f", s }'
+}
+verdicts() {
+  grep -o '"entry":"[^"]*","expect_fail":[a-z]*,"status":"[^"]*"'
+}
+
+start_daemon
+cold=$("$DAE" client --socket "$SOCK" --suite --json)
+warm=$("$DAE" client --socket "$SOCK" --suite --json)
+cold_ms=$(echo "$cold" | sum_wall_ms)
+warm_ms=$(echo "$warm" | sum_wall_ms)
+if [ "$(echo "$cold" | verdicts)" != "$(echo "$warm" | verdicts)" ]; then
+  echo "FAIL: warm-cache verdicts differ from cold verdicts" >&2; exit 1
+fi
+awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { exit !(c >= 10 * w) }' || {
+  echo "FAIL: warm suite not >=10x faster (cold ${cold_ms}ms, warm ${warm_ms}ms)" >&2
+  exit 1
+}
+echo "warm cache: ${cold_ms}ms cold -> ${warm_ms}ms warm, verdicts identical"
+
+stop_daemon
+start_daemon  # same cache dir: the disk tier must survive the restart
+restart=$("$DAE" client --socket "$SOCK" --suite --json)
+if [ "$(echo "$cold" | verdicts)" != "$(echo "$restart" | verdicts)" ]; then
+  echo "FAIL: post-restart verdicts differ from cold verdicts" >&2; exit 1
+fi
+stats=$("$DAE" client --socket "$SOCK" --stats)
+disk_hits=$(echo "$stats" | grep -o '"disk_hits":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$disk_hits" ] || [ "$disk_hits" -eq 0 ]; then
+  echo "FAIL: restarted daemon served no disk-cache hits" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+echo "restart: $disk_hits requests answered from the disk cache"
+stop_daemon
+rm -rf "$TMPD"
+trap - EXIT
+
+echo "== bench smoke: smt_incremental + budget_overhead + serve --quick =="
 dune exec bench/main.exe -- smt_incremental --quick
 dune exec bench/main.exe -- budget_overhead --quick
+dune exec bench/main.exe -- serve_throughput --quick
 
 echo "tier-1 gate: OK"

@@ -30,6 +30,11 @@ type config = {
   timeout_ms : float option;  (** per-job wall-clock deadline *)
   retries : int;
       (** budget-escalated retries per job on [Timeout]/[Resource_out] *)
+  shared_cache : Vc_cache.t option;
+      (** a caller-owned cache (the [daenerys serve] daemon's two-tier
+          instance, installed once for the process); when set, the
+          engine neither creates nor installs/uninstalls a cache, so
+          concurrent runs on different worker domains share it safely *)
 }
 
 let default_config =
@@ -40,6 +45,7 @@ let default_config =
     lint = false;
     timeout_ms = None;
     retries = 0;
+    shared_cache = None;
   }
 
 type analysis_stats = {
@@ -55,7 +61,8 @@ type stats = {
   wall_ms : float;  (** end-to-end wall clock for the whole run *)
   pool : Pool.stats;
   solver_ms_per_domain : float array;  (** time inside [check_sat] *)
-  cache_hits : int;
+  cache_hits : int;  (** answered from the in-memory tier *)
+  cache_disk_hits : int;  (** answered from the persistent on-disk tier *)
   cache_misses : int;
   cache_entries : int;
   cache_corrupt : int;  (** entries that failed validation on read *)
@@ -188,17 +195,35 @@ let verify_programs ?(config = default_config)
       live
     |> Array.of_list
   in
-  let cache = if config.cache then Some (Vc_cache.create ()) else None in
-  Option.iter Vc_cache.install cache;
+  (* A shared cache (daemon mode) is owned and installed by the
+     caller, once per process; an owned cache lives for this run. *)
+  let cache, owned =
+    match config.shared_cache with
+    | Some c -> (Some c, false)
+    | None when config.cache -> (Some (Vc_cache.create ()), true)
+    | None -> (None, false)
+  in
+  if owned then Option.iter Vc_cache.install cache;
   let t0 = Unix.gettimeofday () in
-  let results, smt_per_domain, pool =
+  let results, per_domain, pool =
     Fun.protect
-      ~finally:(fun () -> if config.cache then Vc_cache.uninstall ())
+      ~finally:(fun () -> if owned then Vc_cache.uninstall ())
       (fun () ->
         Pool.run ~domains:config.domains
-          ~prologue:Smt.Stats.reset ~epilogue:Smt.Stats.snapshot
+          ~prologue:(fun () ->
+            Smt.Stats.reset ();
+            Vc_cache.Local.reset ())
+          ~epilogue:(fun () ->
+            (Smt.Stats.snapshot (), Vc_cache.Local.snapshot ()))
           (Job.run ?timeout_ms:config.timeout_ms ~retries:config.retries)
           jobs)
+  in
+  let smt_per_domain = Array.map fst per_domain in
+  let cache_local =
+    Array.fold_left
+      (fun acc (_, l) -> Vc_cache.Local.sum acc l)
+      (Vc_cache.Local.create ())
+      per_domain
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   let vstats =
@@ -222,11 +247,14 @@ let verify_programs ?(config = default_config)
       pool;
       solver_ms_per_domain =
         Array.map (fun (s : Smt.Stats.t) -> s.Smt.Stats.solve_ms) smt_per_domain;
-      cache_hits = (match cache with Some c -> Vc_cache.hits c | None -> 0);
-      cache_misses = (match cache with Some c -> Vc_cache.misses c | None -> 0);
+      (* Per-run counters come from the merged domain-local records,
+         not the cache instance: a shared (daemon) cache accumulates
+         across requests, but each request must report only its own. *)
+      cache_hits = cache_local.Vc_cache.Local.hits;
+      cache_disk_hits = cache_local.Vc_cache.Local.disk_hits;
+      cache_misses = cache_local.Vc_cache.Local.misses;
       cache_entries = (match cache with Some c -> Vc_cache.size c | None -> 0);
-      cache_corrupt =
-        (match cache with Some c -> Vc_cache.corrupt c | None -> 0);
+      cache_corrupt = cache_local.Vc_cache.Local.corrupt;
       timeouts = count (function V.Timeout _ -> true | _ -> false);
       resource_outs = count (function V.Resource_out _ -> true | _ -> false);
       crashes = count (function V.Crashed _ -> true | _ -> false);
@@ -259,6 +287,45 @@ let verify_programs ?(config = default_config)
 let verify_program ?config ~name (prog : V.program) : report =
   verify_programs ?config [ (name, prog) ]
 
+(** A report for a group whose verdicts were answered by the verdict
+    tier of a shared cache ({!Vc_cache.lookup_verdicts}): no jobs ran,
+    no symbolic execution, no solver work — all solver and verifier
+    counters are zero by construction, and the cache counters record
+    which tier answered. The daemon synthesizes warm responses with
+    this. *)
+let cached_report ~group ~(outcomes : (string * V.outcome) list)
+    ~(tier : [ `Memory | `Disk ]) ~wall_ms : report =
+  let mem, disk = match tier with `Memory -> (1, 0) | `Disk -> (0, 1) in
+  {
+    groups = [ { group; outcomes; ms = wall_ms } ];
+    lint = [];
+    stats =
+      {
+        analysis = None;
+        jobs = 0;
+        wall_ms;
+        pool =
+          {
+            Pool.domains = 0;
+            jobs_per_domain = [||];
+            ms_per_domain = [||];
+            steals = 0;
+          };
+        solver_ms_per_domain = [||];
+        cache_hits = mem;
+        cache_disk_hits = disk;
+        cache_misses = 0;
+        cache_entries = 0;
+        cache_corrupt = 0;
+        timeouts = 0;
+        resource_outs = 0;
+        crashes = 0;
+        retries = 0;
+        vstats = Verifier.Vstats.create ();
+        smt = Smt.Stats.create ();
+      };
+  }
+
 let pp_stats ppf (s : stats) =
   (match s.analysis with
   | Some a ->
@@ -266,18 +333,19 @@ let pp_stats ppf (s : stats) =
         "analysis: %d program(s) in %.1fms — %d finding(s), %d error(s)@ "
         a.a_programs a.a_wall_ms a.a_diags a.a_errors
   | None -> ());
+  let probes = s.cache_hits + s.cache_disk_hits + s.cache_misses in
   let rate =
-    if s.cache_hits + s.cache_misses = 0 then 0.0
+    if probes = 0 then 0.0
     else
       100.0
-      *. float_of_int s.cache_hits
-      /. float_of_int (s.cache_hits + s.cache_misses)
+      *. float_of_int (s.cache_hits + s.cache_disk_hits)
+      /. float_of_int probes
   in
   Fmt.pf ppf
     "@[<v>engine: %d jobs on %d domain(s) in %.1fms (steals=%d)@ \
      per-domain jobs=[%a] wall=[%a]ms solver=[%a]ms@ \
-     vc-cache: %d hits / %d misses (%.1f%% hit rate, %d entries, %d \
-     corrupt)@ \
+     vc-cache: %d mem hits / %d disk hits / %d misses (%.1f%% hit rate, \
+     %d entries, %d corrupt)@ \
      resilience: timeouts=%d resource-outs=%d crashes=%d retries=%d@ \
      %a@ %a@]"
     s.jobs s.pool.Pool.domains s.wall_ms s.pool.Pool.steals
@@ -286,6 +354,6 @@ let pp_stats ppf (s : stats) =
     Fmt.(array ~sep:(any ",") (fmt "%.1f"))
     s.pool.Pool.ms_per_domain
     Fmt.(array ~sep:(any ",") (fmt "%.1f"))
-    s.solver_ms_per_domain s.cache_hits s.cache_misses rate s.cache_entries
-    s.cache_corrupt s.timeouts s.resource_outs s.crashes s.retries
-    Verifier.Vstats.pp s.vstats Smt.Stats.pp s.smt
+    s.solver_ms_per_domain s.cache_hits s.cache_disk_hits s.cache_misses rate
+    s.cache_entries s.cache_corrupt s.timeouts s.resource_outs s.crashes
+    s.retries Verifier.Vstats.pp s.vstats Smt.Stats.pp s.smt

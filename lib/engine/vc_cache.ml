@@ -1,4 +1,4 @@
-(** A content-addressed cache of VC verdicts.
+(** A two-tier content-addressed cache of VC verdicts.
 
     The solver serializes each query to canonical bytes
     ([Smt.Solver.serialize_vc]); we address results by the MD5 digest
@@ -6,88 +6,518 @@
     conditions within one procedure, identical obligations across
     repeated verification runs — are discharged once.
 
-    Entries are defensive: the verdict is stored as marshalled bytes
-    together with a digest of those bytes, and every read re-digests
-    and deserializes under a guard. An entry that fails validation —
-    whether from an injected cache fault, a future spill-to-disk
-    picking up a truncated file, or a plain bug — is {e evicted and
-    counted as a miss}, so corruption can cost a re-solve but can never
-    resurface as a wrong verdict. The [corrupt] counter makes such
-    events visible in [--stats].
+    {b Tier 1} is the in-memory table of PR 1: a mutex-guarded
+    hashtable shared by every worker domain. {b Tier 2} is an optional
+    persistent on-disk store (one file per digest under a cache
+    directory), so verdicts survive process restarts — the substrate
+    of the [daenerys serve] daemon, where a repeat request for an
+    unchanged program must be a pure cache hit even across daemon
+    generations. A memory miss probes the disk; a disk hit is promoted
+    into memory, so the second probe is a memory hit.
 
-    One table serves every worker domain: lookups and stores take a
-    mutex (the critical section is a hashtable probe — far cheaper than
-    any solver call it saves), hit/miss counters are atomic so the
-    report needs no lock. *)
+    Disk entries are defensive on three axes:
+
+    - {b torn writes}: entries are written to a temp file and
+      published with an atomic [rename], so a concurrent daemon (or a
+      crash mid-write) never observes a partial entry;
+    - {b corruption}: the file carries the payload's digest; a read
+      that fails re-digesting, unmarshalling, or decoding is {e
+      evicted and counted as a miss} (the [corrupt] counter makes such
+      events visible), exactly like PR 5's in-memory validation —
+      corruption can cost a re-solve but can never resurface as a
+      wrong verdict;
+    - {b stale builds}: the binary's build fingerprint (digest of the
+      executable) is folded into the on-disk file name {e and} stored
+      in the entry, so a rebuilt verifier never replays verdicts
+      produced by different code.
+
+    The disk tier is size-bounded: an in-memory index (rebuilt from
+    the directory at [create]) tracks per-entry sizes and a logical
+    LRU clock; stores that push the total over [max_bytes] evict the
+    least-recently-used entries. Eviction and loads tolerate files
+    vanishing underneath them — several daemons may share a directory.
+
+    Counters exist at two scopes. Per-instance atomics accumulate for
+    the cache's lifetime (the daemon's [stats] request reports these);
+    the domain-local {!Local} record gives exact per-request
+    accounting even when concurrent requests share one cache — the
+    engine resets it in each worker's prologue and merges the
+    snapshots, mirroring [Smt.Stats]. *)
 
 type entry = {
   payload : string;  (** [Marshal]ed {!Smt.Solver.result} *)
   digest : string;  (** MD5 of [payload], checked on every read *)
 }
 
+(* --------------------------------------------------------------- *)
+(* Domain-local per-run counters *)
+
+module Local = struct
+  type t = {
+    mutable hits : int;  (** answered from the in-memory tier *)
+    mutable disk_hits : int;  (** answered from the on-disk tier *)
+    mutable misses : int;
+    mutable corrupt : int;
+  }
+
+  let create () = { hits = 0; disk_hits = 0; misses = 0; corrupt = 0 }
+  let key : t Domain.DLS.key = Domain.DLS.new_key create
+  let current () = Domain.DLS.get key
+
+  let reset () =
+    let s = current () in
+    s.hits <- 0;
+    s.disk_hits <- 0;
+    s.misses <- 0;
+    s.corrupt <- 0
+
+  let snapshot () =
+    let s = current () in
+    { s with hits = s.hits }
+
+  let sum a b =
+    {
+      hits = a.hits + b.hits;
+      disk_hits = a.disk_hits + b.disk_hits;
+      misses = a.misses + b.misses;
+      corrupt = a.corrupt + b.corrupt;
+    }
+end
+
+(* --------------------------------------------------------------- *)
+(* The on-disk tier *)
+
+(** The running binary's build fingerprint: a digest of the executable
+    itself, so any rebuild — even one that only changes solver
+    internals — keys a disjoint set of on-disk entries. *)
+let build_fingerprint =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with _ -> "unknown-build")
+
+type disk_meta = { size : int; mutable stamp : int (* LRU clock *) }
+
+type disk = {
+  dir : string;
+  max_bytes : int;
+  fingerprint : string;
+  dlock : Mutex.t;  (** guards [index], [total], [clock] *)
+  index : (string, disk_meta) Hashtbl.t;  (** hex file key -> meta *)
+  mutable total : int;  (** bytes accounted in [index] *)
+  mutable clock : int;
+  tmp_seq : int Atomic.t;  (** unique temp-file names within a process *)
+}
+
 type t = {
   tbl : (string, entry) Hashtbl.t;
   lock : Mutex.t;
   hits : int Atomic.t;
+  disk_hits : int Atomic.t;
   misses : int Atomic.t;
   corrupt : int Atomic.t;
+  disk : disk option;
 }
 
-let create () =
+let suffix = ".vc"
+
+(** The on-disk key folds the build fingerprint into the address, so a
+    rebuilt binary cannot even {e name} a stale entry. *)
+let disk_key (d : disk) key =
+  Digest.to_hex (Digest.string (d.fingerprint ^ "\x00" ^ key))
+
+let disk_path (d : disk) hex = Filename.concat d.dir (hex ^ suffix)
+
+(** Rebuild the size/LRU index by scanning the directory; entry mtimes
+    seed the LRU order across restarts. Unreadable files are skipped
+    (a sibling daemon may be mid-eviction). *)
+let scan_dir dir (index : (string, disk_meta) Hashtbl.t) =
+  let files =
+    match Sys.readdir dir with exception _ -> [||] | fs -> fs
+  in
+  let stamped =
+    Array.to_list files
+    |> List.filter_map (fun f ->
+           if not (Filename.check_suffix f suffix) then None
+           else
+             match Unix.stat (Filename.concat dir f) with
+             | { Unix.st_size; st_mtime; _ } ->
+                 Some (Filename.chop_suffix f suffix, st_size, st_mtime)
+             | exception _ -> None)
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+  in
+  let total = ref 0 and clock = ref 0 in
+  List.iter
+    (fun (hex, size, _) ->
+      incr clock;
+      total := !total + size;
+      Hashtbl.replace index hex { size; stamp = !clock })
+    stamped;
+  (!total, !clock)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+(** [create ()] is the PR 1 memory-only cache (per-run, CLI default).
+    [create ~disk_dir ()] adds the persistent tier; [max_bytes] bounds
+    it (default 256 MB) and [fingerprint] overrides the build digest
+    (tests use this to simulate a rebuild). *)
+let create ?disk_dir ?(max_bytes = 256 * 1024 * 1024) ?fingerprint () =
+  let disk =
+    Option.map
+      (fun dir ->
+        mkdir_p dir;
+        let index = Hashtbl.create 1024 in
+        let total, clock = scan_dir dir index in
+        {
+          dir;
+          max_bytes;
+          fingerprint =
+            (match fingerprint with
+            | Some f -> f
+            | None -> Lazy.force build_fingerprint);
+          dlock = Mutex.create ();
+          index;
+          total;
+          clock;
+          tmp_seq = Atomic.make 0;
+        })
+      disk_dir
+  in
   {
     tbl = Hashtbl.create 4096;
     lock = Mutex.create ();
     hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
     corrupt = Atomic.make 0;
+    disk;
   }
 
-let decode (e : entry) : Smt.Solver.result option =
-  if not (String.equal (Digest.string e.payload) e.digest) then None
-  else
-    (* The digest already vouches for the bytes; the guard covers
-       truncation-shaped corruption where the digest was forged or the
-       payload predates a format change. *)
-    match (Marshal.from_string e.payload 0 : Smt.Solver.result) with
-    | r -> Some r
-    | exception _ -> None
+(** Validate an entry and surrender its payload bytes. The cache is
+    payload-agnostic — the VC tier stores marshaled solver results,
+    the verdict tier whole-group outcomes; both ride the same digest
+    validation and the same two storage tiers. *)
+let decode (e : entry) : string option =
+  if String.equal (Digest.string e.payload) e.digest then Some e.payload
+  else None
 
-let lookup t serialized =
+(* --- disk primitives ------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Drop [hex] from the directory and the index. Tolerates the file
+    already being gone (another daemon evicted it first). *)
+let disk_remove (d : disk) hex =
+  Mutex.protect d.dlock (fun () ->
+      match Hashtbl.find_opt d.index hex with
+      | Some m ->
+          Hashtbl.remove d.index hex;
+          d.total <- d.total - m.size
+      | None -> ());
+  try Sys.remove (disk_path d hex) with _ -> ()
+
+(** Evict least-recently-used entries until the accounted total fits.
+    Called with fresh stores; the just-written entry carries the
+    highest stamp, so it is evicted only if it alone exceeds the
+    bound. *)
+let disk_evict_to_bound (d : disk) =
+  let victim () =
+    Mutex.protect d.dlock (fun () ->
+        if d.total <= d.max_bytes then None
+        else
+          Hashtbl.fold
+            (fun hex m acc ->
+              match acc with
+              | Some (_, s) when s <= m.stamp -> acc
+              | _ -> Some (hex, m.stamp))
+            d.index None)
+  in
+  let rec go () =
+    match victim () with
+    | None -> ()
+    | Some (hex, _) ->
+        disk_remove d hex;
+        go ()
+  in
+  go ()
+
+(* On-disk framing. Deliberately NOT [Marshal]: unmarshalling
+   corrupted bytes can crash the runtime, and disk entries are exactly
+   the bytes we must assume corrupted. Every field is length-checked,
+   so a malformed file can only ever parse to [None] — the payload is
+   unmarshalled (by the typed layer) only after its digest validates. *)
+let magic = "DAEVC1\n"
+
+let encode_entry fp (e : entry) =
+  String.concat ""
+    [
+      magic;
+      string_of_int (String.length fp);
+      "\n";
+      fp;
+      Digest.to_hex e.digest;
+      "\n";
+      string_of_int (String.length e.payload);
+      "\n";
+      e.payload;
+    ]
+
+(** Parse a disk file into (fingerprint, entry); [None] on any
+    malformation — bad magic, bad lengths, non-hex digest, trailing or
+    missing bytes. *)
+let decode_entry bytes : (string * entry) option =
+  let n = String.length bytes in
+  let m = String.length magic in
+  try
+    if n < m || not (String.equal (String.sub bytes 0 m) magic) then None
+    else begin
+      let pos = ref m in
+      let read_line () =
+        let i = String.index_from bytes !pos '\n' in
+        let s = String.sub bytes !pos (i - !pos) in
+        pos := i + 1;
+        s
+      in
+      let fp_len = int_of_string (read_line ()) in
+      if fp_len < 0 || !pos + fp_len > n then None
+      else begin
+        let fp = String.sub bytes !pos fp_len in
+        pos := !pos + fp_len;
+        let digest = Digest.from_hex (read_line ()) in
+        let payload_len = int_of_string (read_line ()) in
+        if payload_len < 0 || !pos + payload_len <> n then None
+        else Some (fp, { payload = String.sub bytes !pos payload_len; digest })
+      end
+    end
+  with _ -> None
+
+(** Publish an entry: temp file in the same directory, then an atomic
+    [rename] — a reader (this daemon or a sibling sharing the
+    directory) sees the whole entry or nothing. IO errors are
+    swallowed: a full or read-only disk degrades the cache to
+    memory-only, never breaks verification. *)
+let disk_store (d : disk) key (e : entry) =
+  let hex = disk_key d key in
+  let bytes = encode_entry d.fingerprint e in
+  let tmp =
+    Filename.concat d.dir
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+         (Atomic.fetch_and_add d.tmp_seq 1))
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc bytes);
+    Sys.rename tmp (disk_path d hex)
+  with
+  | () ->
+      Mutex.protect d.dlock (fun () ->
+          d.clock <- d.clock + 1;
+          let size = String.length bytes in
+          (match Hashtbl.find_opt d.index hex with
+          | Some m -> d.total <- d.total - m.size
+          | None -> ());
+          Hashtbl.replace d.index hex { size; stamp = d.clock };
+          d.total <- d.total + size);
+      disk_evict_to_bound d
+  | exception _ -> ( try Sys.remove tmp with _ -> ())
+
+(** Probe the disk tier. [Ok e] is a validated entry; [Corrupt] means
+    a file existed but failed validation (already evicted here);
+    [Absent] is a plain miss. *)
+let disk_load (d : disk) key =
+  let hex = disk_key d key in
+  match read_file (disk_path d hex) with
+  | exception _ -> `Absent
+  | bytes -> (
+      let corrupt () =
+        disk_remove d hex;
+        `Corrupt
+      in
+      (* Chaos-testing hook: an injected cache fault garbles the read,
+         exercising the promise that disk corruption is absorbed. *)
+      if Stdx.Fault.fires Stdx.Fault.Cache then corrupt ()
+      else
+        match decode_entry bytes with
+        | None -> corrupt ()
+        | Some (fp, e) ->
+            if not (String.equal fp d.fingerprint) then begin
+              (* A hash collision across builds — address says ours,
+                 content says otherwise. Treat as a plain miss. *)
+              disk_remove d hex;
+              `Absent
+            end
+            else if decode e = None then corrupt ()
+            else begin
+                Mutex.protect d.dlock (fun () ->
+                    d.clock <- d.clock + 1;
+                    match Hashtbl.find_opt d.index hex with
+                    | Some m -> m.stamp <- d.clock
+                    | None ->
+                        (* Written by a sibling daemon after our scan. *)
+                        Hashtbl.replace d.index hex
+                          { size = String.length bytes; stamp = d.clock });
+                `Ok e
+              end)
+
+(* --- the two-tier lookup/store -------------------------------- *)
+
+let count_hit t =
+  Atomic.incr t.hits;
+  let l = Local.current () in
+  l.Local.hits <- l.Local.hits + 1
+
+let count_disk_hit t =
+  Atomic.incr t.disk_hits;
+  let l = Local.current () in
+  l.Local.disk_hits <- l.Local.disk_hits + 1
+
+let count_miss t =
+  Atomic.incr t.misses;
+  let l = Local.current () in
+  l.Local.misses <- l.Local.misses + 1
+
+let count_corrupt t =
+  Atomic.incr t.corrupt;
+  let l = Local.current () in
+  l.Local.corrupt <- l.Local.corrupt + 1
+
+(** Two-tier probe: memory, then disk (promoting a disk hit into
+    memory). Returns the validated payload bytes and the tier that
+    answered. *)
+let lookup_bytes t serialized : (string * [ `Memory | `Disk ]) option =
   let key = Digest.string serialized in
-  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl key) with
-  | None ->
-      Atomic.incr t.misses;
-      None
+  let mem = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl key) in
+  let from_disk () =
+    match t.disk with
+    | None ->
+        count_miss t;
+        None
+    | Some d -> (
+        match disk_load d key with
+        | `Ok e -> (
+            match decode e with
+            | Some payload ->
+                (* Promote: the next probe for this key is a memory
+                   hit. *)
+                Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key e);
+                count_disk_hit t;
+                Some (payload, `Disk)
+            | None ->
+                (* disk_load validated the entry; unreachable unless
+                   the bytes rot between the two reads. *)
+                count_corrupt t;
+                count_miss t;
+                None)
+        | `Corrupt ->
+            count_corrupt t;
+            count_miss t;
+            None
+        | `Absent ->
+            count_miss t;
+            None)
+  in
+  match mem with
+  | None -> from_disk ()
   | Some e -> (
       match decode e with
-      | Some _ as r ->
-          Atomic.incr t.hits;
-          r
+      | Some payload ->
+          count_hit t;
+          Some (payload, `Memory)
       | None ->
-          (* Corrupt entry: evict so the re-solved result replaces it,
-             count, and report a miss. *)
+          (* Corrupt memory entry: evict so the re-solved result
+             replaces it, count, and fall back to the disk tier (its
+             copy validates independently). *)
           Mutex.protect t.lock (fun () -> Hashtbl.remove t.tbl key);
-          Atomic.incr t.corrupt;
-          Atomic.incr t.misses;
-          None)
+          count_corrupt t;
+          from_disk ())
 
-let store t serialized result =
+let store_bytes t serialized (payload : string) =
   let key = Digest.string serialized in
-  let payload = Marshal.to_string (result : Smt.Solver.result) [] in
   let entry = { payload; digest = Digest.string payload } in
   let entry =
     (* Chaos-testing hook: an injected cache fault corrupts the stored
        bytes *after* the digest was computed, exactly the failure the
-       read-side validation exists to absorb. *)
+       read-side validation exists to absorb (both tiers see the same
+       corrupted bytes, so both validation paths are exercised). *)
     if Stdx.Fault.fires Stdx.Fault.Cache then
       { entry with payload = entry.payload ^ "\xde\xad" }
     else entry
   in
-  Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key entry)
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.tbl key entry);
+  Option.iter (fun d -> disk_store d key entry) t.disk
 
-(** Deliberately corrupt the stored entry for [serialized], for
-    regression tests. [`Flip] flips a payload bit; [`Truncate] drops
-    the payload's tail. Returns [false] when no entry exists. *)
+(* --- the VC tier: one solver result per serialized query -------- *)
+
+let lookup t serialized : Smt.Solver.result option =
+  match lookup_bytes t serialized with
+  | None -> None
+  | Some (payload, _tier) -> (
+      match (Marshal.from_string payload 0 : Smt.Solver.result) with
+      | r -> Some r
+      | exception _ -> None)
+
+let store t serialized (result : Smt.Solver.result) =
+  store_bytes t serialized (Marshal.to_string result [])
+
+(* --- the verdict tier: whole-group outcomes per program --------- *)
+
+(** Per-procedure outcomes of one whole verification group, keyed on
+    {e request content} (a suite entry's name, a surface program's
+    source text) rather than on serialized VCs. This is the daemon's
+    warm path: verification spends its time in incremental
+    {!Smt.Session} probes that the per-query VC tier never sees, so a
+    repeat request for an unchanged program is answered here — no
+    symbolic execution, no session, no solver work at all.
+
+    Only {e decided} groups (every outcome [Verified] or [Failed]) are
+    stored: abstentions — timeout, fuel exhaustion, crash — are
+    budget-dependent, and replaying them would deny a later request
+    the retry its escalated budget exists to buy (the verdict-level
+    analogue of the VC tier's [Resource_out] exclusion). *)
+type verdicts = (string * Verifier.Exec.outcome) list
+
+(* Namespace prefix: verdict keys can never collide with serialized
+   VCs of the same bytes. *)
+let verdict_ns = "verdict\x00"
+
+let decided (v : verdicts) =
+  List.for_all
+    (fun (_, o) ->
+      match o with
+      | Verifier.Exec.Verified | Verifier.Exec.Failed _ -> true
+      | Verifier.Exec.Timeout _ | Verifier.Exec.Resource_out _
+      | Verifier.Exec.Crashed _ ->
+          false)
+    v
+
+let lookup_verdicts t key : (verdicts * [ `Memory | `Disk ]) option =
+  match lookup_bytes t (verdict_ns ^ key) with
+  | None -> None
+  | Some (payload, tier) -> (
+      match (Marshal.from_string payload 0 : verdicts) with
+      | v -> Some (v, tier)
+      | exception _ -> None)
+
+(** Store a group's verdicts under [key]; silently skipped when the
+    group contains an abstention. *)
+let store_verdicts t key (v : verdicts) =
+  if decided v then store_bytes t (verdict_ns ^ key) (Marshal.to_string v [])
+
+(** Deliberately corrupt the stored in-memory entry for [serialized],
+    for regression tests. [`Flip] flips a payload bit; [`Truncate]
+    drops the payload's tail. Returns [false] when no entry exists. *)
 let corrupt_entry ?(mode = `Flip) t serialized =
   let key = Digest.string serialized in
   Mutex.protect t.lock (fun () ->
@@ -107,6 +537,33 @@ let corrupt_entry ?(mode = `Flip) t serialized =
           Hashtbl.replace t.tbl key { e with payload };
           true)
 
+(** Corrupt the {e on-disk} entry for [serialized] (and forget the
+    in-memory copy, so the next lookup must go to disk). For
+    regression tests of the disk-validation path. *)
+let corrupt_disk_entry ?(mode = `Flip) t serialized =
+  match t.disk with
+  | None -> false
+  | Some d -> (
+      let key = Digest.string serialized in
+      Mutex.protect t.lock (fun () -> Hashtbl.remove t.tbl key);
+      let path = disk_path d (disk_key d key) in
+      match read_file path with
+      | exception _ -> false
+      | bytes ->
+          let bytes =
+            match mode with
+            | `Flip ->
+                let b = Bytes.of_string bytes in
+                let i = Bytes.length b / 2 in
+                Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+                Bytes.to_string b
+            | `Truncate -> String.sub bytes 0 (String.length bytes / 2)
+          in
+          let oc = open_out_bin path in
+          output_string oc bytes;
+          close_out oc;
+          true)
+
 (** Route every [Smt.Solver.check_sat] in the process through [t]. *)
 let install t =
   Smt.Solver.set_cache
@@ -115,11 +572,25 @@ let install t =
 let uninstall () = Smt.Solver.set_cache None
 
 let hits t = Atomic.get t.hits
+let disk_hits t = Atomic.get t.disk_hits
 let misses t = Atomic.get t.misses
 let corrupt t = Atomic.get t.corrupt
 let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
 
-(** Fraction of lookups answered from the cache, in [0;1]. *)
+let disk_entries t =
+  match t.disk with
+  | None -> 0
+  | Some d -> Mutex.protect d.dlock (fun () -> Hashtbl.length d.index)
+
+let disk_bytes t =
+  match t.disk with
+  | None -> 0
+  | Some d -> Mutex.protect d.dlock (fun () -> d.total)
+
+let fingerprint t =
+  match t.disk with None -> None | Some d -> Some d.fingerprint
+
+(** Fraction of lookups answered from either tier, in [0;1]. *)
 let hit_rate t =
-  let h = hits t and m = misses t in
+  let h = hits t + disk_hits t and m = misses t in
   if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

@@ -1,0 +1,58 @@
+(** Client side of the daemon protocol.
+
+    Thin by design: connect, send one JSON line, read one JSON line.
+    The CLI's [daenerys client], the test suite, and the benchmark
+    harness all drive the daemon through this module, so "the client"
+    in every claim below is one piece of code. *)
+
+type t = {
+  fd : Unix.file_descr;
+  rd : Stdx.Iox.line_reader;
+}
+
+let connect path : (t, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; rd = Stdx.Iox.line_reader fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+
+(** Connect, retrying while the daemon is still starting up (tests and
+    the benchmark harness race the daemon's bind). *)
+let rec connect_retry ?(attempts = 100) ?(delay = 0.05) path =
+  match connect path with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+      if attempts <= 1 then e
+      else begin
+        Unix.sleepf delay;
+        connect_retry ~attempts:(attempts - 1) ~delay path
+      end
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send t (req : Json.t) = Stdx.Iox.write_all t.fd (Protocol.line req)
+
+let recv t : (Json.t, string) result =
+  match Stdx.Iox.read_line t.rd with
+  | None -> Error "connection closed by daemon"
+  | Some l -> (
+      match Json.parse l with
+      | Ok _ as v -> v
+      | Error m -> Error ("bad response: " ^ m))
+
+(** One round trip. Requests pipelined with bare {!send}/{!recv} come
+    back in FIFO order per connection (verify/lint; [stats] and error
+    responses are answered inline and may overtake — correlate by
+    [id]). *)
+let rpc t req : (Json.t, string) result =
+  match send t req with
+  | () -> recv t
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+let with_connection path f =
+  match connect path with
+  | Error _ as e -> e
+  | Ok c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

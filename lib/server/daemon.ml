@@ -1,0 +1,528 @@
+(** The [daenerys serve] daemon: verification as a service.
+
+    A long-lived process listening on a Unix-domain socket, speaking
+    the newline-delimited JSON protocol of {!Protocol}. The main
+    domain runs a [select] loop (accept connections, read request
+    lines, write immediate responses); verification and lint work is
+    submitted to a {!Scheduler} — a warm pool of worker domains with
+    fair FIFO-per-client queues and bounded-queue backpressure.
+
+    Every request runs through the ordinary engine pipeline
+    ([Engine.verify_programs] with [domains = 1] on the worker's own
+    domain), so daemon verdicts are the CLI's verdicts by
+    construction; the per-request deadline/retry budgets of PR 5 apply
+    unchanged ([timeout_ms]/[retries] per request, with daemon-level
+    defaults). All requests share one process-wide two-tier
+    {!Engine.Vc_cache}: the in-memory tier serves repeats within this
+    daemon's lifetime, the on-disk tier survives restarts — a repeat
+    request for an unchanged program does no solver work at all, in
+    this daemon generation or the next.
+
+    Failure behavior, in one line: anything that goes wrong with a
+    request (unknown entry, parse error, injected socket fault, full
+    queue, worker exception) becomes an {e error response on that
+    request}; it never takes down the daemon and never changes another
+    request's verdict. A [shutdown] request stops admissions, drains
+    everything already accepted (their responses are written first),
+    acks, and returns. *)
+
+module V = Verifier.Exec
+module E = Engine
+module Pr = Suite.Programs
+
+type config = {
+  socket_path : string;
+  workers : int;  (** warm worker domains *)
+  queue_bound : int;  (** max queued requests per client; 0 rejects all *)
+  cache_dir : string option;  (** on-disk VC cache; [None] = memory only *)
+  cache_max_bytes : int;  (** disk-tier LRU bound *)
+  cache_fingerprint : string option;
+      (** build-fingerprint override (tests simulate rebuilds) *)
+  timeout_ms : float option;  (** default per-request deadline *)
+  retries : int;  (** default per-request retries *)
+}
+
+let default_config =
+  {
+    socket_path = Filename.concat (Filename.get_temp_dir_name ()) "daenerys.sock";
+    workers = 1;
+    queue_bound = 64;
+    cache_dir = None;
+    cache_max_bytes = 256 * 1024 * 1024;
+    cache_fingerprint = None;
+    timeout_ms = None;
+    retries = 0;
+  }
+
+(* --------------------------------------------------------------- *)
+(* The surface front-end, shared with the CLI *)
+
+(** Elaborate an annotated surface program from source text. Front-end
+    errors come back rendered with their span and caret snippet — the
+    same text the CLI prints. *)
+let elaborate_source ~file source :
+    (V.program * Diag.srcmap, string) result =
+  let render what m span =
+    Error
+      (Fmt.str "%s at %a: %s@.%a" what Stdx.Loc.pp span m Stdx.Loc.pp_snippet
+         (source, span))
+  in
+  match Verifier.Elab.program_of_string ~file source with
+  | prog, srcmap -> Ok (prog, srcmap)
+  | exception Heaplang.Parser.Parse_error (m, sp) -> render "parse error" m sp
+  | exception Heaplang.Lexer.Lex_error (m, sp) -> render "lex error" m sp
+  | exception Baselogic.Elab.Elab_error (m, sp) ->
+      render "elaboration error" m sp
+
+type resolved = {
+  r_name : string;
+  r_prog : V.program;
+  r_srcmaps : (string * Diag.srcmap) list;
+  r_expect_fail : bool;
+  r_source : string option;  (** for caret snippets in lint output *)
+}
+
+let resolve (t : Protocol.target) : (resolved, string) result =
+  match t with
+  | Protocol.Entry n -> (
+      match
+        List.find_opt (fun (e : Pr.entry) -> String.equal e.name n) Pr.all
+      with
+      | Some e ->
+          Ok
+            {
+              r_name = e.name;
+              r_prog = e.prog;
+              r_srcmaps = [];
+              r_expect_fail = e.expect_fail;
+              r_source = None;
+            }
+      | None -> Error ("unknown entry " ^ n))
+  | Protocol.Source { file; source } ->
+      Result.map
+        (fun (prog, srcmap) ->
+          {
+            r_name = file;
+            r_prog = prog;
+            r_srcmaps = [ (file, srcmap) ];
+            r_expect_fail = false;
+            r_source = Some source;
+          })
+        (elaborate_source ~file source)
+
+(* --------------------------------------------------------------- *)
+(* Connections *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  clock : Mutex.t;  (** guards writes, [pending], [closing], [closed] *)
+  mutable rbuf : string;  (** partial request line (main loop only) *)
+  mutable pending : int;  (** scheduled tasks not yet responded *)
+  mutable closing : bool;  (** peer EOF seen; close once drained *)
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  cache : E.Vc_cache.t;
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;  (* main loop only *)
+  mutable next_cid : int;
+  started : float;
+  parse_errors : int Atomic.t;
+  socket_faults : int Atomic.t;
+}
+
+(** Write one response line; a vanished peer is ignored (its verdicts
+    are already safe in the cache for whoever asks next). *)
+let respond (c : conn) json =
+  let line = Protocol.line json in
+  Mutex.protect c.clock (fun () ->
+      if not c.closed then try Stdx.Iox.write_all c.fd line with _ -> ())
+
+(** One scheduled task finished (its response is written): drop the
+    pending count and close the descriptor if the peer already left. *)
+let task_done (c : conn) =
+  Mutex.protect c.clock (fun () ->
+      c.pending <- c.pending - 1;
+      if c.closing && c.pending = 0 && not c.closed then begin
+        c.closed <- true;
+        try Unix.close c.fd with _ -> ()
+      end)
+
+let close_conn (c : conn) =
+  Mutex.protect c.clock (fun () ->
+      c.closing <- true;
+      if c.pending = 0 && not c.closed then begin
+        c.closed <- true;
+        try Unix.close c.fd with _ -> ()
+      end)
+
+(* --------------------------------------------------------------- *)
+(* Request handlers (run on scheduler workers) *)
+
+let lint_findings_text ?source results =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (_, ds) ->
+      List.iter
+        (fun d ->
+          Buffer.add_string b (Fmt.str "%a@." Diag.pp d);
+          match (d.Diag.loc.Diag.span, source) with
+          | Some s, Some src when s.Stdx.Loc.file <> "" ->
+              Buffer.add_string b
+                (Fmt.str "%a@." Stdx.Loc.pp_snippet (src, s))
+          | _ -> ())
+        ds)
+    results;
+  Buffer.contents b
+
+(** The verdict-cache key is the {e request content}: a suite entry is
+    keyed by name (its program is a static constant of this build — the
+    build fingerprint on the disk tier keeps entries from outliving the
+    code that produced them), a surface program by its full source text
+    (so an edited file misses, an unchanged one hits even under a
+    different path). [lint] participates because lint gating changes
+    outcomes. Deadline/retry knobs deliberately do not: only decided
+    verdicts are stored, and those are budget-independent. *)
+let verdict_key ~lint (target : Protocol.target) =
+  (if lint then "lint\x00" else "")
+  ^
+  match target with
+  | Protocol.Entry n -> "entry\x00" ^ n
+  | Protocol.Source { source; _ } -> "source\x00" ^ source
+
+let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
+  match resolve target with
+  | Error m -> respond c (Protocol.error_response ~id m)
+  | Ok r ->
+      let key = verdict_key ~lint target in
+      let t0 = Unix.gettimeofday () in
+      let report, cached =
+        match E.Vc_cache.lookup_verdicts d.cache key with
+        | Some (outcomes, tier) ->
+            (* Warm path: the whole group is answered from the cache —
+               no symbolic execution, no solver work. Lint findings are
+               recomputed (no solver there either) so the response text
+               matches a cold run's. *)
+            let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let rep =
+              E.cached_report ~group:r.r_name ~outcomes ~tier ~wall_ms
+            in
+            if lint then
+              let results, _ =
+                E.run_analysis ~srcmaps:r.r_srcmaps ~domains:1
+                  [ (r.r_name, r.r_prog) ]
+              in
+              ({ rep with E.lint = results }, true)
+            else (rep, true)
+        | None ->
+            let config =
+              {
+                E.default_config with
+                E.domains = 1;
+                shared_cache = Some d.cache;
+                lint;
+                timeout_ms =
+                  (match timeout_ms with
+                  | Some _ as t -> t
+                  | None -> d.cfg.timeout_ms);
+                retries = Option.value ~default:d.cfg.retries retries;
+              }
+            in
+            let report =
+              E.verify_programs ~config ~srcmaps:r.r_srcmaps
+                [ (r.r_name, r.r_prog) ]
+            in
+            let g = List.hd report.E.groups in
+            E.Vc_cache.store_verdicts d.cache key g.E.outcomes;
+            (report, false)
+      in
+      let g = List.hd report.E.groups in
+      let status = Render.entry_status ~expect_fail:r.r_expect_fail g in
+      let output =
+        (if lint then lint_findings_text ?source:r.r_source report.E.lint
+         else "")
+        ^ Render.group_text ~name:r.r_name ~expect_fail:r.r_expect_fail status
+            g
+      in
+      respond c
+        (Protocol.response ~id
+           [
+             ("ok", Json.Bool true);
+             ("exit", Json.Num (float_of_int (Render.exit_of_status status)));
+             ("status", Json.Str (Render.status_string status));
+             ("cached", Json.Bool cached);
+             ( "report",
+               Json.Raw
+                 (Render.json_of_report report
+                    [ (r.r_name, r.r_expect_fail, status) ]) );
+             ("output", Json.Str output);
+           ])
+
+let handle_lint (d : t) (c : conn) ~id ~target =
+  ignore d;
+  match resolve target with
+  | Error m -> respond c (Protocol.error_response ~id m)
+  | Ok r ->
+      let results, a =
+        E.run_analysis ~srcmaps:r.r_srcmaps ~domains:1
+          [ (r.r_name, r.r_prog) ]
+      in
+      let ds = List.concat_map snd results in
+      let errors = Diag.has_errors ds in
+      respond c
+        (Protocol.response ~id
+           [
+             ("ok", Json.Bool true);
+             ("exit", Json.Num (if errors then 1.0 else 0.0));
+             ("diags", Json.Raw (Render.json_of_diags (Diag.sort ds)));
+             ("findings", Json.Num (float_of_int a.E.a_diags));
+             ("errors", Json.Num (float_of_int a.E.a_errors));
+             ( "output",
+               Json.Str (lint_findings_text ?source:r.r_source results) );
+           ])
+
+(* --------------------------------------------------------------- *)
+(* Stats *)
+
+let stats_json (d : t) =
+  let s = Scheduler.stats d.sched in
+  let cache = d.cache in
+  Json.Obj
+    [
+      ( "uptime_ms",
+        Json.Num ((Unix.gettimeofday () -. d.started) *. 1000.0) );
+      ("workers", Json.Num (float_of_int s.Scheduler.workers));
+      ("pending", Json.Num (float_of_int s.Scheduler.pending));
+      ("submitted", Json.Num (float_of_int s.Scheduler.submitted));
+      ("rejected", Json.Num (float_of_int s.Scheduler.rejected));
+      ("completed", Json.Num (float_of_int s.Scheduler.completed));
+      ("task_failures", Json.Num (float_of_int s.Scheduler.task_failures));
+      ("parse_errors", Json.Num (float_of_int (Atomic.get d.parse_errors)));
+      ("socket_faults", Json.Num (float_of_int (Atomic.get d.socket_faults)));
+      ( "cache",
+        Json.Obj
+          ([
+             ("mem_hits", Json.Num (float_of_int (E.Vc_cache.hits cache)));
+             ( "disk_hits",
+               Json.Num (float_of_int (E.Vc_cache.disk_hits cache)) );
+             ("misses", Json.Num (float_of_int (E.Vc_cache.misses cache)));
+             ("corrupt", Json.Num (float_of_int (E.Vc_cache.corrupt cache)));
+             ("mem_entries", Json.Num (float_of_int (E.Vc_cache.size cache)));
+             ( "disk_entries",
+               Json.Num (float_of_int (E.Vc_cache.disk_entries cache)) );
+             ( "disk_bytes",
+               Json.Num (float_of_int (E.Vc_cache.disk_bytes cache)) );
+           ]
+          @
+          match E.Vc_cache.fingerprint cache with
+          | Some f -> [ ("fingerprint", Json.Str f) ]
+          | None -> []) );
+    ]
+
+(* --------------------------------------------------------------- *)
+(* The main loop *)
+
+exception Shutdown_requested of conn * Json.t  (* conn, request id *)
+
+(** Dispatch one request line from [c]. Cheap requests (stats, errors,
+    backpressure rejections) answer inline from the main loop;
+    verify/lint go through the scheduler, which preserves per-client
+    FIFO order for them. *)
+let dispatch (d : t) (c : conn) line =
+  (* Chaos-testing hook: an injected socket fault garbles this request
+     — the daemon answers with an error instead of dispatching, the
+     degradation the soundness property allows (the client can retry;
+     no verdict is ever fabricated). *)
+  if Stdx.Fault.fires Stdx.Fault.Socket then begin
+    Atomic.incr d.socket_faults;
+    respond c
+      (Protocol.error_response ~id:Json.Null "injected fault: socket")
+  end
+  else
+    match Protocol.request_of_line line with
+    | Error m ->
+        Atomic.incr d.parse_errors;
+        respond c (Protocol.error_response ~id:Json.Null m)
+    | Ok (Protocol.Stats { id }) ->
+        respond c
+          (Protocol.response ~id
+             [ ("ok", Json.Bool true); ("stats", stats_json d) ])
+    | Ok (Protocol.Shutdown { id }) -> raise (Shutdown_requested (c, id))
+    | Ok req ->
+        let task () =
+          (match req with
+          | Protocol.Verify { id; target; lint; timeout_ms; retries } -> (
+              try handle_verify d c ~id ~target ~lint ~timeout_ms ~retries
+              with e ->
+                respond c
+                  (Protocol.error_response ~id
+                     ("internal error: " ^ Printexc.to_string e)))
+          | Protocol.Lint { id; target } -> (
+              try handle_lint d c ~id ~target
+              with e ->
+                respond c
+                  (Protocol.error_response ~id
+                     ("internal error: " ^ Printexc.to_string e)))
+          | Protocol.Stats _ | Protocol.Shutdown _ -> assert false);
+          task_done c
+        in
+        let id = Protocol.request_id req in
+        Mutex.protect c.clock (fun () -> c.pending <- c.pending + 1);
+        (match Scheduler.submit d.sched ~cid:c.cid task with
+        | `Accepted -> ()
+        | `Busy ->
+            Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
+            respond c
+              (Protocol.error_response ~id ~busy:true
+                 "queue full — daemon is busy, retry later")
+        | `Stopping ->
+            Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
+            respond c (Protocol.error_response ~id "daemon is shutting down"))
+
+(** Consume complete lines from [c]'s read buffer. *)
+let drain_lines (d : t) (c : conn) =
+  let rec go () =
+    match String.index_opt c.rbuf '\n' with
+    | None -> ()
+    | Some i ->
+        let line = String.sub c.rbuf 0 i in
+        c.rbuf <- String.sub c.rbuf (i + 1) (String.length c.rbuf - i - 1);
+        if String.trim line <> "" then dispatch d c line;
+        go ()
+  in
+  go ()
+
+let handle_readable (d : t) (c : conn) =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 ->
+      Hashtbl.remove d.conns c.fd;
+      close_conn c
+  | n ->
+      c.rbuf <- c.rbuf ^ Bytes.sub_string buf 0 n;
+      drain_lines d c
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ ->
+      Hashtbl.remove d.conns c.fd;
+      close_conn c
+
+let accept_conn (d : t) =
+  match Unix.accept d.listen_fd with
+  | fd, _ ->
+      d.next_cid <- d.next_cid + 1;
+      Hashtbl.replace d.conns fd
+        {
+          cid = d.next_cid;
+          fd;
+          clock = Mutex.create ();
+          rbuf = "";
+          pending = 0;
+          closing = false;
+          closed = false;
+        }
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+
+(** Bind the listening socket, replacing a stale socket file (one
+    whose daemon is gone); refuse to displace a live daemon. *)
+let bind_socket path : (Unix.file_descr, string) result =
+  let addr = Unix.ADDR_UNIX path in
+  let stale_check =
+    if not (Sys.file_exists path) then Ok ()
+    else begin
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect probe addr with
+      | () ->
+          Unix.close probe;
+          Error (Printf.sprintf "%s: a daemon is already listening" path)
+      | exception Unix.Unix_error (_, _, _) ->
+          Unix.close probe;
+          (try Sys.remove path with _ -> ());
+          Ok ()
+    end
+  in
+  match stale_check with
+  | Error _ as e -> e
+  | Ok () -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd addr;
+        Unix.listen fd 64
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close fd;
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+(** Run the daemon. Blocks until a [shutdown] request arrives; returns
+    [Ok ()] after draining. The VC cache is installed process-wide for
+    the daemon's lifetime. *)
+let run (cfg : config) : (unit, string) result =
+  (match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ());
+  match bind_socket cfg.socket_path with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+      let cache =
+        E.Vc_cache.create ?disk_dir:cfg.cache_dir
+          ~max_bytes:cfg.cache_max_bytes ?fingerprint:cfg.cache_fingerprint ()
+      in
+      E.Vc_cache.install cache;
+      let d =
+        {
+          cfg;
+          cache;
+          sched =
+            Scheduler.create ~bound:cfg.queue_bound ~workers:cfg.workers ();
+          listen_fd;
+          conns = Hashtbl.create 16;
+          next_cid = 0;
+          started = Unix.gettimeofday ();
+          parse_errors = Atomic.make 0;
+          socket_faults = Atomic.make 0;
+        }
+      in
+      let cleanup () =
+        Hashtbl.iter (fun _ c -> close_conn c) d.conns;
+        (try Unix.close listen_fd with _ -> ());
+        (try Sys.remove cfg.socket_path with _ -> ());
+        E.Vc_cache.uninstall ()
+      in
+      let rec loop () =
+        let fds =
+          listen_fd
+          :: Hashtbl.fold
+               (fun fd c acc -> if c.closed then acc else fd :: acc)
+               d.conns []
+        in
+        let readable, _, _ =
+          match Unix.select fds [] [] 0.5 with
+          | r -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then accept_conn d
+            else
+              match Hashtbl.find_opt d.conns fd with
+              | Some c -> handle_readable d c
+              | None -> ())
+          readable;
+        loop ()
+      in
+      (match loop () with
+      | () -> ()
+      | exception Shutdown_requested (c, id) ->
+          (* Stop admissions, drain everything accepted (their
+             responses are written by the workers), then ack. *)
+          Scheduler.shutdown d.sched;
+          Scheduler.wait d.sched;
+          respond c
+            (Protocol.response ~id
+               [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ]));
+      cleanup ();
+      Ok ()

@@ -1,0 +1,136 @@
+(** The daemon's wire protocol.
+
+    One JSON object per line, in both directions, over a Unix-domain
+    socket. Four operations:
+
+    {v
+    {"op":"verify","name":"swap","id":1}
+    {"op":"verify","file":"swap.hl","source":"...","id":2,
+     "lint":true,"timeout_ms":500,"retries":2}
+    {"op":"lint","name":"swap","id":3}
+    {"op":"stats","id":4}
+    {"op":"shutdown","id":5}
+    v}
+
+    [verify]/[lint] name either a suite entry ([name]) or carry an
+    annotated surface program inline ([file] for diagnostics spans +
+    [source] text) — the client ships the file's contents, so daemon
+    and client need not share a working directory. [id] is an opaque
+    client token echoed in the response; [lint]/[timeout_ms]/[retries]
+    override the daemon's per-request defaults.
+
+    Responses always carry ["ok"] and echo ["id"]:
+
+    {v
+    {"id":1,"ok":true,"exit":0,"status":"ok","report":{...},"output":"..."}
+    {"id":9,"ok":false,"busy":true,"error":"queue full"}
+    {"id":3,"ok":false,"error":"unknown entry nope"}
+    {"id":4,"ok":true,"stats":{...}}
+    {"id":5,"ok":true,"shutdown":true}
+    v}
+
+    ["report"] is exactly the CLI's [--json] document ({!Render});
+    ["output"] is the CLI's pretty report text; ["exit"] is the CLI's
+    0/1/2 exit-code taxonomy (as-expected / program-wrong / gave-up),
+    which [daenerys client] propagates. A [busy] response is
+    backpressure: the client's queue is full and the request was {e
+    not} enqueued — resubmit later. *)
+
+type target =
+  | Entry of string  (** a suite entry, by name *)
+  | Source of { file : string; source : string }
+      (** an annotated surface program, shipped inline *)
+
+type request =
+  | Verify of {
+      id : Json.t;  (** echoed verbatim; [Null] if absent *)
+      target : target;
+      lint : bool;
+      timeout_ms : float option;  (** per-request deadline override *)
+      retries : int option;  (** per-request retry override *)
+    }
+  | Lint of { id : Json.t; target : target }
+  | Stats of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+let request_id = function
+  | Verify { id; _ } | Lint { id; _ } | Stats { id } | Shutdown { id } -> id
+
+let target_of_json v : (target, string) result =
+  match (Json.str_member "name" v, Json.str_member "source" v) with
+  | Some n, None -> Ok (Entry n)
+  | None, Some source ->
+      let file = Option.value ~default:"<inline>" (Json.str_member "file" v) in
+      Ok (Source { file; source })
+  | Some _, Some _ -> Error "request carries both \"name\" and \"source\""
+  | None, None -> Error "request needs \"name\" or \"source\""
+
+let request_of_line line : (request, string) result =
+  match Json.parse line with
+  | Error m -> Error ("bad JSON: " ^ m)
+  | Ok v -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" v) in
+      match Json.str_member "op" v with
+      | Some "verify" ->
+          Result.map
+            (fun target ->
+              Verify
+                {
+                  id;
+                  target;
+                  lint =
+                    Option.value ~default:false (Json.bool_member "lint" v);
+                  timeout_ms = Json.num_member "timeout_ms" v;
+                  retries = Json.int_member "retries" v;
+                })
+            (target_of_json v)
+      | Some "lint" ->
+          Result.map (fun target -> Lint { id; target }) (target_of_json v)
+      | Some "stats" -> Ok (Stats { id })
+      | Some "shutdown" -> Ok (Shutdown { id })
+      | Some op -> Error (Printf.sprintf "unknown op %S" op)
+      | None -> Error "request needs an \"op\" field")
+
+(* --------------------------------------------------------------- *)
+(* Client-side request construction *)
+
+let target_fields = function
+  | Entry n -> [ ("name", Json.Str n) ]
+  | Source { file; source } ->
+      [ ("file", Json.Str file); ("source", Json.Str source) ]
+
+let verify_request ?(id = Json.Null) ?(lint = false) ?timeout_ms ?retries
+    target =
+  Json.Obj
+    ([ ("op", Json.Str "verify"); ("id", id) ]
+    @ target_fields target
+    @ (if lint then [ ("lint", Json.Bool true) ] else [])
+    @ (match timeout_ms with
+      | Some ms -> [ ("timeout_ms", Json.Num ms) ]
+      | None -> [])
+    @
+    match retries with
+    | Some r -> [ ("retries", Json.Num (float_of_int r)) ]
+    | None -> [])
+
+let lint_request ?(id = Json.Null) target =
+  Json.Obj ([ ("op", Json.Str "lint"); ("id", id) ] @ target_fields target)
+
+let stats_request ?(id = Json.Null) () =
+  Json.Obj [ ("op", Json.Str "stats"); ("id", id) ]
+
+let shutdown_request ?(id = Json.Null) () =
+  Json.Obj [ ("op", Json.Str "shutdown"); ("id", id) ]
+
+(* --------------------------------------------------------------- *)
+(* Response construction (daemon side) *)
+
+let response ~id fields = Json.Obj (("id", id) :: fields)
+
+let error_response ~id ?(busy = false) msg =
+  response ~id
+    ([ ("ok", Json.Bool false) ]
+    @ (if busy then [ ("busy", Json.Bool true) ] else [])
+    @ [ ("error", Json.Str msg) ])
+
+let line v = Json.to_string v ^ "\n"

@@ -1,0 +1,186 @@
+(** A fair FIFO-per-client scheduler over a warm pool of domains.
+
+    The batch pool of PR 1 ([Engine.Pool]) drains a fixed array and
+    joins its workers — right for one CLI run, wrong for a daemon. This
+    scheduler keeps [workers] domains alive across requests (warm
+    domains: no spawn cost, and domain-local solver state — statistics,
+    budgets — stays resident) and feeds them from per-client queues:
+
+    - {b FIFO per client}: each client's requests run in submission
+      order, at most one in flight at a time — which is also what makes
+      that client's responses arrive in order.
+    - {b Fair across clients}: runnable clients wait in a round-robin
+      ring; after each task the client re-enters at the back, so a
+      client with a deep queue cannot starve the others.
+    - {b Backpressure}: each client's queue is bounded; a submit
+      against a full queue is {e rejected immediately} ([`Busy]) rather
+      than buffered without limit — the daemon turns this into a
+      [busy] response the client can react to.
+    - {b Drain on shutdown}: {!shutdown} stops admissions; workers
+      finish everything already accepted (in flight {e and} queued)
+      before {!wait} returns, so no accepted request is ever dropped.
+
+    Tasks must not raise — the daemon wraps each request handler in
+    its own catch-all (a failing request becomes an error response,
+    not a dead worker). A raising task is caught here anyway and
+    counted, as a last line of defense. *)
+
+type task = unit -> unit
+
+type client_q = {
+  tasks : task Queue.t;
+  mutable in_flight : bool;  (** a worker is running this client's task *)
+  mutable in_ring : bool;  (** queued in [ring] (at most once) *)
+}
+
+type t = {
+  lock : Mutex.t;
+  runnable : Condition.t;  (** signalled when [ring] gains a client *)
+  drained : Condition.t;  (** signalled when all work has finished *)
+  clients : (int, client_q) Hashtbl.t;
+  ring : int Queue.t;  (** round-robin ring of runnable client ids *)
+  bound : int;  (** max queued (not yet running) tasks per client *)
+  mutable stopping : bool;
+  mutable live : int;  (** queued + in-flight tasks *)
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable task_failures : int;  (** tasks that raised (should be zero) *)
+  mutable workers : unit Domain.t list;
+}
+
+let client_q t cid =
+  match Hashtbl.find_opt t.clients cid with
+  | Some q -> q
+  | None ->
+      let q = { tasks = Queue.create (); in_flight = false; in_ring = false } in
+      Hashtbl.replace t.clients cid q;
+      q
+
+(** Make [cid] runnable if it has work and nothing in flight. *)
+let enring t cid (q : client_q) =
+  if (not q.in_ring) && (not q.in_flight) && not (Queue.is_empty q.tasks)
+  then begin
+    q.in_ring <- true;
+    Queue.push cid t.ring;
+    Condition.signal t.runnable
+  end
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.ring && not (t.stopping && t.live = 0) do
+      Condition.wait t.runnable t.lock
+    done;
+    if Queue.is_empty t.ring then begin
+      (* stopping && live = 0: everything accepted has been drained. *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let cid = Queue.pop t.ring in
+      let q = Hashtbl.find t.clients cid in
+      q.in_ring <- false;
+      q.in_flight <- true;
+      let task = Queue.pop q.tasks in
+      Mutex.unlock t.lock;
+      (match task () with
+      | () -> ()
+      | exception _ ->
+          Mutex.protect t.lock (fun () ->
+              t.task_failures <- t.task_failures + 1));
+      Mutex.lock t.lock;
+      q.in_flight <- false;
+      t.live <- t.live - 1;
+      t.completed <- t.completed + 1;
+      enring t cid q;
+      if t.live = 0 then begin
+        Condition.broadcast t.drained;
+        (* Wake idle workers so they can observe the drained+stopping
+           state and exit. *)
+        if t.stopping then Condition.broadcast t.runnable
+      end;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(bound = 64) ~workers () =
+  let t =
+    {
+      lock = Mutex.create ();
+      runnable = Condition.create ();
+      drained = Condition.create ();
+      clients = Hashtbl.create 16;
+      ring = Queue.create ();
+      bound = max 0 bound;
+      stopping = false;
+      live = 0;
+      submitted = 0;
+      rejected = 0;
+      completed = 0;
+      task_failures = 0;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (max 1 workers) (fun _ -> Domain.spawn (worker t));
+  t
+
+(** Enqueue [task] for [cid]. [`Busy] when the client's queue is at
+    the bound (the task was {e not} accepted); [`Stopping] after
+    {!shutdown}. *)
+let submit t ~cid (task : task) : [ `Accepted | `Busy | `Stopping ] =
+  Mutex.protect t.lock (fun () ->
+      if t.stopping then `Stopping
+      else
+        let q = client_q t cid in
+        if Queue.length q.tasks >= t.bound then begin
+          t.rejected <- t.rejected + 1;
+          `Busy
+        end
+        else begin
+          Queue.push task q.tasks;
+          t.live <- t.live + 1;
+          t.submitted <- t.submitted + 1;
+          enring t cid q;
+          `Accepted
+        end)
+
+(** Stop admitting work. Already-accepted tasks (queued and in-flight)
+    still run to completion. *)
+let shutdown t =
+  Mutex.protect t.lock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.runnable)
+
+(** Block until every accepted task has completed and all workers have
+    exited. Call after {!shutdown}. *)
+let wait t =
+  Mutex.lock t.lock;
+  while t.live > 0 do
+    Condition.wait t.drained t.lock
+  done;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+type stats = {
+  workers : int;
+  pending : int;  (** accepted but not yet completed *)
+  submitted : int;
+  rejected : int;
+  completed : int;
+  task_failures : int;
+}
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        workers = List.length t.workers;
+        pending = t.live;
+        submitted = t.submitted;
+        rejected = t.rejected;
+        completed = t.completed;
+        task_failures = t.task_failures;
+      })

@@ -1,0 +1,9 @@
+(** Verification as a service: the [daenerys serve] daemon, its wire
+    protocol, scheduler, and client. See DESIGN.md §10. *)
+
+module Json = Json
+module Protocol = Protocol
+module Render = Render
+module Scheduler = Scheduler
+module Daemon = Daemon
+module Client = Client

@@ -22,15 +22,16 @@
     soundness property quantifies over {e all} schedules, so that is
     exactly what the chaos tests want to vary). *)
 
-type site = Solver | Session | Cache | Pool
+type site = Solver | Session | Cache | Pool | Socket
 
 let site_name = function
   | Solver -> "solver"
   | Session -> "session"
   | Cache -> "cache"
   | Pool -> "pool"
+  | Socket -> "socket"
 
-let all_sites = [ Solver; Session; Cache; Pool ]
+let all_sites = [ Solver; Session; Cache; Pool; Socket ]
 
 exception Injected of string  (** the site that fired *)
 
@@ -72,7 +73,7 @@ let parse spec : (config, string) result =
                 match int_of_string_opt v with
                 | Some s -> go s probs rest
                 | None -> Error (Printf.sprintf "fault spec: bad seed %S" v))
-            | "solver" | "session" | "cache" | "pool" -> (
+            | "solver" | "session" | "cache" | "pool" | "socket" -> (
                 match float_of_string_opt v with
                 | Some p when p >= 0.0 && p <= 1.0 ->
                     let site =

@@ -1,0 +1,58 @@
+(** Small, retry-safe IO helpers for the socket layer.
+
+    The daemon and its clients speak a newline-delimited protocol over
+    Unix-domain sockets; everything they need from the OS is "write a
+    whole string" and "read one line", both robust against short
+    writes, short reads, and [EINTR]. Kept in [stdx] so the server,
+    the client, and the tests share one implementation. *)
+
+(** Write all of [s] to [fd], retrying short writes and [EINTR].
+    Raises [Unix.Unix_error] on real errors (e.g. [EPIPE] once the
+    peer is gone — callers decide whether a vanished peer matters). *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(** A buffered line reader over a file descriptor. Not thread-safe:
+    one reader owns one descriptor's read side. *)
+type line_reader = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (** bytes read but not yet consumed *)
+}
+
+let line_reader fd = { fd; pending = "" }
+
+let chunk = 4096
+
+(** Read one newline-terminated line (without the newline). [None] on
+    end-of-stream. A final unterminated fragment is returned as a
+    line — a peer that crashed mid-write produces garbage the protocol
+    layer rejects, never a hang. *)
+let rec read_line (r : line_reader) : string option =
+  match String.index_opt r.pending '\n' with
+  | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <-
+        String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      Some line
+  | None -> (
+      let buf = Bytes.create chunk in
+      match Unix.read r.fd buf 0 chunk with
+      | 0 -> if r.pending = "" then None
+             else begin
+               let line = r.pending in
+               r.pending <- "";
+               Some line
+             end
+      | n ->
+          r.pending <- r.pending ^ Bytes.sub_string buf 0 n;
+          read_line r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r)

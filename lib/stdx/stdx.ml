@@ -2,6 +2,7 @@
 
 module Budget = Budget
 module Fault = Fault
+module Iox = Iox
 module Loc = Loc
 module Q = Q
 module Union_find = Union_find

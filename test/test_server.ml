@@ -1,0 +1,752 @@
+(** Tests for the [daenerys serve] subsystem: the JSON wire format,
+    the request protocol, the fair FIFO-per-client scheduler, the
+    two-tier (memory + disk) VC/verdict cache, and the daemon
+    end-to-end over a real Unix-domain socket.
+
+    The end-to-end properties mirror the PR's acceptance criteria:
+
+    - concurrent clients get verdicts identical to a sequential run;
+    - a repeat request for an unchanged program is served from the
+      cache with {e no} solver work (the report's [queries] is 0), in
+      this daemon generation or — via the disk tier — the next;
+    - corrupt or truncated cache entries are evicted and re-solved,
+      never trusted;
+    - a full queue degrades to explicit [busy] responses;
+    - injected socket/cache faults may slow responses down but never
+      flip a verdict;
+    - shutdown drains accepted work before acking. *)
+
+module V = Verifier.Exec
+module Pr = Suite.Programs
+module E = Engine
+module VC = Engine.Vc_cache
+module F = Stdx.Fault
+module J = Server.Json
+module P = Server.Protocol
+module R = Server.Render
+
+(* Locating the example files: tests run in [_build/default/test], the
+   dune deps put the sources next door in [../examples]. *)
+let examples_dir =
+  let rec find d fuel =
+    let cand = Filename.concat d "examples" in
+    if Sys.file_exists (Filename.concat cand "swap.hl") then cand
+    else if fuel = 0 then Alcotest.fail "examples/ directory not found"
+    else find (Filename.concat d Filename.parent_dir_name) (fuel - 1)
+  in
+  find (Sys.getcwd ()) 5
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let temp_dir () =
+  let d = Filename.temp_file "daetest" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Bool false;
+      J.Num 0.0;
+      J.Num (-42.0);
+      J.Num 3.5;
+      J.Str "";
+      J.Str "plain";
+      J.Str "esc \" \\ \n \t \r quote";
+      J.List [ J.Num 1.0; J.Str "two"; J.Null ];
+      J.Obj
+        [
+          ("a", J.Num 1.0);
+          ("nested", J.Obj [ ("b", J.List [ J.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' ->
+          Alcotest.(check string)
+            "reprint equal" (J.to_string v) (J.to_string v')
+      | Error m -> Alcotest.failf "parse failed: %s" m)
+    cases
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "expected parse error on %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "{\"a\":1}x" ]
+
+let test_json_unicode () =
+  match J.parse "\"a\\u00e9b\"" with
+  | Ok (J.Str s) -> Alcotest.(check string) "utf8 decode" "a\xc3\xa9b" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_roundtrip () =
+  let check_req line k =
+    match P.request_of_line line with
+    | Ok r -> k r
+    | Error m -> Alcotest.failf "parse %S: %s" line m
+  in
+  check_req
+    (J.to_string
+       (P.verify_request ~id:(J.Num 7.0) ~lint:true ~timeout_ms:250.0
+          ~retries:2 (P.Entry "swap")))
+    (function
+      | P.Verify { id = J.Num 7.0; target = P.Entry "swap"; lint = true;
+                   timeout_ms = Some 250.0; retries = Some 2 } ->
+          ()
+      | _ -> Alcotest.fail "verify fields");
+  check_req
+    (J.to_string
+       (P.verify_request (P.Source { file = "f.hl"; source = "src" })))
+    (function
+      | P.Verify { target = P.Source { file = "f.hl"; source = "src" }; _ }
+        ->
+          ()
+      | _ -> Alcotest.fail "source target");
+  check_req (J.to_string (P.stats_request ~id:(J.Str "s") ())) (function
+    | P.Stats { id = J.Str "s" } -> ()
+    | _ -> Alcotest.fail "stats");
+  check_req (J.to_string (P.shutdown_request ())) (function
+    | P.Shutdown _ -> ()
+    | _ -> Alcotest.fail "shutdown")
+
+let test_protocol_errors () =
+  List.iter
+    (fun line ->
+      match P.request_of_line line with
+      | Ok _ -> Alcotest.failf "expected request error on %S" line
+      | Error _ -> ())
+    [
+      "not json";
+      "{}";
+      "{\"op\":\"frobnicate\"}";
+      "{\"op\":\"verify\"}";
+      "{\"op\":\"verify\",\"name\":\"a\",\"source\":\"b\"}";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+type gate = { gm : Mutex.t; gc : Condition.t; mutable opened : bool }
+
+let gate () = { gm = Mutex.create (); gc = Condition.create (); opened = false }
+
+let wait_gate g =
+  Mutex.protect g.gm (fun () ->
+      while not g.opened do
+        Condition.wait g.gc g.gm
+      done)
+
+let open_gate g =
+  Mutex.protect g.gm (fun () ->
+      g.opened <- true;
+      Condition.broadcast g.gc)
+
+let test_scheduler_fifo_fair () =
+  let s = Server.Scheduler.create ~bound:16 ~workers:1 () in
+  let g = gate () in
+  let started = Atomic.make false in
+  let lm = Mutex.create () in
+  let log = ref [] in
+  let record x () = Mutex.protect lm (fun () -> log := x :: !log) in
+  (* Hold the single worker on a blocker so the later submissions are
+     all queued before anything runs — the drain order is then fully
+     determined by the scheduling policy. *)
+  (match
+     Server.Scheduler.submit s ~cid:0 (fun () ->
+         Atomic.set started true;
+         wait_gate g)
+   with
+  | `Accepted -> ()
+  | _ -> Alcotest.fail "blocker rejected");
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  List.iter
+    (fun (cid, x) ->
+      match Server.Scheduler.submit s ~cid (record x) with
+      | `Accepted -> ()
+      | _ -> Alcotest.failf "submit %s rejected" x)
+    [ (1, "a1"); (1, "a2"); (1, "a3"); (2, "b1"); (2, "b2") ];
+  open_gate g;
+  Server.Scheduler.shutdown s;
+  Server.Scheduler.wait s;
+  (* Round-robin across clients, FIFO within each: client 1 and 2
+     alternate, a-tasks and b-tasks each in submission order. *)
+  Alcotest.(check (list string))
+    "fair round-robin, FIFO per client"
+    [ "a1"; "b1"; "a2"; "b2"; "a3" ]
+    (List.rev !log);
+  let st = Server.Scheduler.stats s in
+  Alcotest.(check int) "completed" 6 st.Server.Scheduler.completed;
+  Alcotest.(check int) "no failures" 0 st.Server.Scheduler.task_failures
+
+let test_scheduler_backpressure () =
+  let s = Server.Scheduler.create ~bound:1 ~workers:1 () in
+  let g = gate () in
+  let started = Atomic.make false in
+  ignore
+    (Server.Scheduler.submit s ~cid:0 (fun () ->
+         Atomic.set started true;
+         wait_gate g));
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let accept r = match r with `Accepted -> true | _ -> false in
+  Alcotest.(check bool)
+    "first fits the bound" true
+    (accept (Server.Scheduler.submit s ~cid:1 (fun () -> ())));
+  Alcotest.(check bool)
+    "second is rejected, not buffered" false
+    (accept (Server.Scheduler.submit s ~cid:1 (fun () -> ())));
+  (* Backpressure is per client: another client still gets in. *)
+  Alcotest.(check bool)
+    "other client unaffected" true
+    (accept (Server.Scheduler.submit s ~cid:2 (fun () -> ())));
+  open_gate g;
+  Server.Scheduler.shutdown s;
+  Server.Scheduler.wait s;
+  let st = Server.Scheduler.stats s in
+  Alcotest.(check int) "one rejection" 1 st.Server.Scheduler.rejected;
+  Alcotest.(check int) "accepted all ran" 3 st.Server.Scheduler.completed
+
+let test_scheduler_drain () =
+  let s = Server.Scheduler.create ~bound:64 ~workers:3 () in
+  let n = Atomic.make 0 in
+  for i = 1 to 20 do
+    match Server.Scheduler.submit s ~cid:(i mod 4) (fun () -> Atomic.incr n) with
+    | `Accepted -> ()
+    | _ -> Alcotest.fail "submit rejected"
+  done;
+  Server.Scheduler.shutdown s;
+  Server.Scheduler.wait s;
+  Alcotest.(check int) "every accepted task ran" 20 (Atomic.get n);
+  (match Server.Scheduler.submit s ~cid:0 (fun () -> ()) with
+  | `Stopping -> ()
+  | _ -> Alcotest.fail "submit after shutdown must report Stopping");
+  let st = Server.Scheduler.stats s in
+  Alcotest.(check int) "completed = submitted" st.Server.Scheduler.submitted
+    st.Server.Scheduler.completed
+
+(* ------------------------------------------------------------------ *)
+(* The two-tier cache *)
+
+let unsat : Smt.Solver.result = Smt.Solver.Unsat
+
+let test_cache_disk_tier () =
+  let dir = temp_dir () in
+  let c1 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  VC.store c1 "vc-a" unsat;
+  Alcotest.(check bool) "memory hit" true (VC.lookup c1 "vc-a" = Some unsat);
+  Alcotest.(check int) "mem hit counted" 1 (VC.hits c1);
+  (* A fresh instance over the same directory: the disk tier answers,
+     and the hit is promoted so the next probe is a memory hit. *)
+  let c2 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  Alcotest.(check bool) "disk hit" true (VC.lookup c2 "vc-a" = Some unsat);
+  Alcotest.(check int) "disk hit counted" 1 (VC.disk_hits c2);
+  Alcotest.(check bool) "promoted" true (VC.lookup c2 "vc-a" = Some unsat);
+  Alcotest.(check int) "promoted to memory" 1 (VC.hits c2);
+  Alcotest.(check bool) "absent key misses" true (VC.lookup c2 "vc-b" = None);
+  Alcotest.(check int) "miss counted" 1 (VC.misses c2)
+
+let test_cache_corrupt_disk_evicted () =
+  List.iter
+    (fun mode ->
+      let dir = temp_dir () in
+      let c1 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+      VC.store c1 "vc-a" unsat;
+      let c2 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+      Alcotest.(check bool)
+        "corruption applied" true
+        (VC.corrupt_disk_entry ~mode c2 "vc-a");
+      Alcotest.(check bool)
+        "corrupt entry not trusted" true
+        (VC.lookup c2 "vc-a" = None);
+      Alcotest.(check int) "counted corrupt" 1 (VC.corrupt c2);
+      Alcotest.(check int) "evicted from disk" 0 (VC.disk_entries c2);
+      (* The slot is reusable: a re-solve repopulates both tiers. *)
+      VC.store c2 "vc-a" unsat;
+      Alcotest.(check bool) "recovered" true (VC.lookup c2 "vc-a" = Some unsat))
+    [ `Flip; `Truncate ]
+
+let test_cache_fingerprint_isolation () =
+  let dir = temp_dir () in
+  let c1 = VC.create ~disk_dir:dir ~fingerprint:"build-1" () in
+  VC.store c1 "vc-a" unsat;
+  (* A "rebuilt" verifier: same directory, different fingerprint — the
+     old entry must not be replayed. *)
+  let c2 = VC.create ~disk_dir:dir ~fingerprint:"build-2" () in
+  Alcotest.(check bool)
+    "stale build never replays" true
+    (VC.lookup c2 "vc-a" = None);
+  Alcotest.(check int) "counted as a miss" 1 (VC.misses c2);
+  (* The original build still hits its own entries. *)
+  let c3 = VC.create ~disk_dir:dir ~fingerprint:"build-1" () in
+  Alcotest.(check bool)
+    "original build unaffected" true
+    (VC.lookup c3 "vc-a" = Some unsat)
+
+let test_cache_lru_bound () =
+  let dir = temp_dir () in
+  let c = VC.create ~disk_dir:dir ~max_bytes:300 ~fingerprint:"fp" () in
+  for i = 1 to 6 do
+    VC.store c (Printf.sprintf "vc-%d" i) unsat
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "disk stays bounded (%d bytes)" (VC.disk_bytes c))
+    true
+    (VC.disk_bytes c <= 300);
+  Alcotest.(check bool) "something was evicted" true (VC.disk_entries c < 6);
+  (* LRU: the most recent store survives, the oldest went first. A
+     fresh instance sees only what is on disk. *)
+  let c' = VC.create ~disk_dir:dir ~max_bytes:300 ~fingerprint:"fp" () in
+  Alcotest.(check bool) "newest survives" true (VC.lookup c' "vc-6" = Some unsat);
+  Alcotest.(check bool) "oldest evicted" true (VC.lookup c' "vc-1" = None)
+
+let test_verdict_tier () =
+  let c = VC.create () in
+  let good = [ ("p", V.Verified); ("q", V.Failed "bad") ] in
+  VC.store_verdicts c "prog-1" good;
+  (match VC.lookup_verdicts c "prog-1" with
+  | Some (v, `Memory) ->
+      Alcotest.(check bool) "verdicts round-trip" true (v = good)
+  | _ -> Alcotest.fail "verdict lookup");
+  (* Abstentions are budget-dependent; they must never be replayed. *)
+  VC.store_verdicts c "prog-2" [ ("p", V.Timeout "deadline") ];
+  Alcotest.(check bool)
+    "abstentions not cached" true
+    (VC.lookup_verdicts c "prog-2" = None);
+  (* Verdict keys live in their own namespace: a VC entry under the
+     same bytes is a different slot. *)
+  VC.store c "prog-1" unsat;
+  (match VC.lookup_verdicts c "prog-1" with
+  | Some (v, _) -> Alcotest.(check bool) "namespaced" true (v = good)
+  | None -> Alcotest.fail "namespace collision")
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a live daemon on a real socket *)
+
+let next_id = ref 0
+
+let fresh_paths () =
+  incr next_id;
+  let base = Printf.sprintf "dsrv-%d-%d" (Unix.getpid ()) !next_id in
+  let dir = Filename.get_temp_dir_name () in
+  (Filename.concat dir (base ^ ".sock"), Filename.concat dir (base ^ ".cache"))
+
+let connect path =
+  match Server.Client.connect_retry ~attempts:100 ~delay:0.05 path with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect %s: %s" path m
+
+let rpc c req =
+  match Server.Client.rpc c req with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "rpc: %s" m
+
+let get_bool resp k = Option.value ~default:false (J.bool_member k resp)
+
+let get_str resp k =
+  match J.str_member k resp with
+  | Some s -> s
+  | None -> Alcotest.failf "response missing %S: %s" k (J.to_string resp)
+
+(** A stat out of the response's embedded [--json] report document. *)
+let report_stat resp k =
+  match Option.bind (J.member "report" resp) (J.member "stats") with
+  | Some st -> Option.value ~default:(-1) (J.int_member k st)
+  | None -> -1
+
+(** Run [f] against a fresh daemon; always joins the daemon domain (so
+    no test leaks a listener into the next). [f] may shut the daemon
+    down itself — the finalizer's extra shutdown then just fails to
+    connect and is ignored. *)
+let with_daemon cfg f =
+  let dom = Domain.spawn (fun () -> Server.Daemon.run cfg) in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (if not !finished then
+         match Server.Client.connect cfg.Server.Daemon.socket_path with
+         | Ok c ->
+             (try ignore (Server.Client.rpc c (P.shutdown_request ()))
+              with _ -> ());
+             Server.Client.close c
+         | Error _ -> ());
+      match Domain.join dom with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "daemon failed: %s" m)
+    (fun () ->
+      let r = f () in
+      finished := false;
+      r)
+
+(** Ground truth: the sequential CLI path (no shared cache installed,
+    so it cannot interfere with a live daemon's hook). *)
+let sequential_statuses () =
+  let report =
+    E.verify_programs
+      ~config:{ E.default_config with E.cache = false }
+      (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
+  in
+  List.map2
+    (fun (e : Pr.entry) g ->
+      (e.name, R.status_string (R.entry_status ~expect_fail:e.expect_fail g)))
+    Pr.all report.E.groups
+
+let test_e2e_concurrent_matches_sequential () =
+  let expected = sequential_statuses () in
+  let sock, _ = fresh_paths () in
+  let cfg =
+    { Server.Daemon.default_config with socket_path = sock; workers = 3 }
+  in
+  with_daemon cfg (fun () ->
+      let run_client () =
+        let c = connect sock in
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            List.map
+              (fun (e : Pr.entry) ->
+                let resp = rpc c (P.verify_request (P.Entry e.name)) in
+                Alcotest.(check bool)
+                  (e.name ^ " ok") true (get_bool resp "ok");
+                (e.name, get_str resp "status"))
+              Pr.all)
+      in
+      let doms = List.init 3 (fun _ -> Domain.spawn run_client) in
+      let results = List.map Domain.join doms in
+      List.iter
+        (fun statuses ->
+          Alcotest.(check (list (pair string string)))
+            "concurrent verdicts = sequential verdicts" expected statuses)
+        results)
+
+let test_e2e_warm_cache () =
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let r1 = rpc c (P.verify_request (P.Entry "count")) in
+          Alcotest.(check bool) "cold is not cached" false (get_bool r1 "cached");
+          let r2 = rpc c (P.verify_request (P.Entry "count")) in
+          Alcotest.(check bool) "repeat is cached" true (get_bool r2 "cached");
+          Alcotest.(check string)
+            "verdict unchanged" (get_str r1 "status") (get_str r2 "status");
+          (* The acceptance criterion: no solver work on the warm path. *)
+          Alcotest.(check int) "no solver queries" 0 (report_stat r2 "queries");
+          Alcotest.(check int) "one cache hit" 1 (report_stat r2 "cache_hits");
+          Alcotest.(check int) "no misses" 0 (report_stat r2 "cache_misses")))
+
+let test_e2e_disk_cache_survives_restart () =
+  let sock, cache_dir = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      cache_dir = Some cache_dir;
+    }
+  in
+  let expected = sequential_statuses () in
+  (* Generation 1: populate the disk tier. *)
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          List.iter
+            (fun (e : Pr.entry) ->
+              ignore (rpc c (P.verify_request (P.Entry e.name))))
+            Pr.all));
+  (* Generation 2: same directory, fresh process-state — every request
+     must be answered from disk with zero solver work. *)
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          List.iter
+            (fun (e : Pr.entry) ->
+              let resp = rpc c (P.verify_request (P.Entry e.name)) in
+              Alcotest.(check bool)
+                (e.name ^ " served from cache across restart") true
+                (get_bool resp "cached");
+              Alcotest.(check int)
+                (e.name ^ " no solver work") 0 (report_stat resp "queries");
+              Alcotest.(check string)
+                (e.name ^ " verdict stable")
+                (List.assoc e.name expected)
+                (get_str resp "status"))
+            Pr.all;
+          let stats = rpc c (P.stats_request ()) in
+          match Option.bind (J.member "stats" stats) (J.member "cache") with
+          | Some cache ->
+              let disk_hits =
+                Option.value ~default:0 (J.int_member "disk_hits" cache)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "disk hits reported (%d)" disk_hits)
+                true (disk_hits >= List.length Pr.all)
+          | None -> Alcotest.fail "stats response missing cache block"))
+
+let test_e2e_corrupt_disk_entries_reverified () =
+  let sock, cache_dir = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      cache_dir = Some cache_dir;
+    }
+  in
+  let expected = sequential_statuses () in
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          List.iter
+            (fun (e : Pr.entry) ->
+              ignore (rpc c (P.verify_request (P.Entry e.name))))
+            Pr.all));
+  (* Flip a byte in the middle of every stored entry. *)
+  let files = Sys.readdir cache_dir in
+  Alcotest.(check bool) "entries were persisted" true (Array.length files > 0);
+  Array.iter
+    (fun f ->
+      let path = Filename.concat cache_dir f in
+      let bytes = Bytes.of_string (read_file path) in
+      let i = Bytes.length bytes / 2 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc)
+    files;
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          List.iter
+            (fun (e : Pr.entry) ->
+              let resp = rpc c (P.verify_request (P.Entry e.name)) in
+              (* Corruption degrades to a re-verify; it never flips a
+                 verdict and is never trusted. *)
+              Alcotest.(check bool)
+                (e.name ^ " corrupt entry not replayed") false
+                (get_bool resp "cached");
+              Alcotest.(check string)
+                (e.name ^ " verdict correct after corruption")
+                (List.assoc e.name expected)
+                (get_str resp "status"))
+            Pr.all))
+
+let test_e2e_busy_backpressure () =
+  let sock, _ = fresh_paths () in
+  (* A zero-length queue rejects every submission — deterministic
+     backpressure without having to race a saturated worker pool. *)
+  let cfg =
+    { Server.Daemon.default_config with socket_path = sock; queue_bound = 0 }
+  in
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let resp = rpc c (P.verify_request (P.Entry "swap")) in
+          Alcotest.(check bool) "rejected" false (get_bool resp "ok");
+          Alcotest.(check bool) "flagged busy" true (get_bool resp "busy");
+          (* Cheap requests bypass the queue and still work. *)
+          let stats = rpc c (P.stats_request ()) in
+          Alcotest.(check bool) "stats still served" true (get_bool stats "ok")))
+
+let test_e2e_faults_never_flip_verdicts () =
+  let expected = sequential_statuses () in
+  let sock, cache_dir = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      cache_dir = Some cache_dir;
+    }
+  in
+  F.configure ~seed:11 [ (F.Socket, 0.25); (F.Cache, 0.25) ];
+  Fun.protect ~finally:F.clear (fun () ->
+      with_daemon cfg (fun () ->
+          let c = connect sock in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let rec verify name attempts =
+                if attempts = 0 then
+                  Alcotest.failf "%s: daemon never recovered" name
+                else
+                  let resp = rpc c (P.verify_request (P.Entry name)) in
+                  if get_bool resp "ok" then resp
+                  else begin
+                    (* An injected fault degraded this request to an
+                       error response; retrying is the contract. *)
+                    Alcotest.(check bool)
+                      "errors carry a message" true
+                      (J.str_member "error" resp <> None);
+                    verify name (attempts - 1)
+                  end
+              in
+              for _round = 1 to 3 do
+                List.iter
+                  (fun (e : Pr.entry) ->
+                    let resp = verify e.name 50 in
+                    Alcotest.(check string)
+                      (e.name ^ " verdict under faults")
+                      (List.assoc e.name expected)
+                      (get_str resp "status"))
+                  Pr.all
+              done)))
+
+let test_e2e_shutdown_drains_in_flight () =
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  let dom = Domain.spawn (fun () -> Server.Daemon.run cfg) in
+  let c = connect sock in
+  (* Pipeline three verifies and a shutdown without reading anything:
+     the daemon must answer all three (in order) before the ack. *)
+  let names = [ "swap"; "count"; "bad_swap" ] in
+  List.iteri
+    (fun i n ->
+      Server.Client.send c
+        (P.verify_request ~id:(J.Num (float_of_int i)) (P.Entry n)))
+    names;
+  Server.Client.send c (P.shutdown_request ~id:(J.Str "bye") ());
+  List.iteri
+    (fun i n ->
+      match Server.Client.recv c with
+      | Error m -> Alcotest.failf "response %d: %s" i m
+      | Ok resp ->
+          Alcotest.(check bool) (n ^ " answered before ack") true
+            (get_bool resp "ok");
+          Alcotest.(check int)
+            (n ^ " in submission order") i
+            (Option.value ~default:(-1) (J.int_member "id" resp)))
+    names;
+  (match Server.Client.recv c with
+  | Ok resp ->
+      Alcotest.(check bool) "ack last" true (get_bool resp "shutdown")
+  | Error m -> Alcotest.failf "ack: %s" m);
+  Server.Client.close c;
+  match Domain.join dom with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "daemon failed: %s" m
+
+let test_e2e_inline_source () =
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let source = read_file (Filename.concat examples_dir "swap.hl") in
+          let target = P.Source { file = "swap.hl"; source } in
+          let r1 = rpc c (P.verify_request target) in
+          Alcotest.(check string) "inline source verifies" "ok"
+            (get_str r1 "status");
+          (* Same source again: keyed on content, so it hits. *)
+          let r2 = rpc c (P.verify_request target) in
+          Alcotest.(check bool) "inline repeat cached" true
+            (get_bool r2 "cached");
+          (* A front-end error comes back as an error response with the
+             rendered message, never a verdict. *)
+          let bad =
+            P.Source { file = "bad.hl"; source = "procedure oops(" }
+          in
+          let r3 = rpc c (P.verify_request bad) in
+          Alcotest.(check bool) "parse error rejected" false (get_bool r3 "ok")))
+
+let test_e2e_lint () =
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  with_daemon cfg (fun () ->
+      let c = connect sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let resp = rpc c (P.lint_request (P.Entry "swap")) in
+          Alcotest.(check bool) "lint ok" true (get_bool resp "ok");
+          Alcotest.(check int) "clean program" 0
+            (Option.value ~default:(-1) (J.int_member "errors" resp));
+          let source = read_file (Filename.concat examples_dir "broken.hl") in
+          let resp =
+            rpc c (P.lint_request (P.Source { file = "broken.hl"; source }))
+          in
+          Alcotest.(check bool) "lint of broken source ok" true
+            (get_bool resp "ok");
+          Alcotest.(check bool) "errors found" true
+            (Option.value ~default:0 (J.int_member "errors" resp) > 0)))
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "unicode" `Quick test_json_unicode;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "fifo+fair" `Quick test_scheduler_fifo_fair;
+          Alcotest.test_case "backpressure" `Quick test_scheduler_backpressure;
+          Alcotest.test_case "drain" `Quick test_scheduler_drain;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "disk tier" `Quick test_cache_disk_tier;
+          Alcotest.test_case "corrupt evicted" `Quick
+            test_cache_corrupt_disk_evicted;
+          Alcotest.test_case "fingerprint" `Quick
+            test_cache_fingerprint_isolation;
+          Alcotest.test_case "lru bound" `Quick test_cache_lru_bound;
+          Alcotest.test_case "verdict tier" `Quick test_verdict_tier;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "concurrent = sequential" `Quick
+            test_e2e_concurrent_matches_sequential;
+          Alcotest.test_case "warm cache" `Quick test_e2e_warm_cache;
+          Alcotest.test_case "disk cache survives restart" `Quick
+            test_e2e_disk_cache_survives_restart;
+          Alcotest.test_case "corrupt entries re-verified" `Quick
+            test_e2e_corrupt_disk_entries_reverified;
+          Alcotest.test_case "busy backpressure" `Quick
+            test_e2e_busy_backpressure;
+          Alcotest.test_case "faults never flip verdicts" `Quick
+            test_e2e_faults_never_flip_verdicts;
+          Alcotest.test_case "shutdown drains" `Quick
+            test_e2e_shutdown_drains_in_flight;
+          Alcotest.test_case "inline source" `Quick test_e2e_inline_source;
+          Alcotest.test_case "lint" `Quick test_e2e_lint;
+        ] );
+    ]
