@@ -588,6 +588,149 @@ let serve_throughput () =
   write_json_list "BENCH_serve.json" (List.rev !serve_json)
 
 (* ------------------------------------------------------------------ *)
+(* S2: corpus-scale end-to-end throughput — procedures/second through
+   the whole pipeline (elaborated spec -> VCs -> solver -> verdict) on
+   a synthetic corpus of distinct procedures, at several worker
+   counts, cold (empty VC cache) and warm (same cache, second pass). *)
+
+(** --check compares the quick pass against the committed
+    BENCH_corpus.json baseline (CI gate; fails loud on regression). *)
+let check_baseline = ref false
+
+let corpus_json : (string * (string * float) list) list ref = ref []
+
+(* The committed-baseline tolerance: CI hosts differ from the machine
+   that produced BENCH_corpus.json, so the gate only fails when quick
+   throughput drops below this fraction of the committed number. *)
+let corpus_tolerance = 0.30
+
+let corpus_throughput () =
+  printf "\n== S2: corpus throughput — procedures/second, cold vs warm ==\n";
+  let module C = Suite.Corpus in
+  let quick_size = 120 and full_size = 2000 in
+  let gen size = C.generate ~seed:42 ~size in
+  let failures = ref 0 in
+  (* One shared cache per worker count: first pass is cold (every VC
+     misses), second is warm (every VC hits). Verdicts must match the
+     generator's expectations on every pass. *)
+  let run_pass ~domains ~cache specs =
+    let progs = List.map (fun (s : C.spec) -> (s.C.name, s.C.program)) specs in
+    let config =
+      { E.default_config with E.domains; cache = true; shared_cache = Some cache }
+    in
+    let report = E.verify_programs ~config progs in
+    let verdicts =
+      List.map
+        (fun (g : E.group_result) -> (g.E.group, not (E.group_ok g)))
+        report.E.groups
+    in
+    List.iter2
+      (fun (s : C.spec) (name, failed) ->
+        if not (String.equal s.C.name name && Bool.equal s.C.expect_fail failed)
+        then begin
+          incr failures;
+          printf "  << VERDICT MISMATCH: %s expected %s\n" s.C.name
+            (if s.C.expect_fail then "failed" else "verified")
+        end)
+      specs verdicts;
+    let wall_s = report.E.stats.E.wall_ms /. 1000.0 in
+    (float_of_int report.E.stats.E.jobs /. wall_s, verdicts)
+  in
+  printf "%6s %7s | %12s %12s | %s\n" "procs" "workers" "cold(p/s)"
+    "warm(p/s)" "manifest";
+  printf "%s\n" (String.make 64 '-');
+  let run_config ~tag ~size domains =
+    let specs = gen size in
+    let cache = E.Vc_cache.create () in
+    E.Vc_cache.install cache;
+    let cold, verdicts, warm =
+      Fun.protect
+        ~finally:(fun () -> E.Vc_cache.uninstall ())
+        (fun () ->
+          let cold_pps, verdicts = run_pass ~domains ~cache specs in
+          let warm_pps, _ = run_pass ~domains ~cache specs in
+          (cold_pps, verdicts, warm_pps))
+    in
+    let digest = C.manifest_digest verdicts in
+    (* A 16-bit digest prefix survives the %g float round-trip of the
+       JSON writer; combined with the in-process expectation check it
+       pins the golden manifest. *)
+    let manifest16 = int_of_string ("0x" ^ String.sub digest 0 4) in
+    printf "%6d %7d | %12.1f %12.1f | %s\n" size domains cold warm digest;
+    corpus_json :=
+      ( tag,
+        [
+          ("procs", float_of_int size);
+          ("cold_procs_per_s", cold);
+          ("warm_procs_per_s", warm);
+          ("manifest16", float_of_int manifest16);
+        ] )
+      :: !corpus_json;
+    (cold, manifest16)
+  in
+  if !quick then begin
+    let cold, manifest16 = run_config ~tag:"corpus_quick_j2" ~size:quick_size 2 in
+    if !check_baseline then begin
+      let baseline =
+        match
+          let ic = open_in "BENCH_corpus.json" in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Server.Json.parse s
+        with
+        | Ok json -> (
+            match Server.Json.member "corpus_quick_j2" json with
+            | Some row ->
+                let field k =
+                  Option.bind (Server.Json.member k row) Server.Json.to_num
+                in
+                (field "cold_procs_per_s", field "manifest16")
+            | None -> (None, None))
+        | Error m ->
+            printf "  << cannot parse BENCH_corpus.json: %s\n" m;
+            (None, None)
+        | exception Sys_error m ->
+            printf "  << cannot read BENCH_corpus.json: %s\n" m;
+            (None, None)
+      in
+      match baseline with
+      | Some base_pps, Some base_manifest ->
+          if int_of_float base_manifest <> manifest16 then begin
+            printf
+              "FAIL: corpus verdict manifest drifted (committed %d, got %d)\n"
+              (int_of_float base_manifest) manifest16;
+            exit 1
+          end;
+          if cold < corpus_tolerance *. base_pps then begin
+            printf
+              "FAIL: corpus throughput regressed: %.1f p/s < %.0f%% of \
+               committed %.1f p/s\n"
+              cold (100.0 *. corpus_tolerance) base_pps;
+            exit 1
+          end;
+          printf "baseline ok: %.1f p/s vs committed %.1f p/s (tol %.0f%%)\n"
+            cold base_pps
+            (100.0 *. corpus_tolerance)
+      | _ ->
+          printf "FAIL: BENCH_corpus.json lacks corpus_quick_j2 baseline\n";
+          exit 1
+    end
+  end
+  else begin
+    ignore (run_config ~tag:"corpus_quick_j2" ~size:quick_size 2);
+    List.iter
+      (fun j ->
+        ignore (run_config ~tag:(Printf.sprintf "corpus_j%d" j) ~size:full_size j))
+      [ 1; 2; 4 ];
+    write_json_list "BENCH_corpus.json" (List.rev !corpus_json)
+  end;
+  if !failures > 0 then begin
+    printf "FAIL: %d corpus verdict mismatches\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let micro () =
@@ -649,6 +792,7 @@ let experiments =
     ("lint_overhead", lint_overhead);
     ("budget_overhead", budget_overhead);
     ("serve_throughput", serve_throughput);
+    ("corpus_throughput", corpus_throughput);
     ("micro", micro);
   ]
 
@@ -656,6 +800,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json = List.mem "--json" args in
   quick := List.mem "--quick" args;
+  check_baseline := List.mem "--check" args;
   let names =
     List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args
   in

@@ -148,4 +148,10 @@ dune exec bench/main.exe -- smt_incremental --quick
 dune exec bench/main.exe -- budget_overhead --quick
 dune exec bench/main.exe -- serve_throughput --quick
 
+echo "== corpus gate: fixed-seed synthetic corpus, golden verdicts + throughput =="
+# Re-verifies the quick corpus (fixed seed): every verdict must match
+# the golden manifest, and cold procs/sec must stay within tolerance of
+# the committed BENCH_corpus.json baseline. Fails loud on either.
+dune exec bench/main.exe -- corpus_throughput --quick --check
+
 echo "tier-1 gate: OK"

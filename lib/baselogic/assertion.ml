@@ -173,7 +173,7 @@ let subst_expr (map : Term.t Smap.t) (e : Heaplang.Ast.expr) :
   let bindings =
     Smap.bindings map
     |> List.filter_map (fun (x, t) ->
-           match t with
+           match Term.view t with
            | Term.Var (y, _) -> Some (x, Heaplang.Ast.Sym y)
            | Term.Int_lit n -> Some (x, Heaplang.Ast.Int n)
            | _ -> None)
@@ -181,7 +181,9 @@ let subst_expr (map : Term.t Smap.t) (e : Heaplang.Ast.expr) :
   let complex =
     Smap.bindings map
     |> List.filter (fun (_, t) ->
-           match t with Term.Var _ | Term.Int_lit _ -> false | _ -> true)
+           match Term.view t with
+           | Term.Var _ | Term.Int_lit _ -> false
+           | _ -> true)
     |> List.map fst
   in
   let free = expr_syms e in

@@ -17,14 +17,15 @@ let deref_symbol = "!deref"
 (** [deref l] is the heap read [!l] as a term. *)
 let deref (l : Term.t) : Term.t = Term.app deref_symbol [ l ]
 
-let is_deref = function
+let is_deref t =
+  match Term.view t with
   | Term.App (f, [ _ ]) -> String.equal f deref_symbol
   | _ -> false
 
 (** All location terms read by [t], outermost first. A term is
     heap-dependent iff this is nonempty. *)
 let rec reads acc (t : Term.t) : Term.t list =
-  match t with
+  match Term.view t with
   | Term.App (f, [ l ]) when String.equal f deref_symbol ->
       l :: reads acc l
   | Term.Var _ | Term.Int_lit _ | Term.True | Term.False -> acc
@@ -46,13 +47,13 @@ let heap_dependent t = heap_reads t <> []
     place. *)
 let rec resolve (lookup : Term.t -> Term.t option) (t : Term.t) : Term.t =
   let go = resolve lookup in
-  match t with
+  match Term.view t with
   | Term.App (f, [ l ]) when String.equal f deref_symbol -> (
       let l = go l in
       match lookup l with Some v -> v | None -> deref l)
   | Term.Var _ | Term.Int_lit _ | Term.True | Term.False -> t
-  | Term.App (f, args) -> Term.App (f, List.map go args)
-  | Term.Pred (f, args) -> Term.Pred (f, List.map go args)
+  | Term.App (f, args) -> Term.app f (List.map go args)
+  | Term.Pred (f, args) -> Term.pred f (List.map go args)
   | Term.Add (a, b) -> Term.add (go a) (go b)
   | Term.Sub (a, b) -> Term.sub (go a) (go b)
   | Term.Mul (a, b) -> Term.mul (go a) (go b)

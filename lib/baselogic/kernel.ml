@@ -119,7 +119,7 @@ let or_elim t1 t2 =
 let smt_entails hyps goal =
   T.equal goal T.tru
   || List.exists (T.equal goal) hyps
-  || (match goal with
+  || (match T.view goal with
      | T.Eq (a, b) -> T.equal a b
      | _ -> false)
   || Smt.Solver.entails_bool ~hyps goal
@@ -534,31 +534,29 @@ and infer_witnesses ctx x body : T.t list =
   let rec peel = function A.Exists (_, p) -> peel p | p -> p in
   let body = peel body in
   let cands = ref [] in
+  let is_x t =
+    match T.view t with T.Var (y, _) -> String.equal y x | _ -> false
+  in
   let consider pat chunk =
     match (pat, chunk) with
-    | ( A.Points_to { loc; value = T.Var (y, _); _ },
-        A.Points_to { loc = l'; value = v'; _ } )
-      when String.equal y x ->
-        if smt_entails ctx.cpures (T.eq loc l') then cands := v' :: !cands
-    | ( A.Points_to { loc = T.Var (y, _); value; _ },
-        A.Points_to { loc = l'; value = v'; _ } )
-      when String.equal y x ->
-        if smt_entails ctx.cpures (T.eq value v') then cands := l' :: !cands
-    | ( A.Ghost (g, Ghost_val.Auth_nat { auth = Some (T.Var (y, _)); _ }),
+    | ( A.Points_to { loc; value; _ },
+        A.Points_to { loc = l'; value = v'; _ } ) ->
+        if is_x value then begin
+          if smt_entails ctx.cpures (T.eq loc l') then cands := v' :: !cands
+        end
+        else if is_x loc then
+          if smt_entails ctx.cpures (T.eq value v') then cands := l' :: !cands
+    | ( A.Ghost (g, Ghost_val.Auth_nat { auth = Some a; _ }),
         A.Ghost (g', Ghost_val.Auth_nat { auth = Some n'; _ }) )
-      when String.equal y x && String.equal g g' ->
+      when is_x a && String.equal g g' ->
         cands := n' :: !cands
-    | ( A.Ghost (g, Ghost_val.Agree (T.Var (y, _))),
-        A.Ghost (g', Ghost_val.Agree v') )
-      when String.equal y x && String.equal g g' ->
+    | A.Ghost (g, Ghost_val.Agree a), A.Ghost (g', Ghost_val.Agree v')
+      when is_x a && String.equal g g' ->
         cands := v' :: !cands
     | A.Pred (p, args), A.Pred (p', args')
       when String.equal p p' && List.length args = List.length args' ->
         List.iter2
-          (fun a a' ->
-            match a with
-            | T.Var (y, _) when String.equal y x -> cands := a' :: !cands
-            | _ -> ())
+          (fun a a' -> if is_x a then cands := a' :: !cands)
           args args'
     | _ -> ()
   in
@@ -569,10 +567,13 @@ and infer_witnesses ctx x body : T.t list =
   List.iter
     (fun pat ->
       match pat with
-      | A.Pure (T.Eq (T.Var (y, _), rhs)) when String.equal y x ->
-          cands := resolve_reads ctx rhs :: !cands
-      | A.Pure (T.Eq (lhs, T.Var (y, _))) when String.equal y x ->
-          cands := resolve_reads ctx lhs :: !cands
+      | A.Pure t -> (
+          match T.view t with
+          | T.Eq (lhs, rhs) when is_x lhs ->
+              cands := resolve_reads ctx rhs :: !cands
+          | T.Eq (lhs, rhs) when is_x rhs ->
+              cands := resolve_reads ctx lhs :: !cands
+          | _ -> ())
       | _ -> ())
     (A.conjuncts body);
   Listx.take 8 (List.rev !cands)
@@ -810,7 +811,7 @@ let binop_term (op : HL.bin_op) (a : T.t) (b : T.t) : T.t option =
     only variable and literal encodings are permitted, so the encoding
     is unambiguous. *)
 let term_value (t : T.t) : HL.value option =
-  match t with
+  match T.view t with
   | T.Var (x, _) -> Some (HL.Sym x)
   | T.Int_lit n -> Some (HL.Int n)
   | _ -> None

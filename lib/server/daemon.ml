@@ -303,6 +303,23 @@ let stats_json (d : t) =
       ("task_failures", Json.Num (float_of_int s.Scheduler.task_failures));
       ("parse_errors", Json.Num (float_of_int (Atomic.get d.parse_errors)));
       ("socket_faults", Json.Num (float_of_int (Atomic.get d.socket_faults)));
+      ( "solver",
+        (* Process-global gauges from the hash-consed term pool; the
+           per-VC counters live in the per-report engine stats. *)
+        let ps = Smt.Term.pool_stats () in
+        let lookups = ps.Smt.Term.pool_hits + ps.Smt.Term.pool_misses in
+        Json.Obj
+          [
+            ("term_pool_size", Json.Num (float_of_int ps.Smt.Term.pool_size));
+            ("term_pool_hits", Json.Num (float_of_int ps.Smt.Term.pool_hits));
+            ( "term_pool_misses",
+              Json.Num (float_of_int ps.Smt.Term.pool_misses) );
+            ( "term_pool_hit_rate",
+              Json.Num
+                (if lookups = 0 then 0.0
+                 else float_of_int ps.Smt.Term.pool_hits /. float_of_int lookups)
+            );
+          ] );
       ( "cache",
         Json.Obj
           ([

@@ -27,6 +27,7 @@ type node_kind =
 type undo =
   | Mark
   | Alloc of node_kind  (** newest node: un-intern, shrink *)
+  | Unmemo of int  (** drop a term-id -> node-id memo entry *)
   | Parent_push of int  (** pop the head of [parents.(rep)] *)
   | Sig_add of (string * int list)  (** remove the signature entry *)
   | Union of {
@@ -45,6 +46,7 @@ type t = {
   mutable kinds : node_kind array;
   mutable n_nodes : int;
   intern : (node_kind, int) Hashtbl.t;
+  term_memo : (int, int) Hashtbl.t;  (* Term.id -> node id, trail-scoped *)
   signatures : (string * int list, int) Hashtbl.t;
   mutable parents : int list array;  (* rep -> parent application nodes *)
   mutable num_of_class : int option array;  (* rep -> literal value if any *)
@@ -60,6 +62,7 @@ let create () =
     kinds = Array.make 64 (Const "");
     n_nodes = 0;
     intern = Hashtbl.create 64;
+    term_memo = Hashtbl.create 64;
     signatures = Hashtbl.create 64;
     parents = Array.make 64 [];
     num_of_class = Array.make 64 None;
@@ -178,17 +181,28 @@ and merge t a b =
     end
 
 (** Intern a purified term. Arithmetic constructors are rejected — the
-    caller must purify first. *)
+    caller must purify first. Memoized on the term's intern id so
+    repeated assertions over shared subterms skip the recursion; the
+    memo entry is trail-scoped (pushed after the node's [Alloc], so
+    {!pop} drops it before un-interning the node). *)
 let rec node_of_term t (tm : Term.t) =
-  match tm with
-  | Term.Var (x, _) -> alloc t (Const x)
-  | Term.Int_lit n -> alloc t (Num n)
-  | Term.App (f, args) ->
-      let args = List.map (node_of_term t) args in
-      alloc t (Fapp (f, args))
-  | _ ->
-      invalid_arg
-        (Fmt.str "Cc.node_of_term: unpurified term %a" Term.pp tm)
+  match Hashtbl.find_opt t.term_memo (Term.id tm) with
+  | Some id -> id
+  | None ->
+      let id =
+        match Term.view tm with
+        | Term.Var (x, _) -> alloc t (Const x)
+        | Term.Int_lit n -> alloc t (Num n)
+        | Term.App (f, args) ->
+            let args = List.map (node_of_term t) args in
+            alloc t (Fapp (f, args))
+        | _ ->
+            invalid_arg
+              (Fmt.str "Cc.node_of_term: unpurified term %a" Term.pp tm)
+      in
+      Hashtbl.add t.term_memo (Term.id tm) id;
+      t.trail <- Unmemo (Term.id tm) :: t.trail;
+      id
 
 let assert_eq t a b = merge t a b
 
@@ -213,6 +227,7 @@ let undo_op t = function
   | Alloc kind ->
       Hashtbl.remove t.intern kind;
       t.n_nodes <- t.n_nodes - 1
+  | Unmemo tid -> Hashtbl.remove t.term_memo tid
   | Parent_push r -> t.parents.(r) <- List.tl t.parents.(r)
   | Sig_add s -> Hashtbl.remove t.signatures s
   | Union { child; parent; rank_bumped; old_parents; old_num } ->

@@ -29,26 +29,27 @@ let pp_model ppf m =
 
 let elim_ite gensym (ts : Term.t list) : Term.t list =
   let defs = ref [] in
-  let memo : (Term.t, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  (* Memo keyed on the intern id: O(1) lookups, no tree hashing. *)
+  let memo : (int, Term.t) Hashtbl.t = Hashtbl.create 16 in
   let rec go (t : Term.t) : Term.t =
-    match t with
+    match Term.view t with
     | Term.Ite (c, a, b) when Sort.equal (Term.sort_of a) Sort.Int -> (
-        match Hashtbl.find_opt memo t with
+        match Hashtbl.find_opt memo (Term.id t) with
         | Some v -> v
         | None ->
             let c = go c and a = go a and b = go b in
             let v = Term.var (Gensym.fresh ~hint:"ite" gensym) in
             defs := Term.implies c (Term.eq v a) :: !defs;
             defs := Term.implies (Term.not_ c) (Term.eq v b) :: !defs;
-            Hashtbl.add memo t v;
+            Hashtbl.add memo (Term.id t) v;
             v)
     | Term.Ite (c, a, b) ->
         (* Boolean ite: expand propositionally. *)
         Term.and_
           [ Term.implies (go c) (go a); Term.implies (Term.not_ (go c)) (go b) ]
     | Term.Var _ | Term.Int_lit _ | Term.True | Term.False -> t
-    | Term.App (f, args) -> Term.App (f, List.map go args)
-    | Term.Pred (f, args) -> Term.Pred (f, List.map go args)
+    | Term.App (f, args) -> Term.app f (List.map go args)
+    | Term.Pred (f, args) -> Term.pred f (List.map go args)
     | Term.Add (a, b) -> Term.add (go a) (go b)
     | Term.Sub (a, b) -> Term.sub (go a) (go b)
     | Term.Mul (a, b) -> Term.mul (go a) (go b)
@@ -67,50 +68,56 @@ let elim_ite gensym (ts : Term.t list) : Term.t list =
 (* ------------------------------------------------------------------ *)
 (* Tseitin encoding *)
 
+(* All memo tables are keyed on the intern id (hash-consing makes
+   structurally equal terms share one id), so lookups cost a word
+   hash instead of a tree hash. Ids are process-local, which is fine:
+   an encoder never outlives the process. *)
 type encoder = {
   sat : Sat.t;
-  atom_vars : (Term.t, int) Hashtbl.t;
+  atom_vars : (int, int) Hashtbl.t;  (* Term.id -> SAT var *)
   mutable atoms : (int * Term.t) list;  (* SAT var -> atom *)
-  memo : (Term.t, Sat.lit) Hashtbl.t;
-  mutable split_done : (Term.t, unit) Hashtbl.t;
+  memo : (int, Sat.lit) Hashtbl.t;  (* Term.id -> encoded literal *)
+  mutable split_done : (int, unit) Hashtbl.t;  (* Term.id *)
 }
 
 let atom_var enc (t : Term.t) =
-  match Hashtbl.find_opt enc.atom_vars t with
+  match Hashtbl.find_opt enc.atom_vars (Term.id t) with
   | Some v -> v
   | None ->
       let v = Sat.new_var enc.sat in
-      Hashtbl.add enc.atom_vars t v;
+      Hashtbl.add enc.atom_vars (Term.id t) v;
       enc.atoms <- (v, t) :: enc.atoms;
       v
 
 let is_atom (t : Term.t) =
-  match t with
+  match Term.view t with
   | Term.Eq _ | Term.Le _ | Term.Lt _ | Term.Pred _ -> true
   | Term.Var (_, Sort.Bool) -> true
   | _ -> false
 
 (** Eager integer-equality splitting: [a = b ∨ a < b ∨ b < a]. *)
 let rec add_split_lemma enc (t : Term.t) =
-  match t with
+  match Term.view t with
   | Term.Eq (a, b)
     when Sort.equal (Term.sort_of a) Sort.Int
-         && not (Hashtbl.mem enc.split_done t) ->
-      Hashtbl.add enc.split_done t ();
+         && not (Hashtbl.mem enc.split_done (Term.id t)) ->
+      Hashtbl.add enc.split_done (Term.id t) ();
       let v_eq = atom_var enc t in
-      let v_lt = atom_var enc (Term.Lt (a, b)) in
-      let v_gt = atom_var enc (Term.Lt (b, a)) in
+      (* [Term.lt] cannot fold here: an interned [Eq (a, b)] node
+         guarantees a and b are distinct non-literal operands. *)
+      let v_lt = atom_var enc (Term.lt a b) in
+      let v_gt = atom_var enc (Term.lt b a) in
       ignore
         (Sat.add_clause enc.sat
            [ Sat.lit_of_var v_eq; Sat.lit_of_var v_lt; Sat.lit_of_var v_gt ])
   | _ -> ()
 
 and encode enc (t : Term.t) : Sat.lit =
-  match Hashtbl.find_opt enc.memo t with
+  match Hashtbl.find_opt enc.memo (Term.id t) with
   | Some l -> l
   | None ->
       let l =
-        match t with
+        match Term.view t with
         | _ when is_atom t ->
             add_split_lemma enc t;
             Sat.lit_of_var (atom_var enc t)
@@ -144,7 +151,7 @@ and encode enc (t : Term.t) : Sat.lit =
               lits;
             ignore (Sat.add_clause enc.sat (Sat.neg_lit lv :: lits));
             lv
-        | Term.Implies (a, b) -> encode enc (Term.Or [ Term.not_ a; b ])
+        | Term.Implies (a, b) -> encode enc (Term.or_ [ Term.not_ a; b ])
         | Term.Iff (a, b) ->
             let la = encode enc a and lb = encode enc b in
             let v = Sat.new_var enc.sat in
@@ -162,7 +169,7 @@ and encode enc (t : Term.t) : Sat.lit =
         | _ ->
             invalid_arg (Fmt.str "Solver.encode: unexpected term %a" Term.pp t)
       in
-      Hashtbl.add enc.memo t l;
+      Hashtbl.add enc.memo (Term.id t) l;
       l
 
 (* ------------------------------------------------------------------ *)
@@ -281,14 +288,22 @@ let cache_hook : cache option Atomic.t = Atomic.make None
 
 let set_cache c = Atomic.set cache_hook c
 
-(** Canonical serialization of a query. [No_sharing] makes the bytes a
-    function of the term structure alone (terms are immutable and
-    closure-free), so structurally equal VCs from different runs or
-    domains collide in the cache, as intended. The solver parameters
-    are part of the key so ablation runs cannot contaminate each
-    other. *)
+(** Canonical serialization of a query: the solver parameters followed
+    by each assertion's memoized canonical digest ({!Term.digest}), so
+    building a key is O(1) amortized per assertion instead of
+    re-marshalling whole trees. Digests are structure-derived — never
+    intern-id-derived — so structurally equal VCs from different runs,
+    domains, or processes collide in the cache, as intended (the disk
+    tier survives daemon restarts). The solver parameters are part of
+    the key so ablation runs cannot contaminate each other. *)
 let serialize_vc ~max_rounds ~minimize (assertions : Term.t list) : string =
-  Marshal.to_string (max_rounds, minimize, assertions) [ Marshal.No_sharing ]
+  let buf = Buffer.create (24 + (16 * List.length assertions)) in
+  Buffer.add_string buf "vc2|";
+  Buffer.add_string buf (string_of_int max_rounds);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (if minimize then "m|" else "-|");
+  List.iter (fun t -> Buffer.add_string buf (Term.digest t)) assertions;
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Main loop *)
@@ -302,7 +317,7 @@ let check_sat_uncached ~max_rounds ~minimize
   let gensym = Gensym.create ~prefix:"%" () in
   let assertions = elim_ite gensym assertions in
   (* Fast path: no boolean structure and trivially true/false. *)
-  if List.exists (Term.equal Term.False) assertions then Unsat
+  if List.exists (Term.equal Term.fls) assertions then Unsat
   else begin
     let enc =
       {
@@ -316,7 +331,7 @@ let check_sat_uncached ~max_rounds ~minimize
     let ok =
       List.for_all
         (fun t ->
-          Term.equal t Term.True
+          Term.equal t Term.tru
           || Sat.add_clause enc.sat [ encode enc t ])
         assertions
     in
@@ -356,7 +371,7 @@ let check_sat_uncached ~max_rounds ~minimize
                   let bools =
                     List.fold_left
                       (fun acc (v, atom) ->
-                        match atom with
+                        match Term.view atom with
                         | Term.Var (x, Sort.Bool) ->
                             Smap.add x (Sat.model_value enc.sat v) acc
                         | _ -> acc)
@@ -374,7 +389,7 @@ let check_sat_uncached ~max_rounds ~minimize
                      Fmt.epr "core(%d): %a@." (List.length core)
                        (Fmt.list ~sep:Fmt.comma (fun ppf (a : Theory.atom) ->
                             Fmt.pf ppf "%s%a" (if a.Theory.pos then "" else "¬")
-                              Smt__.Term.pp a.Theory.term))
+                              Term.pp a.Theory.term))
                        core);
                   stats.Stats.blocking_clauses <-
                     stats.Stats.blocking_clauses + 1;
@@ -395,6 +410,10 @@ let check_sat_uncached ~max_rounds ~minimize
         stats.Stats.sat_decisions + enc.sat.Sat.decisions;
       stats.Stats.sat_propagations <-
         stats.Stats.sat_propagations + enc.sat.Sat.propagations;
+      stats.Stats.learnts_deleted <-
+        stats.Stats.learnts_deleted + enc.sat.Sat.learnts_deleted;
+      stats.Stats.heap_decisions <-
+        stats.Stats.heap_decisions + enc.sat.Sat.heap_decisions;
       Option.get !result
     end
   end
@@ -441,9 +460,9 @@ type verdict =
 (** Is [goal] entailed by [hyps]? Checks unsatisfiability of
     [hyps ∧ ¬goal]. *)
 let entails ?(hyps = []) (goal : Term.t) : verdict =
-  match Term.and_ (hyps @ [ Term.not_ goal ]) with
-  | Term.False -> Valid
-  | t -> (
+  let t = Term.and_ (hyps @ [ Term.not_ goal ]) in
+  if Term.equal t Term.fls then Valid
+  else (
       match check_sat [ t ] with
       | Unsat -> Valid
       | Sat m -> Invalid m
@@ -460,9 +479,9 @@ let entails_bool ?hyps goal =
     hit-rate accounting and key them on context the session already
     holds. *)
 let entails_uncached ?(hyps = []) (goal : Term.t) : verdict =
-  match Term.and_ (hyps @ [ Term.not_ goal ]) with
-  | Term.False -> Valid
-  | t -> (
+  let t = Term.and_ (hyps @ [ Term.not_ goal ]) in
+  if Term.equal t Term.fls then Valid
+  else (
       match check_sat_uncached ~max_rounds:5_000 ~minimize:true [ t ] with
       | Unsat -> Valid
       | Sat m -> Invalid m

@@ -30,6 +30,11 @@ type t = {
       (** session checks outside the convex-literal fragment (or hit by
           an injected session fault), re-solved through the full
           one-shot pipeline *)
+  mutable learnts_deleted : int;
+      (** learnt clauses dropped by the SAT core's database reduction *)
+  mutable heap_decisions : int;
+      (** branch selections served by the VSIDS activity heap, counting
+          stale (already-assigned) entries that were popped and skipped *)
   mutable fuel_sat_conflicts : int;
       (** CDCL searches stopped by the [max_conflicts] knob *)
   mutable fuel_lazy_rounds : int;
@@ -59,6 +64,8 @@ let create () =
     combination_timeouts = 0;
     session_checks = 0;
     session_fallbacks = 0;
+    learnts_deleted = 0;
+    heap_decisions = 0;
     fuel_sat_conflicts = 0;
     fuel_lazy_rounds = 0;
     fuel_simplex = 0;
@@ -87,6 +94,8 @@ let reset () =
   s.combination_timeouts <- 0;
   s.session_checks <- 0;
   s.session_fallbacks <- 0;
+  s.learnts_deleted <- 0;
+  s.heap_decisions <- 0;
   s.fuel_sat_conflicts <- 0;
   s.fuel_lazy_rounds <- 0;
   s.fuel_simplex <- 0;
@@ -114,6 +123,8 @@ let diff a b =
     combination_timeouts = a.combination_timeouts - b.combination_timeouts;
     session_checks = a.session_checks - b.session_checks;
     session_fallbacks = a.session_fallbacks - b.session_fallbacks;
+    learnts_deleted = a.learnts_deleted - b.learnts_deleted;
+    heap_decisions = a.heap_decisions - b.heap_decisions;
     fuel_sat_conflicts = a.fuel_sat_conflicts - b.fuel_sat_conflicts;
     fuel_lazy_rounds = a.fuel_lazy_rounds - b.fuel_lazy_rounds;
     fuel_simplex = a.fuel_simplex - b.fuel_simplex;
@@ -138,6 +149,8 @@ let sum a b =
     combination_timeouts = a.combination_timeouts + b.combination_timeouts;
     session_checks = a.session_checks + b.session_checks;
     session_fallbacks = a.session_fallbacks + b.session_fallbacks;
+    learnts_deleted = a.learnts_deleted + b.learnts_deleted;
+    heap_decisions = a.heap_decisions + b.heap_decisions;
     fuel_sat_conflicts = a.fuel_sat_conflicts + b.fuel_sat_conflicts;
     fuel_lazy_rounds = a.fuel_lazy_rounds + b.fuel_lazy_rounds;
     fuel_simplex = a.fuel_simplex + b.fuel_simplex;
@@ -148,13 +161,25 @@ let sum a b =
   }
 
 let pp ppf s =
+  (* The term pool is a process-global gauge (the hash-consing tables
+     are shared by every domain), so it is read live rather than stored
+     in the per-domain counter record. *)
+  let ps = Term.pool_stats () in
+  let lookups = ps.Term.pool_hits + ps.Term.pool_misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else 100.0 *. float_of_int ps.Term.pool_hits /. float_of_int lookups
+  in
   Fmt.pf ppf
     "queries=%d conflicts=%d decisions=%d theory=%d lia=%d euf=%d blocked=%d \
      eqprop=%d timeouts=%d session=%d/%d solve=%.1fms@ \
+     sat-db: learnts_deleted=%d heap_decisions=%d@ \
+     terms: pool=%d hit-rate=%.1f%%@ \
      fuel-out: sat_conflicts=%d lazy_rounds=%d simplex=%d combination=%d \
      eq_budget=%d deadline-stops=%d"
     s.queries s.sat_conflicts s.sat_decisions s.theory_checks s.lia_checks
     s.euf_checks s.blocking_clauses s.eq_propagations s.combination_timeouts
-    s.session_checks s.session_fallbacks s.solve_ms s.fuel_sat_conflicts
+    s.session_checks s.session_fallbacks s.solve_ms s.learnts_deleted
+    s.heap_decisions ps.Term.pool_size hit_rate s.fuel_sat_conflicts
     s.fuel_lazy_rounds s.fuel_simplex s.fuel_combination s.fuel_eq_budget
     s.deadline_stops

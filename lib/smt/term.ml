@@ -1,11 +1,36 @@
-(** The quantifier-free term language of the solver.
+(** The quantifier-free term language of the solver, hash-consed.
 
-    Smart constructors perform light simplification (constant folding,
-    flattening, double negation) so that callers can build terms
-    naively; the heavy lifting — CNF conversion, purification — happens
-    in {!Preprocess}. *)
+    Every term is interned in a process-global pool: structurally
+    equal terms are physically equal, so {!equal} is [(==)], {!hash}
+    and {!compare} are O(1) on the interned tag, and {!size} is a
+    memoized field. Smart constructors perform the same light
+    simplification as before (constant folding, flattening, double
+    negation) and then intern; callers build terms naively.
 
-type t =
+    Invariants (see DESIGN.md §11):
+    - [tag] is process-local: allocated from a global counter at
+      intern time, never stable across runs. Use it for memo tables
+      and ordering *within* a process only.
+    - [digest] is canonical: an MD5 over the term's structure alone
+      (constructor, payloads, child digests), memoized per node.
+      Identical terms built in different processes — or in the same
+      process after any amount of unrelated interning — get identical
+      digests, which is what makes VC-cache keys survive daemon
+      restarts.
+    - The pool is shared by all domains (terms cross domain
+      boundaries in the parallel engine), so interning takes a
+      per-shard mutex around a weak hash set; dropped terms are
+      reclaimed by the GC. *)
+
+type t = {
+  node : node;
+  tag : int;  (** unique intern id — process-local *)
+  hkey : int;  (** memoized structural hash *)
+  tsize : int;  (** memoized constructor count *)
+  mutable digest : string;  (** memoized canonical MD5 ("" = unset) *)
+}
+
+and node =
   | Var of string * Sort.t
   | Int_lit of int
   | True
@@ -25,7 +50,219 @@ type t =
   | Implies of t * t
   | Iff of t * t
 
-let rec pp ppf = function
+let[@inline] view t = t.node
+let[@inline] id t = t.tag
+let[@inline] hash t = t.hkey
+let[@inline] size t = t.tsize
+let[@inline] equal (a : t) (b : t) = a == b
+let compare (a : t) (b : t) = Int.compare a.tag b.tag
+
+(* ------------------------------------------------------------------ *)
+(* The intern pool *)
+
+(* Structural hash of a node, one level deep: children contribute
+   their memoized [hkey], so hashing is O(arity) and agrees with
+   shallow equality below. *)
+let hash_node node =
+  let cmb h x = ((h * 0x01000193) lxor x) land max_int in
+  let str s = Hashtbl.hash (s : string) in
+  match node with
+  | Var (x, Sort.Int) -> cmb 3 (str x)
+  | Var (x, Sort.Bool) -> cmb 5 (str x)
+  | Int_lit n -> cmb 7 (n land max_int)
+  | True -> 11
+  | False -> 13
+  | App (f, args) ->
+      List.fold_left (fun h a -> cmb h a.hkey) (cmb 17 (str f)) args
+  | Pred (f, args) ->
+      List.fold_left (fun h a -> cmb h a.hkey) (cmb 19 (str f)) args
+  | Add (a, b) -> cmb (cmb 23 a.hkey) b.hkey
+  | Sub (a, b) -> cmb (cmb 29 a.hkey) b.hkey
+  | Mul (a, b) -> cmb (cmb 31 a.hkey) b.hkey
+  | Ite (c, a, b) -> cmb (cmb (cmb 37 c.hkey) a.hkey) b.hkey
+  | Eq (a, b) -> cmb (cmb 41 a.hkey) b.hkey
+  | Le (a, b) -> cmb (cmb 43 a.hkey) b.hkey
+  | Lt (a, b) -> cmb (cmb 47 a.hkey) b.hkey
+  | Not a -> cmb 53 a.hkey
+  | And ts -> List.fold_left (fun h a -> cmb h a.hkey) 59 ts
+  | Or ts -> List.fold_left (fun h a -> cmb h a.hkey) 61 ts
+  | Implies (a, b) -> cmb (cmb 67 a.hkey) b.hkey
+  | Iff (a, b) -> cmb (cmb 71 a.hkey) b.hkey
+
+(* Shallow structural equality: children are compared with [==],
+   which is sound because they are already interned. *)
+let equal_node (a : node) (b : node) =
+  match (a, b) with
+  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+  | Int_lit m, Int_lit n -> m = n
+  | True, True | False, False -> true
+  | App (f, xs), App (g, ys) | Pred (f, xs), Pred (g, ys) ->
+      String.equal f g && List.equal ( == ) xs ys
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Eq (a1, a2), Eq (b1, b2)
+  | Le (a1, a2), Le (b1, b2)
+  | Lt (a1, a2), Lt (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2) ->
+      a1 == b1 && a2 == b2
+  | Ite (c1, a1, b1), Ite (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+  | Not a, Not b -> a == b
+  | And xs, And ys | Or xs, Or ys -> List.equal ( == ) xs ys
+  | _ -> false
+
+let size_node = function
+  | Var _ | Int_lit _ | True | False -> 1
+  | App (_, args) | Pred (_, args) ->
+      List.fold_left (fun acc a -> acc + a.tsize) 1 args
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Le (a, b) | Lt (a, b)
+  | Implies (a, b) | Iff (a, b) ->
+      1 + a.tsize + b.tsize
+  | Ite (c, a, b) -> 1 + c.tsize + a.tsize + b.tsize
+  | Not a -> 1 + a.tsize
+  | And ts | Or ts -> List.fold_left (fun acc a -> acc + a.tsize) 1 ts
+
+module Pool = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = equal_node a.node b.node
+  let hash t = t.hkey
+end)
+
+(* The pool is global (terms flow between worker domains), sharded to
+   keep the mutexes short and mostly uncontended. Hit/miss counters
+   are plain ints mutated under the shard mutex — cheaper than
+   atomics on the hit path, and exact because the lock is held. *)
+type shard = {
+  mutex : Mutex.t;
+  pool : Pool.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let n_shards = 64
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { mutex = Mutex.create (); pool = Pool.create 1024; hits = 0; misses = 0 })
+
+let next_tag = Atomic.make 0
+
+(* Lock-free direct-mapped cache in front of the weak pool: a plain
+   array indexed by hash, each slot holding the last interned term
+   with that hash residue. Races are benign — slots only ever hold
+   canonical (pool-resident) terms, a stale read just falls through
+   to the locked pool, and an overwrite loses nothing but a future
+   shortcut. This keeps the common rebuild-an-existing-term path at
+   one hash + one array read, with no mutex and no weak-set probe. *)
+let cache_bits = 16
+let cache : t option array = Array.make (1 lsl cache_bits) None
+
+(* Racy on purpose: a lost increment under contention skews a
+   diagnostic counter, not a verdict; an atomic here would tax every
+   constructor call. *)
+let cache_hits = ref 0
+
+let intern node =
+  let hkey = hash_node node in
+  let slot = hkey land ((1 lsl cache_bits) - 1) in
+  match Array.unsafe_get cache slot with
+  | Some t when equal_node t.node node ->
+      incr cache_hits;
+      t
+  | _ ->
+      (* The lookup key borrows the node; tag and size are only
+         computed (and an id only consumed) when the term is new. *)
+      let probe = { node; tag = -1; hkey; tsize = 0; digest = "" } in
+      let shard = shards.(hkey lsr cache_bits land (n_shards - 1)) in
+      Mutex.lock shard.mutex;
+      let t =
+        match Pool.find_opt shard.pool probe with
+        | Some t ->
+            shard.hits <- shard.hits + 1;
+            t
+        | None ->
+            let t =
+              {
+                node;
+                tag = Atomic.fetch_and_add next_tag 1;
+                hkey;
+                tsize = size_node node;
+                digest = "";
+              }
+            in
+            Pool.add shard.pool t;
+            shard.misses <- shard.misses + 1;
+            t
+      in
+      Mutex.unlock shard.mutex;
+      Array.unsafe_set cache slot (Some t);
+      t
+
+type pool_stats = { pool_size : int; pool_hits : int; pool_misses : int }
+
+(** Pool occupancy and hit rate since process start. [pool_size]
+    counts live (not yet collected) interned terms. *)
+let pool_stats () =
+  Array.fold_left
+    (fun acc s ->
+      {
+        pool_size = acc.pool_size + Pool.count s.pool;
+        pool_hits = acc.pool_hits + s.hits;
+        pool_misses = acc.pool_misses + s.misses;
+      })
+    { pool_size = 0; pool_hits = !cache_hits; pool_misses = 0 }
+    shards
+
+(* ------------------------------------------------------------------ *)
+(* Canonical digest *)
+
+(** Canonical MD5 of the term's structure: constructor tag byte,
+    length-prefixed string payloads, children by their (fixed-width)
+    digests. Never derived from [tag], so equal structures digest
+    equally across processes — the property VC-cache keys need.
+    Memoized; the benign race on the field writes identical values. *)
+let rec digest t =
+  if String.length t.digest <> 0 then t.digest
+  else begin
+    let buf = Buffer.create 64 in
+    let s x =
+      Buffer.add_string buf (string_of_int (String.length x));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf x
+    in
+    let d x = Buffer.add_string buf (digest x) in
+    (match t.node with
+    | Var (x, Sort.Int) -> Buffer.add_char buf 'v'; s x
+    | Var (x, Sort.Bool) -> Buffer.add_char buf 'b'; s x
+    | Int_lit n -> Buffer.add_char buf 'n'; s (string_of_int n)
+    | True -> Buffer.add_char buf 'T'
+    | False -> Buffer.add_char buf 'F'
+    | App (f, args) -> Buffer.add_char buf 'f'; s f; List.iter d args
+    | Pred (f, args) -> Buffer.add_char buf 'p'; s f; List.iter d args
+    | Add (a, b) -> Buffer.add_char buf '+'; d a; d b
+    | Sub (a, b) -> Buffer.add_char buf '-'; d a; d b
+    | Mul (a, b) -> Buffer.add_char buf '*'; d a; d b
+    | Ite (c, a, b) -> Buffer.add_char buf '?'; d c; d a; d b
+    | Eq (a, b) -> Buffer.add_char buf '='; d a; d b
+    | Le (a, b) -> Buffer.add_char buf 'l'; d a; d b
+    | Lt (a, b) -> Buffer.add_char buf '<'; d a; d b
+    | Not a -> Buffer.add_char buf '!'; d a
+    | And ts -> Buffer.add_char buf '&'; List.iter d ts
+    | Or ts -> Buffer.add_char buf '|'; List.iter d ts
+    | Implies (a, b) -> Buffer.add_char buf '>'; d a; d b
+    | Iff (a, b) -> Buffer.add_char buf '~'; d a; d b);
+    let dg = Digest.string (Buffer.contents buf) in
+    t.digest <- dg;
+    dg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let rec pp ppf t =
+  match t.node with
   | Var (x, _) -> Fmt.string ppf x
   | Int_lit n -> Fmt.int ppf n
   | True -> Fmt.string ppf "true"
@@ -47,128 +284,123 @@ let rec pp ppf = function
 
 let to_string t = Fmt.str "%a" pp t
 
-let rec equal a b =
-  match (a, b) with
-  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
-  | Int_lit m, Int_lit n -> m = n
-  | True, True | False, False -> true
-  | App (f, xs), App (g, ys) | Pred (f, xs), Pred (g, ys) ->
-      String.equal f g && List.equal equal xs ys
-  | Add (a1, a2), Add (b1, b2)
-  | Sub (a1, a2), Sub (b1, b2)
-  | Mul (a1, a2), Mul (b1, b2)
-  | Eq (a1, a2), Eq (b1, b2)
-  | Le (a1, a2), Le (b1, b2)
-  | Lt (a1, a2), Lt (b1, b2)
-  | Implies (a1, a2), Implies (b1, b2)
-  | Iff (a1, a2), Iff (b1, b2) ->
-      equal a1 b1 && equal a2 b2
-  | Ite (c1, a1, b1), Ite (c2, a2, b2) -> equal c1 c2 && equal a1 a2 && equal b1 b2
-  | Not a, Not b -> equal a b
-  | And xs, And ys | Or xs, Or ys -> List.equal equal xs ys
-  | _ -> false
-
-let compare a b = Stdlib.compare a b
-
 (* ------------------------------------------------------------------ *)
 (* Smart constructors                                                  *)
 
-let var ?(sort = Sort.Int) x = Var (x, sort)
-let bvar x = Var (x, Sort.Bool)
-let int n = Int_lit n
-let tru = True
-let fls = False
-let app f args = App (f, args)
-let pred f args = Pred (f, args)
+let var ?(sort = Sort.Int) x = intern (Var (x, sort))
+let bvar x = intern (Var (x, Sort.Bool))
+let int n = intern (Int_lit n)
+let tru = intern True
+let fls = intern False
+let app f args = intern (App (f, args))
+let pred f args = intern (Pred (f, args))
 
 let add a b =
-  match (a, b) with
-  | Int_lit 0, t | t, Int_lit 0 -> t
-  | Int_lit m, Int_lit n -> Int_lit (m + n)
-  | _ -> Add (a, b)
+  match (a.node, b.node) with
+  | Int_lit 0, _ -> b
+  | _, Int_lit 0 -> a
+  | Int_lit m, Int_lit n -> int (m + n)
+  | _ -> intern (Add (a, b))
 
 let sub a b =
-  match (a, b) with
-  | t, Int_lit 0 -> t
-  | Int_lit m, Int_lit n -> Int_lit (m - n)
-  | _ -> Sub (a, b)
+  match (a.node, b.node) with
+  | _, Int_lit 0 -> a
+  | Int_lit m, Int_lit n -> int (m - n)
+  | _ -> intern (Sub (a, b))
 
 let mul a b =
-  match (a, b) with
-  | Int_lit 0, _ | _, Int_lit 0 -> Int_lit 0
-  | Int_lit 1, t | t, Int_lit 1 -> t
-  | Int_lit m, Int_lit n -> Int_lit (m * n)
-  | _ -> Mul (a, b)
+  match (a.node, b.node) with
+  | Int_lit 0, _ | _, Int_lit 0 -> int 0
+  | Int_lit 1, _ -> b
+  | _, Int_lit 1 -> a
+  | Int_lit m, Int_lit n -> int (m * n)
+  | _ -> intern (Mul (a, b))
 
-let neg t = sub (Int_lit 0) t
+let neg t = sub (int 0) t
 
-let not_ = function
-  | True -> False
-  | False -> True
-  | Not t -> t
-  | t -> Not t
+let not_ t =
+  match t.node with
+  | True -> fls
+  | False -> tru
+  | Not u -> u
+  | _ -> intern (Not t)
 
 let and_ ts =
   let ts =
-    List.concat_map (function And xs -> xs | True -> [] | t -> [ t ]) ts
+    List.concat_map
+      (fun t -> match t.node with And xs -> xs | True -> [] | _ -> [ t ])
+      ts
   in
-  if List.exists (equal False) ts then False
-  else match ts with [] -> True | [ t ] -> t | ts -> And ts
+  if List.exists (fun t -> match t.node with False -> true | _ -> false) ts
+  then fls
+  else match ts with [] -> tru | [ t ] -> t | ts -> intern (And ts)
 
 let or_ ts =
   let ts =
-    List.concat_map (function Or xs -> xs | False -> [] | t -> [ t ]) ts
+    List.concat_map
+      (fun t -> match t.node with Or xs -> xs | False -> [] | _ -> [ t ])
+      ts
   in
-  if List.exists (equal True) ts then True
-  else match ts with [] -> False | [ t ] -> t | ts -> Or ts
+  if List.exists (fun t -> match t.node with True -> true | _ -> false) ts
+  then tru
+  else match ts with [] -> fls | [ t ] -> t | ts -> intern (Or ts)
 
 let implies a b =
-  match (a, b) with
-  | True, b -> b
-  | False, _ -> True
-  | _, True -> True
-  | a, False -> not_ a
-  | _ -> Implies (a, b)
+  match (a.node, b.node) with
+  | True, _ -> b
+  | False, _ -> tru
+  | _, True -> tru
+  | _, False -> not_ a
+  | _ -> intern (Implies (a, b))
 
 let iff a b =
-  match (a, b) with
-  | True, t | t, True -> t
-  | False, t | t, False -> not_ t
-  | _ -> if equal a b then True else Iff (a, b)
+  match (a.node, b.node) with
+  | True, _ -> b
+  | _, True -> a
+  | False, _ -> not_ b
+  | _, False -> not_ a
+  | _ -> if a == b then tru else intern (Iff (a, b))
 
 let eq a b =
-  match (a, b) with
-  | Int_lit m, Int_lit n -> if m = n then True else False
-  | True, t | t, True -> t
-  | False, t | t, False -> not_ t
-  | _ -> if equal a b then True else Eq (a, b)
+  match (a.node, b.node) with
+  | Int_lit m, Int_lit n -> if m = n then tru else fls
+  | True, _ -> b
+  | _, True -> a
+  | False, _ -> not_ b
+  | _, False -> not_ a
+  | _ -> if a == b then tru else intern (Eq (a, b))
 
 let le a b =
-  match (a, b) with
-  | Int_lit m, Int_lit n -> if m <= n then True else False
-  | _ -> if equal a b then True else Le (a, b)
+  match (a.node, b.node) with
+  | Int_lit m, Int_lit n -> if m <= n then tru else fls
+  | _ -> if a == b then tru else intern (Le (a, b))
 
 let lt a b =
-  match (a, b) with
-  | Int_lit m, Int_lit n -> if m < n then True else False
-  | _ -> if equal a b then False else Lt (a, b)
+  match (a.node, b.node) with
+  | Int_lit m, Int_lit n -> if m < n then tru else fls
+  | _ -> if a == b then fls else intern (Lt (a, b))
 
 let ge a b = le b a
 let gt a b = lt b a
 let neq a b = not_ (eq a b)
-let ite c a b = match c with True -> a | False -> b | _ -> Ite (c, a, b)
-let bool b = if b then True else False
+
+let ite c a b =
+  match c.node with True -> a | False -> b | _ -> intern (Ite (c, a, b))
+
+let bool b = if b then tru else fls
 
 (* ------------------------------------------------------------------ *)
 
-let sort_of = function
+let sort_of t =
+  match t.node with
   | Var (_, s) -> s
   | Int_lit _ | App _ | Add _ | Sub _ | Mul _ | Ite _ -> Sort.Int
   | True | False | Pred _ | Eq _ | Le _ | Lt _ | Not _ | And _ | Or _
   | Implies _ | Iff _ ->
       Sort.Bool
 
-let rec free_vars acc = function
+let rec free_vars acc t =
+  match t.node with
   | Var (x, s) -> (x, s) :: acc
   | Int_lit _ | True | False -> acc
   | App (_, args) | Pred (_, args) -> List.fold_left free_vars acc args
@@ -179,29 +411,42 @@ let rec free_vars acc = function
   | Not a -> free_vars acc a
   | And ts | Or ts -> List.fold_left free_vars acc ts
 
-let vars t =
-  free_vars [] t |> List.sort_uniq compare
+let vars t = free_vars [] t |> List.sort_uniq Stdlib.compare
 
 (** Capture-free substitution of variables by terms (our terms have no
-    binders, so plain structural replacement is capture-free). *)
+    binders, so plain structural replacement is capture-free).
+
+    Physical sharing makes the untouched case free: when no child
+    changed, the original node is returned as-is — no re-interning,
+    no allocation — so substitution costs O(spine touched), not
+    O(size), on the mostly-unchanged formulas the verifier feeds it. *)
 let rec subst map t =
-  match t with
+  let share1 rebuild a a' = if a' == a then t else rebuild a' in
+  let share2 rebuild a b a' b' =
+    if a' == a && b' == b then t else rebuild a' b'
+  in
+  let sharen rebuild ts ts' =
+    if List.for_all2 ( == ) ts ts' then t else rebuild ts'
+  in
+  match t.node with
   | Var (x, _) -> ( match Stdx.Smap.find_opt x map with Some u -> u | None -> t)
   | Int_lit _ | True | False -> t
-  | App (f, args) -> App (f, List.map (subst map) args)
-  | Pred (f, args) -> Pred (f, List.map (subst map) args)
-  | Add (a, b) -> add (subst map a) (subst map b)
-  | Sub (a, b) -> sub (subst map a) (subst map b)
-  | Mul (a, b) -> mul (subst map a) (subst map b)
-  | Ite (c, a, b) -> ite (subst map c) (subst map a) (subst map b)
-  | Eq (a, b) -> eq (subst map a) (subst map b)
-  | Le (a, b) -> le (subst map a) (subst map b)
-  | Lt (a, b) -> lt (subst map a) (subst map b)
-  | Not a -> not_ (subst map a)
-  | And ts -> and_ (List.map (subst map) ts)
-  | Or ts -> or_ (List.map (subst map) ts)
-  | Implies (a, b) -> implies (subst map a) (subst map b)
-  | Iff (a, b) -> iff (subst map a) (subst map b)
+  | App (f, args) -> sharen (app f) args (List.map (subst map) args)
+  | Pred (f, args) -> sharen (pred f) args (List.map (subst map) args)
+  | Add (a, b) -> share2 add a b (subst map a) (subst map b)
+  | Sub (a, b) -> share2 sub a b (subst map a) (subst map b)
+  | Mul (a, b) -> share2 mul a b (subst map a) (subst map b)
+  | Ite (c, a, b) ->
+      let c' = subst map c and a' = subst map a and b' = subst map b in
+      if c' == c && a' == a && b' == b then t else ite c' a' b'
+  | Eq (a, b) -> share2 eq a b (subst map a) (subst map b)
+  | Le (a, b) -> share2 le a b (subst map a) (subst map b)
+  | Lt (a, b) -> share2 lt a b (subst map a) (subst map b)
+  | Not a -> share1 not_ a (subst map a)
+  | And ts -> sharen and_ ts (List.map (subst map) ts)
+  | Or ts -> sharen or_ ts (List.map (subst map) ts)
+  | Implies (a, b) -> share2 implies a b (subst map a) (subst map b)
+  | Iff (a, b) -> share2 iff a b (subst map a) (subst map b)
 
 (** Evaluate a closed-enough term under a valuation. Used by the model
     checker in tests and for counterexample reporting. Unknown
@@ -213,7 +458,7 @@ let rec eval ~(env : int Stdx.Smap.t)
   let both f a b =
     bind (int_of a) (fun x -> bind (int_of b) (fun y -> Some (f x y)))
   in
-  match t with
+  match t.node with
   | Var (x, _) -> Stdx.Smap.find_opt x env
   | Int_lit n -> Some n
   | True -> Some 1
@@ -246,15 +491,3 @@ let eval_bool ~env ?on_app t =
   match eval ~env ?on_app t with
   | Some n -> Some (n <> 0)
   | None -> None
-
-(** Size of a term (number of constructors) — used for statistics. *)
-let rec size = function
-  | Var _ | Int_lit _ | True | False -> 1
-  | App (_, args) | Pred (_, args) ->
-      1 + Stdx.Listx.sum (List.map size args)
-  | Add (a, b) | Sub (a, b) | Mul (a, b) | Eq (a, b) | Le (a, b) | Lt (a, b)
-  | Implies (a, b) | Iff (a, b) ->
-      1 + size a + size b
-  | Ite (c, a, b) -> 1 + size c + size a + size b
-  | Not a -> 1 + size a
-  | And ts | Or ts -> 1 + Stdx.Listx.sum (List.map size ts)

@@ -144,7 +144,7 @@ let pop_scoped st =
 (** Translate an int-sorted term into a linear expression, registering
     proxies for uninterpreted applications. *)
 let rec linearize st (t : Term.t) : Simplex.Linexp.t * Q.t =
-  match t with
+  match Term.view t with
   | Term.Int_lit n -> (Simplex.Linexp.empty, Q.of_int n)
   | Term.Var (x, _) ->
       let node = Cc.node_of_term st.cc (Term.var x) in
@@ -167,7 +167,7 @@ let rec linearize st (t : Term.t) : Simplex.Linexp.t * Q.t =
       | None, None ->
           (* Nonlinear product: abstract as an uninterpreted term so
              congruence still applies to syntactically equal products. *)
-          let node = euf_node st (Term.App ("%mul", [ a; b ])) in
+          let node = euf_node st (Term.app "%mul" [ a; b ]) in
           let name = proxy_name st node in
           (Simplex.Linexp.add_term name Q.one Simplex.Linexp.empty, Q.zero))
   | Term.App _ ->
@@ -183,13 +183,14 @@ and merge_linexp ea eb sign =
 
 and scale_linexp c e = Smap.map (Q.mul c) e
 
-and constant_of _st = function Term.Int_lit n -> Some (Q.of_int n) | _ -> None
+and constant_of _st t =
+  match Term.view t with Term.Int_lit n -> Some (Q.of_int n) | _ -> None
 
 (** Intern an int term as a congruence node. Arithmetic below an
     application is abstracted: a proxy variable is created, defined in
     LIA, and the proxy's node is used. *)
 and euf_node st (t : Term.t) : int =
-  match t with
+  match Term.view t with
   | Term.Var (x, _) ->
       let node = Cc.node_of_term st.cc (Term.var x) in
       share st x node;
@@ -241,7 +242,7 @@ let assert_arith st (a : Term.t) (b : Term.t) (op : Simplex.op) =
   Simplex.assert_atom st.lia e op (Q.sub kb ka)
 
 let assert_literal st ({ term; pos } : atom) =
-  match (term, pos) with
+  match (Term.view term, pos) with
   | Term.Eq (a, b), true when Sort.equal (Term.sort_of a) Sort.Int ->
       assert_arith st a b Simplex.Eq;
       Cc.assert_eq st.cc (euf_node st a) (euf_node st b)
@@ -267,7 +268,7 @@ let assert_literal st ({ term; pos } : atom) =
          Tseitin (encoded as Iff); defensive fallback. *)
       ignore (a, b, pos);
       invalid_arg "Theory.assert_literal: boolean equality atom"
-  | t, _ -> invalid_arg (Fmt.str "Theory.assert_literal: %a" Term.pp t)
+  | _, _ -> invalid_arg (Fmt.str "Theory.assert_literal: %a" Term.pp term)
 
 (* --------------------------------------------------------------- *)
 (* The combination loop *)

@@ -1,9 +1,11 @@
 (** The benchmark suite: annotated programs ({!Programs}), parametric
-    workload generators ({!Generators}), the lint-negative suite of
-    deliberately ill-formed programs ({!Ill_formed}), and the
-    [examples/] program registry ({!Examples}). *)
+    workload generators ({!Generators}), the corpus-scale synthetic
+    generator ({!Corpus}), the lint-negative suite of deliberately
+    ill-formed programs ({!Ill_formed}), and the [examples/] program
+    registry ({!Examples}). *)
 
 module Programs = Programs
 module Generators = Generators
+module Corpus = Corpus
 module Ill_formed = Ill_formed
 module Examples = Examples

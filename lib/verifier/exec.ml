@@ -123,7 +123,7 @@ let binop st op (a : T.t) (b : T.t) : T.t =
   match op with
   | HL.Div | HL.Rem -> (
       ignore st;
-      match (a, b) with
+      match (T.view a, T.view b) with
       | T.Int_lit m, T.Int_lit n when n <> 0 ->
           T.int (if op = HL.Div then m / n else m mod n)
       | _ ->

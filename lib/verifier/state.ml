@@ -75,7 +75,7 @@ let entails st phi =
   Budget.poll_now ();
   T.equal phi T.tru
   || List.exists (T.equal phi) st.pures
-  || (match phi with T.Eq (a, b) -> T.equal a b | _ -> false)
+  || (match T.view phi with T.Eq (a, b) -> T.equal a b | _ -> false)
   || begin
        sync_session st;
        match Smt.Session.check_goal st.session phi with
@@ -332,32 +332,30 @@ and witnesses st x body : T.t list =
   let rec peel = function A.Exists (_, p) -> peel p | p -> p in
   let body = peel body in
   let cands = ref [] in
+  let is_x t =
+    match T.view t with T.Var (y, _) -> String.equal y x | _ -> false
+  in
   let consider pat chunk =
     match (pat, chunk) with
-    | ( A.Points_to { loc; value = T.Var (y, _); _ },
-        A.Points_to { loc = l'; value = v'; _ } )
-      when String.equal y x ->
-        if T.equal loc l' || entails st (T.eq loc l') then
-          cands := v' :: !cands
-    | ( A.Points_to { loc = T.Var (y, _); value; _ },
-        A.Points_to { loc = l'; value = v'; _ } )
-      when String.equal y x ->
-        if entails st (T.eq value v') then cands := l' :: !cands
-    | ( A.Ghost (g, GV.Auth_nat { auth = Some (T.Var (y, _)); _ }),
+    | ( A.Points_to { loc; value; _ },
+        A.Points_to { loc = l'; value = v'; _ } ) ->
+        if is_x value then begin
+          if T.equal loc l' || entails st (T.eq loc l') then
+            cands := v' :: !cands
+        end
+        else if is_x loc then
+          if entails st (T.eq value v') then cands := l' :: !cands
+    | ( A.Ghost (g, GV.Auth_nat { auth = Some a; _ }),
         A.Ghost (g', GV.Auth_nat { auth = Some n'; _ }) )
-      when String.equal y x && String.equal g g' ->
+      when is_x a && String.equal g g' ->
         cands := n' :: !cands
-    | ( A.Ghost (g, GV.Agree (T.Var (y, _))),
-        A.Ghost (g', GV.Agree v') )
-      when String.equal y x && String.equal g g' ->
+    | A.Ghost (g, GV.Agree a), A.Ghost (g', GV.Agree v')
+      when is_x a && String.equal g g' ->
         cands := v' :: !cands
     | A.Pred (p, args), A.Pred (p', args')
       when String.equal p p' && List.length args = List.length args' ->
         List.iter2
-          (fun a a' ->
-            match a with
-            | T.Var (y, _) when String.equal y x -> cands := a' :: !cands
-            | _ -> ())
+          (fun a a' -> if is_x a then cands := a' :: !cands)
           args args'
     | _ -> ()
   in
@@ -365,10 +363,11 @@ and witnesses st x body : T.t list =
   List.iter
     (fun pat ->
       match pat with
-      | A.Pure (T.Eq (T.Var (y, _), rhs)) when String.equal y x ->
-          cands := resolve st rhs :: !cands
-      | A.Pure (T.Eq (lhs, T.Var (y, _))) when String.equal y x ->
-          cands := resolve st lhs :: !cands
+      | A.Pure t -> (
+          match T.view t with
+          | T.Eq (lhs, rhs) when is_x lhs -> cands := resolve st rhs :: !cands
+          | T.Eq (lhs, rhs) when is_x rhs -> cands := resolve st lhs :: !cands
+          | _ -> ())
       | _ -> ())
     (A.conjuncts body);
   Listx.take 8 (List.rev !cands)

@@ -523,6 +523,374 @@ let session_differential =
            ops;
          !ok))
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consed terms: differential properties against a reference AST.
+
+   The term representation interns every node; these tests pin that the
+   smart constructors still mean what the seed's plain constructors
+   meant (eval / vars / subst agree with an independent reference
+   implementation), and that interning delivers what it promises:
+   structurally equal constructions are physically equal, and the
+   canonical digest depends on structure only — never on intern ids —
+   which is what lets VC-cache keys survive process restarts. *)
+
+type iexp =
+  | RInt of int
+  | RVar of string
+  | RApp of string * iexp
+  | RAdd of iexp * iexp
+  | RSub of iexp * iexp
+  | RMul of iexp * iexp
+  | RIte of bform * iexp * iexp
+
+and bform =
+  | RTrue
+  | RFalse
+  | RBvar of string
+  | REq of iexp * iexp
+  | RLe of iexp * iexp
+  | RLt of iexp * iexp
+  | RNot of bform
+  | RAnd of bform * bform
+  | ROr of bform * bform
+  | RImp of bform * bform
+  | RIff of bform * bform
+
+let rec build_i = function
+  | RInt n -> int n
+  | RVar v -> var v
+  | RApp (f, a) -> app f [ build_i a ]
+  | RAdd (a, b) -> add (build_i a) (build_i b)
+  | RSub (a, b) -> sub (build_i a) (build_i b)
+  | RMul (a, b) -> mul (build_i a) (build_i b)
+  | RIte (c, a, b) -> ite (build_b c) (build_i a) (build_i b)
+
+and build_b = function
+  | RTrue -> tru
+  | RFalse -> fls
+  | RBvar p -> bvar p
+  | REq (a, b) -> eq (build_i a) (build_i b)
+  | RLe (a, b) -> le (build_i a) (build_i b)
+  | RLt (a, b) -> lt (build_i a) (build_i b)
+  | RNot a -> not_ (build_b a)
+  | RAnd (a, b) -> and_ [ build_b a; build_b b ]
+  | ROr (a, b) -> or_ [ build_b a; build_b b ]
+  | RImp (a, b) -> implies (build_b a) (build_b b)
+  | RIff (a, b) -> iff (build_b a) (build_b b)
+
+(* A fixed but arbitrary interpretation for uninterpreted symbols, so
+   applications evaluate on both sides. *)
+let uf f vs = Some ((Hashtbl.hash (f, vs) mod 17) - 8)
+
+let rec reval_i env = function
+  | RInt n -> n
+  | RVar v -> Stdx.Smap.find v env
+  | RApp (f, a) -> Option.get (uf f [ reval_i env a ])
+  | RAdd (a, b) -> reval_i env a + reval_i env b
+  | RSub (a, b) -> reval_i env a - reval_i env b
+  | RMul (a, b) -> reval_i env a * reval_i env b
+  | RIte (c, a, b) -> if reval_b env c then reval_i env a else reval_i env b
+
+and reval_b env = function
+  | RTrue -> true
+  | RFalse -> false
+  | RBvar p -> Stdx.Smap.find p env <> 0
+  | REq (a, b) -> reval_i env a = reval_i env b
+  | RLe (a, b) -> reval_i env a <= reval_i env b
+  | RLt (a, b) -> reval_i env a < reval_i env b
+  | RNot a -> not (reval_b env a)
+  | RAnd (a, b) -> reval_b env a && reval_b env b
+  | ROr (a, b) -> reval_b env a || reval_b env b
+  | RImp (a, b) -> (not (reval_b env a)) || reval_b env b
+  | RIff (a, b) -> reval_b env a = reval_b env b
+
+let rec rvars_i acc = function
+  | RInt _ -> acc
+  | RVar v -> (v, Sort.Int) :: acc
+  | RApp (_, a) -> rvars_i acc a
+  | RAdd (a, b) | RSub (a, b) | RMul (a, b) -> rvars_i (rvars_i acc a) b
+  | RIte (c, a, b) -> rvars_i (rvars_i (rvars_b acc c) a) b
+
+and rvars_b acc = function
+  | RTrue | RFalse -> acc
+  | RBvar p -> (p, Sort.Bool) :: acc
+  | REq (a, b) | RLe (a, b) | RLt (a, b) -> rvars_i (rvars_i acc a) b
+  | RNot a -> rvars_b acc a
+  | RAnd (a, b) | ROr (a, b) | RImp (a, b) | RIff (a, b) ->
+      rvars_b (rvars_b acc a) b
+
+(* Simultaneous substitution on the reference AST: replace [RVar x]
+   wholesale, without re-substituting inside the replacement — the
+   contract of [Term.subst]. *)
+let rec rsubst_i x r = function
+  | RInt _ as e -> e
+  | RVar v as e -> if String.equal v x then r else e
+  | RApp (f, a) -> RApp (f, rsubst_i x r a)
+  | RAdd (a, b) -> RAdd (rsubst_i x r a, rsubst_i x r b)
+  | RSub (a, b) -> RSub (rsubst_i x r a, rsubst_i x r b)
+  | RMul (a, b) -> RMul (rsubst_i x r a, rsubst_i x r b)
+  | RIte (c, a, b) -> RIte (rsubst_b x r c, rsubst_i x r a, rsubst_i x r b)
+
+and rsubst_b x r = function
+  | (RTrue | RFalse | RBvar _) as e -> e
+  | REq (a, b) -> REq (rsubst_i x r a, rsubst_i x r b)
+  | RLe (a, b) -> RLe (rsubst_i x r a, rsubst_i x r b)
+  | RLt (a, b) -> RLt (rsubst_i x r a, rsubst_i x r b)
+  | RNot a -> RNot (rsubst_b x r a)
+  | RAnd (a, b) -> RAnd (rsubst_b x r a, rsubst_b x r b)
+  | ROr (a, b) -> ROr (rsubst_b x r a, rsubst_b x r b)
+  | RImp (a, b) -> RImp (rsubst_b x r a, rsubst_b x r b)
+  | RIff (a, b) -> RIff (rsubst_b x r a, rsubst_b x r b)
+
+let gen_iexp, gen_bform =
+  let open QCheck.Gen in
+  let leaf_i =
+    oneof
+      [
+        map (fun n -> RInt n) (int_range (-5) 5);
+        map (fun v -> RVar v) (oneofl [ "x"; "y"; "z" ]);
+      ]
+  in
+  let rec go_i n =
+    if n = 0 then leaf_i
+    else
+      frequency
+        [
+          (2, leaf_i);
+          (1, map (fun a -> RApp ("f", a)) (go_i (n - 1)));
+          (2, map2 (fun a b -> RAdd (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          (2, map2 (fun a b -> RSub (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          (1, map2 (fun a b -> RMul (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          ( 1,
+            map3
+              (fun c a b -> RIte (c, a, b))
+              (go_b (n - 1)) (go_i (n - 1)) (go_i (n - 1)) );
+        ]
+  and go_b n =
+    let leaf_b =
+      oneofl [ RTrue; RFalse; RBvar "p"; RBvar "q" ]
+    in
+    if n = 0 then leaf_b
+    else
+      frequency
+        [
+          (1, leaf_b);
+          (2, map2 (fun a b -> REq (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          (2, map2 (fun a b -> RLe (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          (2, map2 (fun a b -> RLt (a, b)) (go_i (n - 1)) (go_i (n - 1)));
+          (2, map (fun a -> RNot a) (go_b (n - 1)));
+          (2, map2 (fun a b -> RAnd (a, b)) (go_b (n - 1)) (go_b (n - 1)));
+          (2, map2 (fun a b -> ROr (a, b)) (go_b (n - 1)) (go_b (n - 1)));
+          (1, map2 (fun a b -> RImp (a, b)) (go_b (n - 1)) (go_b (n - 1)));
+          (1, map2 (fun a b -> RIff (a, b)) (go_b (n - 1)) (go_b (n - 1)));
+        ]
+  in
+  (go_i 4, go_b 4)
+
+let gen_env =
+  let open QCheck.Gen in
+  map3
+    (fun vx vy vz ->
+      Stdx.Smap.of_seq
+        (List.to_seq
+           [ ("x", vx); ("y", vy); ("z", vz); ("p", vx land 1); ("q", vy land 1) ]))
+    (int_range (-8) 8) (int_range (-8) 8) (int_range (-8) 8)
+
+let hashcons_physical_eq =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"equal-constructions-physically-equal" ~count:300
+       (QCheck.make QCheck.Gen.(pair gen_iexp gen_bform))
+       (fun (a, f) ->
+         (* Two independent constructions of the same structure must
+            intern to the same node: [==], same id, same digest. *)
+         let t1 = build_i a and t2 = build_i a in
+         let u1 = build_b f and u2 = build_b f in
+         t1 == t2
+         && Term.equal t1 t2
+         && Term.id t1 = Term.id t2
+         && u1 == u2
+         && String.equal (Term.digest u1) (Term.digest u2)))
+
+let hashcons_eval =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"eval-vs-reference" ~count:500
+       (QCheck.make QCheck.Gen.(triple gen_iexp gen_bform gen_env))
+       (fun (a, f, env) ->
+         Term.eval ~env ~on_app:uf (build_i a) = Some (reval_i env a)
+         && Term.eval_bool ~env ~on_app:uf (build_b f) = Some (reval_b env f)))
+
+(* An independent [vars] over the interned representation, driven
+   through [Term.view] only. *)
+let rec tvars acc t =
+  match Term.view t with
+  | Term.Var (v, s) -> (v, s) :: acc
+  | Term.Int_lit _ | Term.True | Term.False -> acc
+  | Term.App (_, args) | Term.Pred (_, args) -> List.fold_left tvars acc args
+  | Term.Add (a, b) | Term.Sub (a, b) | Term.Mul (a, b)
+  | Term.Eq (a, b) | Term.Le (a, b) | Term.Lt (a, b)
+  | Term.Implies (a, b) | Term.Iff (a, b) ->
+      tvars (tvars acc a) b
+  | Term.Ite (c, a, b) -> tvars (tvars (tvars acc c) a) b
+  | Term.Not a -> tvars acc a
+  | Term.And ts | Term.Or ts -> List.fold_left tvars acc ts
+
+let hashcons_vars =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"vars-vs-reference" ~count:300
+       (QCheck.make gen_iexp)
+       (fun a ->
+         let t = build_i a in
+         (* Exact agreement with a view-based recomputation; constant
+            folding may only ever {e drop} variables relative to the
+            source AST, never invent them. *)
+         Term.vars t = List.sort_uniq Stdlib.compare (tvars [] t)
+         && List.for_all
+              (fun v -> List.mem v (rvars_i [] a))
+              (Term.vars t)))
+
+let hashcons_subst =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"subst-vs-reference" ~count:300
+       (QCheck.make QCheck.Gen.(triple gen_bform gen_iexp gen_env))
+       (fun (f, r, env) ->
+         (* Substituting at the term level must coincide — physically,
+            thanks to interning — with substituting at the AST level
+            and rebuilding; and evaluation must commute with it. *)
+         let m = Stdx.Smap.singleton "x" (build_i r) in
+         let t = Term.subst m (build_b f) in
+         t == build_b (rsubst_b "x" r f)
+         && Term.eval_bool ~env ~on_app:uf t
+            = Some (reval_b env (rsubst_b "x" r f))))
+
+(* The canonical digest, recomputed by an independent implementation of
+   its spec (constructor tag byte, length-prefixed payloads, children
+   by digest). Agreement on random terms pins that [Term.digest] is a
+   pure function of structure — intern ids never leak in — which is
+   exactly the property that makes VC-cache keys identical across
+   processes and daemon restarts. *)
+let rec ref_digest (t : Term.t) : string =
+  let buf = Buffer.create 64 in
+  let s x =
+    Buffer.add_string buf (string_of_int (String.length x));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf x
+  in
+  let d x = Buffer.add_string buf (ref_digest x) in
+  (match Term.view t with
+  | Term.Var (v, Sort.Int) -> Buffer.add_char buf 'v'; s v
+  | Term.Var (v, Sort.Bool) -> Buffer.add_char buf 'b'; s v
+  | Term.Int_lit n -> Buffer.add_char buf 'n'; s (string_of_int n)
+  | Term.True -> Buffer.add_char buf 'T'
+  | Term.False -> Buffer.add_char buf 'F'
+  | Term.App (f, args) -> Buffer.add_char buf 'f'; s f; List.iter d args
+  | Term.Pred (f, args) -> Buffer.add_char buf 'p'; s f; List.iter d args
+  | Term.Add (a, b) -> Buffer.add_char buf '+'; d a; d b
+  | Term.Sub (a, b) -> Buffer.add_char buf '-'; d a; d b
+  | Term.Mul (a, b) -> Buffer.add_char buf '*'; d a; d b
+  | Term.Ite (c, a, b) -> Buffer.add_char buf '?'; d c; d a; d b
+  | Term.Eq (a, b) -> Buffer.add_char buf '='; d a; d b
+  | Term.Le (a, b) -> Buffer.add_char buf 'l'; d a; d b
+  | Term.Lt (a, b) -> Buffer.add_char buf '<'; d a; d b
+  | Term.Not a -> Buffer.add_char buf '!'; d a
+  | Term.And ts -> Buffer.add_char buf '&'; List.iter d ts
+  | Term.Or ts -> Buffer.add_char buf '|'; List.iter d ts
+  | Term.Implies (a, b) -> Buffer.add_char buf '>'; d a; d b
+  | Term.Iff (a, b) -> Buffer.add_char buf '~'; d a; d b);
+  Digest.string (Buffer.contents buf)
+
+let digest_structural =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"digest-vs-reference" ~count:300
+       (QCheck.make QCheck.Gen.(pair gen_iexp gen_bform))
+       (fun (a, f) ->
+         String.equal (Term.digest (build_i a)) (ref_digest (build_i a))
+         && String.equal (Term.digest (build_b f)) (ref_digest (build_b f))))
+
+(* VC-cache key stability: the key for a query must not depend on how
+   many unrelated terms were interned before it — a fresh process (or a
+   restarted daemon) computes the same key as a long-lived one. *)
+let test_vc_key_stable () =
+  let mk () =
+    [
+      eq (add x y) (int 3);
+      lt x (app "f" [ y ]);
+      or_ [ bvar "p"; not_ (bvar "q") ];
+    ]
+  in
+  let k1 = Solver.serialize_vc ~max_rounds:5000 ~minimize:true (mk ()) in
+  for i = 0 to 4999 do
+    ignore (add (var (Printf.sprintf "churn%d" i)) (int i))
+  done;
+  let k2 = Solver.serialize_vc ~max_rounds:5000 ~minimize:true (mk ()) in
+  Alcotest.(check string) "key survives interning churn" k1 k2;
+  let expect =
+    "vc2|5000|m|" ^ String.concat "" (List.map ref_digest (mk ()))
+  in
+  Alcotest.(check string) "key is structure-derived" expect k2
+
+(* ------------------------------------------------------------------ *)
+(* SAT core: random CNF vs brute force, with database reduction forced.
+
+   [max_learnts] is dropped to 2 so [reduce_db] fires on nearly every
+   decision — clause deletion, watch purging, and the activity heap all
+   run constantly, and the verdict must still match exhaustive
+   enumeration (and on Sat, the model must satisfy every clause). *)
+
+let gen_cnf : int list list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let lit = map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound 7) bool in
+  list_size (int_range 1 40) (list_size (int_range 1 3) lit)
+
+let cnf_brute_sat (cnf : int list list) =
+  let n = 8 in
+  let sat_under assignment =
+    List.for_all
+      (List.exists (fun l ->
+           let v = abs l - 1 in
+           let bit = assignment land (1 lsl v) <> 0 in
+           if l > 0 then bit else not bit))
+      cnf
+  in
+  let rec go a = a < 1 lsl n && (sat_under a || go (a + 1)) in
+  go 0
+
+let sat_reduce_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"sat-reduce-db-vs-brute-force" ~count:300
+       (QCheck.make
+          ~print:(fun cnf ->
+            String.concat " & "
+              (List.map
+                 (fun c ->
+                   "(" ^ String.concat "|" (List.map string_of_int c) ^ ")")
+                 cnf))
+          gen_cnf)
+       (fun cnf ->
+         let s = Sat.create () in
+         s.Sat.max_learnts <- 2;
+         let enc l = Sat.lit_of_var ~neg:(l < 0) (abs l - 1) in
+         let ok = List.for_all (fun c -> Sat.add_clause s (List.map enc c)) cnf in
+         match (ok, if ok then Sat.solve s else Sat.Unsat) with
+         | false, _ | _, Sat.Unsat -> not (cnf_brute_sat cnf)
+         | _, Sat.Sat ->
+             List.for_all
+               (List.exists (fun l ->
+                    let v = abs l - 1 in
+                    let b = v < 8 && Sat.model_value s v in
+                    if l > 0 then b else not b))
+               cnf
+         | _, (Sat.Unknown | Sat.Resource_out) -> false))
+
+let hashcons_cases =
+  [
+    hashcons_physical_eq;
+    hashcons_eval;
+    hashcons_vars;
+    hashcons_subst;
+    digest_structural;
+    Alcotest.test_case "vc-key-stability" `Quick test_vc_key_stable;
+  ]
+
 let session_cases =
   [
     Alcotest.test_case "euf-chain-counts" `Quick test_euf_chain_counts;
@@ -544,7 +912,8 @@ let () =
           Alcotest.test_case "congruence" `Quick test_cc;
           Alcotest.test_case "numbers" `Quick test_cc_numbers;
         ] );
-      ("sat", [ Alcotest.test_case "units" `Quick test_sat ]);
+      ("sat", [ Alcotest.test_case "units" `Quick test_sat; sat_reduce_differential ]);
+      ("hashcons", hashcons_cases);
       ("differential", [ differential; simplex_differential; cc_random ]);
       ("entails", entails_cases);
       ("session", session_cases);
