@@ -372,8 +372,14 @@ let poly_of s (t0 : Term.t) : (int Smap.t * int) option =
   let scale c (cs, k) =
     if c = 0 then (Smap.empty, 0)
     else
-      ( Smap.filter_map (fun _ v -> Some (chk (v * c))) cs,
-        chk (k * c) )
+      (* Refuse products whose magnitude exceeds [poly_bound] *before*
+         multiplying: checking afterwards would let a native-int wrap
+         land back inside the bound and corrupt the normal form. *)
+      let mul v =
+        if v <> 0 && abs v > poly_bound / abs c then raise Poly_fail
+        else v * c
+      in
+      (Smap.filter_map (fun _ v -> Some (mul v)) cs, mul k)
   in
   let rec go t =
     match Hashtbl.find_opt s.poly_tbl (Term.id t) with

@@ -437,6 +437,21 @@ let test_session_pop_reassert () =
     (verdict_kind (Session.check_goal s goal));
   Session.pop s
 
+(* Regression: the linear fast path must refuse products whose true
+   magnitude exceeds its coefficient bound instead of wrapping. With x
+   defined as 2^32, x*x is 2^64 — which wraps to 0 in a native int —
+   and a post-multiplication bound check accepted the wrapped value,
+   reporting the goal x*x = 0 as Valid. The fixed path bails to the
+   theory pipeline, which must not conclude Valid. *)
+let test_session_poly_no_wrap () =
+  let s = Session.create () in
+  Session.push s;
+  Session.assert_hyp s (eq x (int (1 lsl 32)));
+  (match Session.check_goal s (eq (mul x x) (int 0)) with
+  | Solver.Valid -> Alcotest.fail "wrapped product accepted as Valid"
+  | _ -> ());
+  Session.pop s
+
 (* Differential: a session driven through a random push/pop/assert
    interleaving must agree with the one-shot [Solver.entails] on every
    check, with the hypotheses in scope at that point. Asserts landing
@@ -897,6 +912,7 @@ let session_cases =
     Alcotest.test_case "pigeonhole-counts" `Quick test_pigeonhole_counts;
     Alcotest.test_case "session-euf-chain" `Quick test_session_euf_chain;
     Alcotest.test_case "session-pop-reassert" `Quick test_session_pop_reassert;
+    Alcotest.test_case "session-poly-no-wrap" `Quick test_session_poly_no_wrap;
     session_differential;
   ]
 
