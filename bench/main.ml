@@ -29,10 +29,12 @@ let printf fmt = Printf.(kfprintf (fun oc -> flush oc) stdout fmt)
 let _ = ignore printf
 
 (** Verify a suite entry, collecting timing + stats. *)
-let run_verifier ?heap_dep (prog : V.program) =
+let run_verifier ?heap_dep ?absint (prog : V.program) =
   Smt.Stats.reset ();
   let vstats = Verifier.Vstats.create () in
-  let results, t = time (fun () -> V.verify ?heap_dep ~stats:vstats prog) in
+  let results, t =
+    time (fun () -> V.verify ?heap_dep ?absint ~stats:vstats prog)
+  in
   let ok = List.for_all (fun (_, o) -> o = V.Verified) results in
   (ok, t, Verifier.Vstats.copy vstats, Smt.Stats.snapshot ())
 
@@ -302,6 +304,11 @@ let write_json path = write_json_list path (List.rev !json_entries)
 (** --quick trims sizes so the target doubles as a CI smoke test. *)
 let quick = ref false
 
+(** --no-absint disables the abstract-interpretation pass (diagnostics
+    + VC pre-discharge) — the A/B switch behind the corpus manifest
+    invariance gate in dev/check.sh. *)
+let no_absint = ref false
+
 (** One-shot vs session latency on the F3 (euf-chain entailment) and
     F2 (multicell verification) workloads. The euf-chain rows compare
     [check_sat] on the full instance against a session asserting the
@@ -470,6 +477,66 @@ let budget_overhead () =
     (if overhead <= 2.0 then "" else "  << OVER TARGET (2%)")
 
 (* ------------------------------------------------------------------ *)
+(* A4: abstract-interpretation overhead — the acceptance target is
+   that the absint pass (the interval×parity environment threaded
+   through every [add_pure], plus the Valid-only pre-discharge attempt
+   on every entailment) costs ≤2% wall clock over the positive suite
+   against a run with the pass disabled. The pass also *saves* solver
+   calls, so the net can come out negative. *)
+
+let absint_overhead () =
+  printf "\n== A4: abstract-interpretation overhead ==\n";
+  (* The sweeps are tens of ms, so reps are cheap — and at that scale
+     a single scheduler hiccup landing in one arm reads as percents of
+     fake overhead, so buy the noise down with count. *)
+  let reps = if !quick then 7 else 21 in
+  let sweep absint () =
+    List.iter
+      (fun (e : Pr.entry) ->
+        let ok, _, _, _ = run_verifier ~absint e.prog in
+        if not ok then failwith ("absint_overhead: " ^ e.name ^ " failed"))
+      Pr.positive
+  in
+  (* Interleaved A/B, best-of-reps (same methodology as the corpus
+     bench): alternating off/on pairs cancel clock/GC drift that a
+     block design would book as overhead. *)
+  ignore (time (sweep false)) (* warm up: allocators, caches, code paths *);
+  ignore (time (sweep true));
+  let t_off = ref infinity and t_on = ref infinity in
+  for _ = 1 to reps do
+    let _, d_off = time (sweep false) in
+    if d_off < !t_off then t_off := d_off;
+    let _, d_on = time (sweep true) in
+    if d_on < !t_on then t_on := d_on
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  (* How much the pass actually discharged on one instrumented sweep. *)
+  let vstats = Verifier.Vstats.create () in
+  List.iter
+    (fun (e : Pr.entry) -> ignore (V.verify ~stats:vstats e.prog))
+    Pr.positive;
+  let overhead = 100.0 *. ((t_on /. t_off) -. 1.0) in
+  record_json "absint_overhead"
+    [
+      ("off_ms", ms t_off);
+      ("on_ms", ms t_on);
+      ("overhead_pct", overhead);
+      ( "absint_discharged",
+        float_of_int vstats.Verifier.Vstats.absint_discharged );
+      ( "absint_abstained",
+        float_of_int vstats.Verifier.Vstats.absint_abstained );
+    ];
+  printf "%-18s %10s %12s %10s %16s\n" "workload" "off(ms)" "on(ms)"
+    "overhead" "discharged";
+  printf "%s\n" (String.make 72 '-');
+  printf "%-18s %10.1f %12.1f %+9.2f%% %9d/%d%s\n" "positive suite"
+    (ms t_off) (ms t_on) overhead
+    vstats.Verifier.Vstats.absint_discharged
+    (vstats.Verifier.Vstats.absint_discharged
+    + vstats.Verifier.Vstats.absint_abstained)
+    (if overhead <= 2.0 then "" else "  << OVER TARGET (2%)")
+
+(* ------------------------------------------------------------------ *)
 (* S1: daemon throughput — cold vs warm cache at several worker counts *)
 
 let percentile p lats =
@@ -616,7 +683,13 @@ let corpus_throughput () =
   let run_pass ~domains ~cache specs =
     let progs = List.map (fun (s : C.spec) -> (s.C.name, s.C.program)) specs in
     let config =
-      { E.default_config with E.domains; cache = true; shared_cache = Some cache }
+      {
+        E.default_config with
+        E.domains;
+        cache = true;
+        shared_cache = Some cache;
+        absint = not !no_absint;
+      }
     in
     let report = E.verify_programs ~config progs in
     let verdicts =
@@ -634,7 +707,7 @@ let corpus_throughput () =
         end)
       specs verdicts;
     let wall_s = report.E.stats.E.wall_ms /. 1000.0 in
-    (float_of_int report.E.stats.E.jobs /. wall_s, verdicts)
+    (float_of_int report.E.stats.E.jobs /. wall_s, verdicts, report.E.stats)
   in
   printf "%6s %7s | %12s %12s | %s\n" "procs" "workers" "cold(p/s)"
     "warm(p/s)" "manifest";
@@ -643,20 +716,24 @@ let corpus_throughput () =
     let specs = gen size in
     let cache = E.Vc_cache.create () in
     E.Vc_cache.install cache;
-    let cold, verdicts, warm =
+    let cold, verdicts, cold_stats, warm =
       Fun.protect
         ~finally:(fun () -> E.Vc_cache.uninstall ())
         (fun () ->
-          let cold_pps, verdicts = run_pass ~domains ~cache specs in
-          let warm_pps, _ = run_pass ~domains ~cache specs in
-          (cold_pps, verdicts, warm_pps))
+          let cold_pps, verdicts, cold_stats = run_pass ~domains ~cache specs in
+          let warm_pps, _, _ = run_pass ~domains ~cache specs in
+          (cold_pps, verdicts, cold_stats, warm_pps))
     in
     let digest = C.manifest_digest verdicts in
     (* A 16-bit digest prefix survives the %g float round-trip of the
        JSON writer; combined with the in-process expectation check it
        pins the golden manifest. *)
     let manifest16 = int_of_string ("0x" ^ String.sub digest 0 4) in
-    printf "%6d %7d | %12.1f %12.1f | %s\n" size domains cold warm digest;
+    let vs = cold_stats.E.vstats in
+    printf "%6d %7d | %12.1f %12.1f | %s (absint %d/%d)\n" size domains cold
+      warm digest vs.Verifier.Vstats.absint_discharged
+      (vs.Verifier.Vstats.absint_discharged
+      + vs.Verifier.Vstats.absint_abstained);
     corpus_json :=
       ( tag,
         [
@@ -664,6 +741,10 @@ let corpus_throughput () =
           ("cold_procs_per_s", cold);
           ("warm_procs_per_s", warm);
           ("manifest16", float_of_int manifest16);
+          ( "absint_discharged",
+            float_of_int vs.Verifier.Vstats.absint_discharged );
+          ( "absint_abstained",
+            float_of_int vs.Verifier.Vstats.absint_abstained );
         ] )
       :: !corpus_json;
     (cold, manifest16)
@@ -791,6 +872,7 @@ let experiments =
     ("smt_incremental", smt_incremental);
     ("lint_overhead", lint_overhead);
     ("budget_overhead", budget_overhead);
+    ("absint_overhead", absint_overhead);
     ("serve_throughput", serve_throughput);
     ("corpus_throughput", corpus_throughput);
     ("micro", micro);
@@ -801,6 +883,7 @@ let () =
   let json = List.mem "--json" args in
   quick := List.mem "--quick" args;
   check_baseline := List.mem "--check" args;
+  no_absint := List.mem "--no-absint" args;
   let names =
     List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args
   in

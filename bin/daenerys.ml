@@ -49,12 +49,13 @@ open Cmdliner
 let find_entry name =
   List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
 
-let config ~jobs ~no_cache ~lint ~timeout_ms ~retries =
+let config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries =
   {
     E.default_config with
     E.domains = max 1 jobs;
     cache = not no_cache;
     lint;
+    absint = not no_absint;
     timeout_ms;
     retries;
   }
@@ -155,6 +156,18 @@ let no_cache_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print the engine stats block.")
 
+let no_absint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-absint" ]
+        ~doc:
+          "Disable the abstract-interpretation pass: the DA018-DA025 \
+           diagnostics in the lint stage and the interval/parity \
+           pre-discharge of verification conditions ahead of the solver. \
+           Verdicts are unaffected either way (the pass short-circuits \
+           only $(b,Valid) obligations); this is the escape hatch and the \
+           A/B switch for measuring its overhead.")
+
 let lint_flag =
   Arg.(
     value & flag
@@ -201,11 +214,13 @@ let suite_cmd =
   let doc = "Verify every program in the benchmark suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const (fun jobs no_cache stats lint timeout_ms retries faults json ->
+      const (fun jobs no_cache stats lint no_absint timeout_ms retries faults
+                 json ->
           with_faults faults @@ fun () ->
           let report =
             E.verify_programs
-              ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
+              ~config:
+                (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries)
               (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
           in
           if json then begin
@@ -239,8 +254,8 @@ let suite_cmd =
                    (timeout/resource/crash)@.");
             exit_of_statuses statuses
           end)
-      $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag $ timeout_arg
-      $ retries_arg $ faults_arg $ json_flag)
+      $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag $ no_absint_arg
+      $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
@@ -250,13 +265,15 @@ let print_proc_outcomes (g : E.group_result) =
     (fun (p, o) -> Fmt.pr "  proc %-12s %a@." p V.pp_outcome o)
     g.E.outcomes
 
-let verify_file path ~jobs ~no_cache ~lint ~stats ~timeout_ms ~retries ~json =
+let verify_file path ~jobs ~no_cache ~lint ~no_absint ~stats ~timeout_ms
+    ~retries ~json =
   match load_hl path with
   | Error m -> fail_cli m
   | Ok (prog, srcmap, src) ->
       let report =
         E.verify_programs
-          ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
+          ~config:
+            (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries)
           ~srcmaps:[ (path, srcmap) ]
           [ (path, prog) ]
       in
@@ -290,17 +307,20 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const (fun name jobs no_cache lint timeout_ms retries faults json ->
+      const (fun name jobs no_cache lint no_absint timeout_ms retries faults
+                 json ->
           with_faults faults @@ fun () ->
           if is_hl name then
-            verify_file name ~jobs ~no_cache ~lint ~stats:false ~timeout_ms
-              ~retries ~json
+            verify_file name ~jobs ~no_cache ~lint ~no_absint ~stats:false
+              ~timeout_ms ~retries ~json
           else
           match find_entry name with
           | Some e ->
               let report =
                 E.verify_program
-                  ~config:(config ~jobs ~no_cache ~lint ~timeout_ms ~retries)
+                  ~config:
+                    (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms
+                       ~retries)
                   ~name:e.name e.prog
               in
               let g = List.hd report.E.groups in
@@ -327,8 +347,8 @@ let verify_cmd =
                     exit_wrong
               end
           | None -> fail_cli ("unknown entry " ^ name))
-      $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag $ timeout_arg
-      $ retries_arg $ faults_arg $ json_flag)
+      $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag $ no_absint_arg
+      $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)
@@ -362,7 +382,7 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const (fun names jobs json ill_formed stats ->
+      const (fun names jobs json ill_formed no_absint stats ->
           if ill_formed then begin
             (* Expectation check over the lint-negative suite. *)
             let failures = ref 0 in
@@ -424,7 +444,8 @@ let lint_cmd =
             | Error m -> fail_cli m
             | Ok (targets, srcmaps, sources) ->
                 let results, a =
-                  E.run_analysis ~srcmaps ~domains:(max 1 jobs) targets
+                  E.run_analysis ~srcmaps ~absint:(not no_absint)
+                    ~domains:(max 1 jobs) targets
                 in
                 let all_ds = List.concat_map snd results in
                 if json then
@@ -441,7 +462,8 @@ let lint_cmd =
                 if Diag.has_errors all_ds then
                   fail_cli "error-severity diagnostics found"
                 else exit_ok)
-      $ names_arg $ jobs_arg $ json_arg $ ill_formed_arg $ stats_arg)
+      $ names_arg $ jobs_arg $ json_arg $ ill_formed_arg $ no_absint_arg
+      $ stats_arg)
 
 let list_cmd =
   let doc = "List the suite entries." in
@@ -631,7 +653,9 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const
-        (fun socket names suite stats shutdown json lint timeout_ms retries ->
+        (fun socket names suite stats shutdown json lint no_absint timeout_ms
+             retries ->
+          let absint = not no_absint in
           match Server.Client.connect socket with
           | Error m -> fail_cli m
           | Ok c ->
@@ -665,8 +689,8 @@ let client_cmd =
                       | Ok target -> (
                           match
                             client_rpc c
-                              (Server.Protocol.verify_request ~lint ?timeout_ms
-                                 ?retries target)
+                              (Server.Protocol.verify_request ~lint ~absint
+                                 ?timeout_ms ?retries target)
                           with
                           | Error m ->
                               Fmt.epr "daenerys: %s: %s@." name m;
@@ -699,7 +723,8 @@ let client_cmd =
                           ec
                     else ec))
           $ socket_arg $ names_arg $ suite_flag $ stats_flag $ shutdown_flag
-          $ json_flag $ lint_flag $ timeout_arg $ retries_opt_arg)
+          $ json_flag $ lint_flag $ no_absint_arg $ timeout_arg
+          $ retries_opt_arg)
 
 let () =
   let doc = "a destabilized separation-logic verifier" in

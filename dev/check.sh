@@ -48,6 +48,35 @@ for f in examples/*.hl; do
       done
       echo "$f: DA001 at broken.hl:6:12 (as expected)"
       ;;
+    examples/da018_div_zero.hl|examples/da021_false_ensures.hl)
+      # absint error twins: lint must report the code, verify must fail
+      code=$(case "$f" in *da018*) echo DA018;; *) echo DA021;; esac)
+      out=$(dune exec bin/daenerys.exe -- lint "$f" 2>&1) && {
+        echo "FAIL: lint $f exited 0 but must report errors" >&2; exit 1; }
+      case "$out" in
+        *"$code"*) ;;
+        *) echo "FAIL: lint $f missing $code" >&2; echo "$out" >&2; exit 1 ;;
+      esac
+      if dune exec bin/daenerys.exe -- verify "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f verified but must fail" >&2; exit 1
+      fi
+      echo "$f: $code + failed verification (as expected)"
+      ;;
+    examples/da020_contradictory.hl)
+      # contradictory requires: DA020 as an error, span-anchored at the
+      # clause (the verifier "succeeds" vacuously — exactly the trap
+      # the diagnostic is for)
+      out=$(dune exec bin/daenerys.exe -- lint --json "$f" 2>&1) && {
+        echo "FAIL: lint $f exited 0 but must report errors" >&2; exit 1; }
+      for needle in '"DA020"' 'da020_contradictory.hl' '"line": 8' '"col": 12'; do
+        case "$out" in
+          *"$needle"*) ;;
+          *) echo "FAIL: lint --json $f missing $needle" >&2
+             echo "$out" >&2; exit 1 ;;
+        esac
+      done
+      echo "$f: DA020 at da020_contradictory.hl:8:12 (as expected)"
+      ;;
     *)
       # positive twins: must lint clean and verify
       dune exec bin/daenerys.exe -- lint "$f"
@@ -143,15 +172,30 @@ stop_daemon
 rm -rf "$TMPD"
 trap - EXIT
 
-echo "== bench smoke: smt_incremental + budget_overhead + serve --quick =="
+echo "== bench smoke: smt_incremental + budget_overhead + absint_overhead + serve --quick =="
 dune exec bench/main.exe -- smt_incremental --quick
 dune exec bench/main.exe -- budget_overhead --quick
+dune exec bench/main.exe -- absint_overhead --quick
 dune exec bench/main.exe -- serve_throughput --quick
 
 echo "== corpus gate: fixed-seed synthetic corpus, golden verdicts + throughput =="
-# Re-verifies the quick corpus (fixed seed): every verdict must match
-# the golden manifest, and cold procs/sec must stay within tolerance of
-# the committed BENCH_corpus.json baseline. Fails loud on either.
-dune exec bench/main.exe -- corpus_throughput --quick --check
+# Re-verifies the quick corpus (fixed seed) twice — with the abstract
+# pre-discharge on (default) and off (--no-absint). Both runs must
+# match the golden manifest and throughput tolerance, and their
+# verdict manifests must be byte-identical: the absint pass may only
+# short-circuit Valid verdicts, never move one.
+out_on=$(dune exec bench/main.exe -- corpus_throughput --quick --check) \
+  || { echo "$out_on"; exit 1; }
+echo "$out_on"
+out_off=$(dune exec bench/main.exe -- corpus_throughput --quick --check --no-absint) \
+  || { echo "$out_off"; exit 1; }
+echo "$out_off"
+m_on=$(echo "$out_on" | grep -o '[0-9a-f]\{32\}' | head -1)
+m_off=$(echo "$out_off" | grep -o '[0-9a-f]\{32\}' | head -1)
+if [ -z "$m_on" ] || [ "$m_on" != "$m_off" ]; then
+  echo "FAIL: corpus manifest moved under --no-absint ($m_on vs $m_off)" >&2
+  exit 1
+fi
+echo "absint invariance: manifest $m_on identical with the pass on and off"
 
 echo "tier-1 gate: OK"

@@ -12,7 +12,11 @@
       DA011 (which read escapes which footprint, with a suggested ⌊·⌋
       placement) and DA012 (predicate bodies stable at declaration, the
       check [assertion.ml]'s [Pred _ -> true] case assumes);
-    - {!Frame} — per-disjunct resolvability of heap reads: DA013.
+    - {!Frame} — per-disjunct resolvability of heap reads: DA013;
+    - {!Absint} — the forward abstract interpreter (interval×parity
+      over a symbolic heap, {!Domain} on {!Absdom}): DA018–DA025.
+      Disabled by [~absint:false] ([--no-absint] on the CLI), which
+      also turns off the verifier's VC pre-discharge.
 
     [analyze_program] is pure and solver-free, so the engine runs it as
     ordinary jobs on the domain pool before any verification job. A
@@ -23,6 +27,9 @@ module Diag = Diag
 module Stability = Stability
 module Wellformed = Wellformed
 module Frame = Frame
+module Footprint = Footprint
+module Domain = Domain
+module Absint = Absint
 
 open Stdx
 module A = Baselogic.Assertion
@@ -98,12 +105,16 @@ let frame_diags ~unit_name (prog : V.program) : Diag.t list =
 
 (** Run every pass over [prog]; diagnostics come back sorted (unit,
     context, site, severity, code). [name] labels the program in
-    locations — suite entry name, file, … *)
-let analyze_program ?(name = "") (prog : V.program) : Diag.t list =
+    locations — suite entry name, file, … [absint:false] skips the
+    abstract-interpretation pass (DA018–DA025) — the [--no-absint]
+    escape hatch. *)
+let analyze_program ?(name = "") ?(absint = true) (prog : V.program) :
+    Diag.t list =
   Diag.sort
     (Wellformed.check_program ~unit_name:name prog
     @ stability_diags ~unit_name:name prog
-    @ frame_diags ~unit_name:name prog)
+    @ frame_diags ~unit_name:name prog
+    @ (if absint then Absint.check_program ~unit_name:name prog else []))
 
 (** [ok diags] — no error-severity findings. *)
 let ok diags = not (Diag.has_errors diags)

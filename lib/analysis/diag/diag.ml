@@ -37,7 +37,23 @@
     DA015  assertion outside the executable fragment      error
     DA016  dangling invariant annotation                  warning
     DA017  ghost block never referenced by the body       warning
+    DA018  definite division by zero (interval/parity
+           abstraction proves the divisor 0)              error
+    DA019  definitely-unreachable branch                  warning
+    DA020  contradictory requires (no abstract state
+           satisfies any disjunct)                        error
+    DA021  trivially-false ensures                        error
+    DA022  loop invariant not abstractly inductive        warning
+    DA023  redundant ⌊·⌋ on an already-stable assertion   warning
+    DA024  unused procedure parameter                     warning
+    DA025  while loop without a variant/decreases hint    warning
     v}
+
+    DA018–DA025 come from the abstract-interpretation pass
+    ([lib/analysis/absint.ml]): a forward interpreter over a reduced
+    product of interval and parity domains threaded through a symbolic
+    heap. The same pass pre-discharges [Valid] verification conditions
+    ahead of the SMT backend; [--no-absint] disables both.
 
     (★) DA013 is an error at [Requires] and [Invariant] sites, where
     an uncovered read makes the very first inhale fail; at [Ensures]

@@ -1,0 +1,244 @@
+(** The abstract interpreter's state: an {!Absdom} numeric
+    environment threaded through a *symbolic heap* of points-to
+    chunks — the same chunks the frame lint reasons about, collected
+    by the shared {!Footprint} walk so the two passes cannot drift.
+
+    A state [{env; heap}] concretizes to the concrete states where
+    (1) every heap chunk [(l, v)] stores the denotation of [v] at the
+    denotation of [l], chunks denoting *distinct* locations (chunks
+    are separated, exactly as in [State.inhale_cases]); and (2) every
+    atom valuation satisfies [env]. Joins at branch merges and
+    widening at loop heads replace disagreeing chunk values with
+    fresh *abstract atoms* ([%absN] variables) whose [env] constraint
+    is the join/widening of the branch values — the atoms are
+    existentially quantified per concretization, which is what
+    {!leq}'s chunk comparison relies on. *)
+
+open Stdx
+module A = Baselogic.Assertion
+module HT = Baselogic.Hterm
+module T = Smt.Term
+module D = Absdom
+
+type t = { env : D.t; heap : (T.t * T.t) list }
+
+let top = { env = D.top; heap = [] }
+let bot = { env = D.bot; heap = [] }
+let is_bot st = D.is_bot st.env
+
+(* ------------------------------------------------------------------ *)
+(* Abstract atoms *)
+
+let abs_prefix = "%abs"
+let ctr = Atomic.make 0
+
+let fresh_name () = abs_prefix ^ string_of_int (Atomic.fetch_and_add ctr 1)
+let fresh_atom () = T.var (fresh_name ())
+
+let is_abs_atom t =
+  match T.view t with
+  | T.Var (x, _) ->
+      String.length x >= String.length abs_prefix
+      && String.sub x 0 (String.length abs_prefix) = abs_prefix
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Heap-read resolution *)
+
+let find_chunk st l = List.find_opt (fun (l', _) -> T.equal l l') st.heap
+
+let resolve_reads st t =
+  HT.resolve (fun l -> Option.map snd (find_chunk st l)) t
+
+(** Assume the pure formula [phi], resolving its heap reads against
+    the current chunks. A read no chunk covers stays a [!deref] term;
+    constraints on such terms would go stale at the next mutation, so
+    the formula is dropped (sound — we just learn nothing). *)
+let assume st phi =
+  match phi with
+  | None -> st
+  | Some phi ->
+      let phi = resolve_reads st phi in
+      if HT.heap_dependent phi then st
+      else { st with env = D.assume phi st.env }
+
+let assume_not st phi =
+  match phi with
+  | None -> st
+  | Some phi ->
+      let phi = resolve_reads st phi in
+      if HT.heap_dependent phi then st
+      else { st with env = D.assume_not phi st.env }
+
+(** Three-valued truth of [phi] at this program point. Unresolved
+    reads are opaque atoms — fine for an instantaneous query. *)
+let holds st phi = D.holds st.env (resolve_reads st phi)
+
+(** Abstract value of a term at this program point. *)
+let value st t = D.val_of st.env (resolve_reads st t)
+
+(* ------------------------------------------------------------------ *)
+(* Inhaling assertions *)
+
+(* Rename every [Exists]/[Forall] binder to a fresh abstract atom, so
+   inhaling the same spec twice (or two specs reusing a binder name)
+   cannot conflate distinct existentials. Mirrors the executor's
+   gensym at [inhale_cases]'s [Exists] case. *)
+let rec freshen (a : A.t) : A.t =
+  match a with
+  | A.Exists (x, p) ->
+      let fx = fresh_name () in
+      A.Exists (fx, freshen (A.subst (Smap.of_list [ (x, T.var fx) ]) p))
+  | A.Forall (x, p) ->
+      let fx = fresh_name () in
+      A.Forall (fx, freshen (A.subst (Smap.of_list [ (x, T.var fx) ]) p))
+  | A.Pure _ | A.Emp | A.Points_to _ | A.Pred _ | A.Ghost _ -> a
+  | A.Sep (p, q) -> A.Sep (freshen p, freshen q)
+  | A.Wand (p, q) -> A.Wand (freshen p, freshen q)
+  | A.And (p, q) -> A.And (freshen p, freshen q)
+  | A.Or (p, q) -> A.Or (freshen p, freshen q)
+  | A.Persistently p -> A.Persistently (freshen p)
+  | A.Later p -> A.Later (freshen p)
+  | A.Upd p -> A.Upd (freshen p)
+  | A.Stabilize p -> A.Stabilize (freshen p)
+  | A.Wp _ -> a
+
+(** Inhale [a] into [st], one result state per disjunctive case
+    (chunks first, then pures — the executor's order), paired with
+    the freshened case it came from (the DA022 inductiveness check
+    needs the case's own pures and chunk terms). A case whose pures
+    are abstractly contradictory comes back [Bot]; callers filter or
+    report. [None] from the case split (too many disjuncts) degrades
+    to the input state unchanged, paired with an empty case. *)
+let inhale_cases (st : t) (a : A.t) : (t * Footprint.case) list =
+  match Footprint.cases (freshen a) with
+  | None -> [ (st, Footprint.empty_case) ]
+  | Some cases ->
+      List.map
+        (fun (c : Footprint.case) ->
+          let heap =
+            List.fold_left
+              (fun h (ch : Footprint.chunk) ->
+                (ch.Footprint.loc, ch.Footprint.value)
+                :: List.filter
+                     (fun (l, _) -> not (T.equal l ch.Footprint.loc))
+                     h)
+              st.heap c.Footprint.chunks
+          in
+          let st =
+            List.fold_left
+              (fun st phi -> assume st (Some phi))
+              { st with heap } c.Footprint.pures
+          in
+          (st, c))
+        cases
+
+let inhale (st : t) (a : A.t) : t list = List.map fst (inhale_cases st a)
+
+(** [seed a] — the states an assertion describes on its own: inhale
+    into the empty state. *)
+let seed (a : A.t) : t list = inhale top a
+
+(* ------------------------------------------------------------------ *)
+(* Heap operations *)
+
+(** Forget every chunk value (the chunks' *locations* are stable —
+    ownership doesn't change — but their contents become opaque). *)
+let havoc_values st =
+  { st with heap = List.map (fun (l, _) -> (l, fresh_atom ())) st.heap }
+
+let load st l =
+  match find_chunk st l with
+  | Some (_, v) -> v
+  | None -> fresh_atom ()
+
+(** Store through [l]: a matching chunk is updated in place; a store
+    through an untracked location may alias any chunk, so every value
+    is forgotten. *)
+let store st l v =
+  match find_chunk st l with
+  | Some _ ->
+      {
+        st with
+        heap =
+          List.map
+            (fun (l', v') -> if T.equal l l' then (l', v) else (l', v'))
+            st.heap;
+      }
+  | None -> havoc_values st
+
+let alloc st v =
+  let l = fresh_atom () in
+  let st = { st with heap = (l, v) :: st.heap } in
+  ({ st with env = D.assume (T.le (T.int 0) l) st.env }, l)
+
+let remove st l =
+  match find_chunk st l with
+  | Some _ ->
+      { st with heap = List.filter (fun (l', _) -> not (T.equal l l')) st.heap }
+  | None -> havoc_values st
+
+(* ------------------------------------------------------------------ *)
+(* Lattice structure *)
+
+(* Join/widen two states: chunks surviving in both keep their term
+   when the branches agree; a disagreement becomes a fresh atom
+   constrained to the combination of the two branch values. *)
+let merge ~combine_env ~combine_val a b =
+  if is_bot a then b
+  else if is_bot b then a
+  else
+    let heap, constraints =
+      List.fold_left
+        (fun (heap, cs) (l, va) ->
+          match find_chunk b l with
+          | None -> (heap, cs)
+          | Some (_, vb) ->
+              if T.equal va vb then ((l, va) :: heap, cs)
+              else
+                let x = fresh_atom () in
+                let v = combine_val (D.val_of a.env va) (D.val_of b.env vb) in
+                ((l, x) :: heap, (x, v) :: cs))
+        ([], []) a.heap
+    in
+    let env = combine_env a.env b.env in
+    let env =
+      List.fold_left (fun env (x, v) -> D.constrain env x v) env constraints
+    in
+    { env; heap = List.rev heap }
+
+let join a b = merge ~combine_env:D.join ~combine_val:D.Val.join a b
+let widen a b = merge ~combine_env:D.widen ~combine_val:D.Val.widen a b
+
+(** [leq a b] — is every concretization of [a] one of [b]? Abstract
+    atoms on the right are existential (per-concretization), so a
+    chunk value only needs its abstract *value* included; any other
+    term demands syntactic agreement. *)
+let leq a b =
+  if is_bot a then true
+  else if is_bot b then false
+  else
+    List.for_all
+      (fun (l, vb) ->
+        match find_chunk a l with
+        | None -> false
+        | Some (_, va) ->
+            T.equal va vb
+            || (is_abs_atom vb
+               && D.Val.leq (D.val_of a.env va) (D.val_of b.env vb)))
+      b.heap
+    && match D.bindings b.env with
+       | None -> false
+       | Some bs ->
+           List.for_all
+             (fun (x, v) ->
+               is_abs_atom x || D.Val.leq (D.val_of_atom a.env x) v)
+             bs
+
+let pp ppf st =
+  if is_bot st then Fmt.string ppf "⊥"
+  else
+    Fmt.pf ppf "@[<v>heap: %a@ env: %a@]"
+      (Fmt.list ~sep:(Fmt.any " ∗ ") (fun ppf (l, v) ->
+           Fmt.pf ppf "%a ↦ %a" T.pp l T.pp v))
+      st.heap D.pp st.env

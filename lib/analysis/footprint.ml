@@ -1,0 +1,64 @@
+(** Shared points-to-footprint collection: the one walk that mirrors
+    [State.inhale_cases]'s case split, used by both the frame lint
+    (DA013, {!Frame}) and the abstract interpreter's symbolic heap
+    ({!Domain}). Factoring it here keeps the two consumers from
+    drifting — if the executor's inhale discipline changes, this is
+    the single place the static mirrors change with it.
+
+    A {!case} is one disjunct of an assertion as the executor would
+    inhale it: the points-to chunks it owns (location *and* symbolic
+    value — the frame lint needs only the locations, the abstract heap
+    needs both) and the heap reads its pure parts perform, each with
+    the path to its [Pure] node. [Sep]/[And] cross-multiply, [Or]
+    splits, binders and modalities descend; connectives outside the
+    executable fragment contribute nothing (DA015 already rejects
+    them). *)
+
+module A = Baselogic.Assertion
+module HT = Baselogic.Hterm
+module T = Smt.Term
+
+type chunk = { loc : T.t; value : T.t }
+
+type case = {
+  chunks : chunk list;
+  pures : T.t list;  (** pure formulas of this disjunct, in order *)
+  reads : (T.t * string list) list;
+      (** heap reads in pure parts, with the path to their [Pure] *)
+}
+
+let empty_case = { chunks = []; pures = []; reads = [] }
+
+(** Locations of a case's chunks — the frame lint's view. *)
+let locs c = List.map (fun ch -> ch.loc) c.chunks
+
+let max_cases = 64
+
+exception Too_many_cases
+
+(** Case-split [a]; [None] when the disjunction exceeds {!max_cases}
+    (callers stay silent rather than guess). *)
+let cases (a : A.t) : case list option =
+  let rec go path (cs : case list) a : case list =
+    if List.length cs > max_cases then raise Too_many_cases;
+    let deeper = Stability.step_of a :: path in
+    match a with
+    | A.Pure t ->
+        let reads =
+          List.map (fun l -> (l, List.rev deeper)) (HT.heap_reads t)
+        in
+        List.map
+          (fun c -> { c with pures = c.pures @ [ t ]; reads = c.reads @ reads })
+          cs
+    | A.Points_to { loc; value; _ } ->
+        List.map (fun c -> { c with chunks = { loc; value } :: c.chunks }) cs
+    | A.Emp | A.Ghost _ | A.Pred _ -> cs
+    | A.Sep (p, q) | A.And (p, q) -> go deeper (go deeper cs p) q
+    | A.Or (p, q) -> go deeper cs p @ go deeper cs q
+    | A.Exists (_, p) | A.Stabilize p | A.Later p | A.Persistently p ->
+        go deeper cs p
+    | A.Wand _ | A.Forall _ | A.Upd _ | A.Wp _ -> cs
+  in
+  match go [] [ empty_case ] a with
+  | cs -> Some cs
+  | exception Too_many_cases -> None

@@ -23,42 +23,10 @@ module A = Baselogic.Assertion
 module HT = Baselogic.Hterm
 module T = Smt.Term
 
-(** One disjunctive case of an assertion, as the executor would inhale
-    it: the points-to locations it owns and the heap reads its pure
-    parts perform (with the path to each read's [Pure]). Mirrors
-    [State.inhale_cases]'s [collect]: [Sep]/[And] cross-multiply,
-    [Or] splits, binders and modalities descend. Connectives outside
-    the fragment contribute nothing (DA015 already rejects them). *)
-type case = { locs : T.t list; reads : (T.t * string list) list }
-
-let empty_case = { locs = []; reads = [] }
-
-let max_cases = 64
-
-exception Too_many_cases
-
-let cases_of (a : A.t) : case list option =
-  let rec go path (cs : case list) a : case list =
-    if List.length cs > max_cases then raise Too_many_cases;
-    let deeper = Stability.step_of a :: path in
-    match a with
-    | A.Pure t ->
-        let reads =
-          List.map (fun l -> (l, List.rev deeper)) (HT.heap_reads t)
-        in
-        List.map (fun c -> { c with reads = c.reads @ reads }) cs
-    | A.Points_to { loc; _ } ->
-        List.map (fun c -> { c with locs = loc :: c.locs }) cs
-    | A.Emp | A.Ghost _ | A.Pred _ -> cs
-    | A.Sep (p, q) | A.And (p, q) -> go deeper (go deeper cs p) q
-    | A.Or (p, q) -> go deeper cs p @ go deeper cs q
-    | A.Exists (_, p) | A.Stabilize p | A.Later p | A.Persistently p ->
-        go deeper cs p
-    | A.Wand _ | A.Forall _ | A.Upd _ | A.Wp _ -> cs
-  in
-  match go [] [ empty_case ] a with
-  | cs -> Some cs
-  | exception Too_many_cases -> None
+(** The case split itself — locations owned and reads performed per
+    disjunct — lives in {!Footprint}, shared with the abstract
+    interpreter's symbolic heap so the two mirrors of
+    [State.inhale_cases] cannot drift. *)
 
 (** Uncovered reads of [a]: for each disjunctive case, reads whose
     location matches (structurally) no chunk of that case and no
@@ -66,14 +34,14 @@ let cases_of (a : A.t) : case list option =
     read site. *)
 let uncovered ~(ambient : T.t list) (a : A.t) :
     (T.t * string list) list option =
-  match cases_of a with
+  match Footprint.cases a with
   | None -> None  (* too many branches; stay silent rather than guess *)
   | Some cases ->
       let bad = ref [] in
       List.iter
-        (fun c ->
+        (fun (c : Footprint.case) ->
           let covered l =
-            List.exists (T.equal l) c.locs
+            List.exists (T.equal l) (Footprint.locs c)
             || List.exists (T.equal l) ambient
           in
           List.iter
@@ -85,7 +53,7 @@ let uncovered ~(ambient : T.t list) (a : A.t) :
                         (fun (l', p') -> T.equal l l' && p' = path)
                         !bad)
               then bad := (l, path) :: !bad)
-            c.reads)
+            c.Footprint.reads)
         cases;
       Some (List.rev !bad)
 

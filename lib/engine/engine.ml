@@ -23,6 +23,10 @@ type config = {
   domains : int;  (** worker domains (including the calling one) *)
   cache : bool;  (** consult/fill the content-addressed VC cache *)
   heap_dep : bool;  (** heap-dependent assertions (ablation A1) *)
+  absint : bool;
+      (** abstract-interpretation pass: DA018–DA025 in the lint stage
+          and the [Valid]-only VC pre-discharge ahead of the solver
+          ([--no-absint] disables both) *)
   lint : bool;
       (** run the static analyzer first; programs with error-severity
           diagnostics are gated (their procedures report [Failed]
@@ -42,6 +46,7 @@ let default_config =
     domains = 1;
     cache = true;
     heap_dep = true;
+    absint = true;
     lint = false;
     timeout_ms = None;
     retries = 0;
@@ -118,15 +123,16 @@ let regroup (results : Job.result array) : group_result list =
     associates program names with the source maps elaboration produced
     for them; findings on those programs are re-anchored at their
     source spans. *)
-let run_analysis ?(srcmaps : (string * Diag.srcmap) list = []) ~domains
-    (progs : (string * V.program) list) :
+let run_analysis ?(srcmaps : (string * Diag.srcmap) list = [])
+    ?(absint = true) ~domains (progs : (string * V.program) list) :
     (string * Diag.t list) list * analysis_stats =
   let t0 = Unix.gettimeofday () in
   let items = Array.of_list progs in
   let diags, _, _ =
     Pool.run ~domains
       ~epilogue:(fun () -> ())
-      (fun (name, prog) -> (name, Analysis.analyze_program ~name prog))
+      (fun (name, prog) ->
+        (name, Analysis.analyze_program ~name ~absint prog))
       items
   in
   let results =
@@ -155,7 +161,10 @@ let verify_programs ?(config = default_config)
     (progs : (string * V.program) list) : report =
   let lint_results, analysis_stats =
     if config.lint then
-      let r, s = run_analysis ~srcmaps ~domains:config.domains progs in
+      let r, s =
+        run_analysis ~srcmaps ~absint:config.absint ~domains:config.domains
+          progs
+      in
       (r, Some s)
     else ([], None)
   in
@@ -191,7 +200,8 @@ let verify_programs ?(config = default_config)
         let srcmap =
           Option.value ~default:[] (List.assoc_opt group srcmaps)
         in
-        Job.of_program ~heap_dep:config.heap_dep ~srcmap ~group prog)
+        Job.of_program ~heap_dep:config.heap_dep ~absint:config.absint
+          ~srcmap ~group prog)
       live
     |> Array.of_list
   in

@@ -16,6 +16,7 @@ type t = {
   proc : V.proc;
   prog : V.program;  (** the whole program, for callee specs *)
   heap_dep : bool;
+  absint : bool;  (** abstract pre-discharge ahead of the solver *)
   srcmap : Diag.srcmap;
       (** source spans for the program's spec clauses; [[]] for
           hand-built programs *)
@@ -30,9 +31,11 @@ type result = {
 }
 
 (** One job per procedure of [prog], in declaration order. *)
-let of_program ?(heap_dep = true) ?(srcmap = []) ~group (prog : V.program) :
-    t list =
-  List.map (fun proc -> { group; proc; prog; heap_dep; srcmap }) prog.V.procs
+let of_program ?(heap_dep = true) ?(absint = true) ?(srcmap = []) ~group
+    (prog : V.program) : t list =
+  List.map
+    (fun proc -> { group; proc; prog; heap_dep; absint; srcmap })
+    prog.V.procs
 
 (** Each retry multiplies the previous deadline by this factor, so a
     job that timed out narrowly gets decisively more room instead of
@@ -45,8 +48,8 @@ let run_once (job : t) vstats ~timeout_ms : V.outcome =
        fault surfaces as [Crashed], exercising the engine's promise
        that one dying job cannot strand the queue or flip a verdict. *)
     Stdx.Fault.inject Stdx.Fault.Pool;
-    V.verify_proc ~heap_dep:job.heap_dep ~srcmap:job.srcmap ~stats:vstats
-      job.prog job.proc
+    V.verify_proc ~heap_dep:job.heap_dep ~absint:job.absint
+      ~srcmap:job.srcmap ~stats:vstats job.prog job.proc
   in
   match
     match timeout_ms with

@@ -133,6 +133,11 @@ type t = {
   started : float;
   parse_errors : int Atomic.t;
   socket_faults : int Atomic.t;
+  absint_discharged : int Atomic.t;
+      (** entailments answered by the abstract domain, summed over all
+          cold verify runs this daemon served *)
+  absint_abstained : int Atomic.t;
+      (** entailments the abstract domain passed to the solver *)
 }
 
 (** Write one response line; a vanished peer is ignored (its verdicts
@@ -186,19 +191,25 @@ let lint_findings_text ?source results =
     (so an edited file misses, an unchanged one hits even under a
     different path). [lint] participates because lint gating changes
     outcomes. Deadline/retry knobs deliberately do not: only decided
-    verdicts are stored, and those are budget-independent. *)
-let verdict_key ~lint (target : Protocol.target) =
+    verdicts are stored, and those are budget-independent. [absint]
+    participates too — verdicts are identical by design with the pass
+    on or off, but lint findings differ, and keying on it keeps the
+    cached response an exact replay of a cold run with the same
+    request. *)
+let verdict_key ~lint ~absint (target : Protocol.target) =
   (if lint then "lint\x00" else "")
+  ^ (if absint then "" else "noabsint\x00")
   ^
   match target with
   | Protocol.Entry n -> "entry\x00" ^ n
   | Protocol.Source { source; _ } -> "source\x00" ^ source
 
-let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
+let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~timeout_ms
+    ~retries =
   match resolve target with
   | Error m -> respond c (Protocol.error_response ~id m)
   | Ok r ->
-      let key = verdict_key ~lint target in
+      let key = verdict_key ~lint ~absint target in
       let t0 = Unix.gettimeofday () in
       let report, cached =
         match E.Vc_cache.lookup_verdicts d.cache key with
@@ -213,7 +224,7 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
             in
             if lint then
               let results, _ =
-                E.run_analysis ~srcmaps:r.r_srcmaps ~domains:1
+                E.run_analysis ~srcmaps:r.r_srcmaps ~absint ~domains:1
                   [ (r.r_name, r.r_prog) ]
               in
               ({ rep with E.lint = results }, true)
@@ -225,6 +236,7 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
                 E.domains = 1;
                 shared_cache = Some d.cache;
                 lint;
+                absint;
                 timeout_ms =
                   (match timeout_ms with
                   | Some _ as t -> t
@@ -238,6 +250,15 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
             in
             let g = List.hd report.E.groups in
             E.Vc_cache.store_verdicts d.cache key g.E.outcomes;
+            (* Daemon-lifetime gauges for the [stats] op: how much work
+               the abstract pre-discharge saved across cold runs. *)
+            let vs = report.E.stats.E.vstats in
+            ignore
+              (Atomic.fetch_and_add d.absint_discharged
+                 vs.Verifier.Vstats.absint_discharged);
+            ignore
+              (Atomic.fetch_and_add d.absint_abstained
+                 vs.Verifier.Vstats.absint_abstained);
             (report, false)
       in
       let g = List.hd report.E.groups in
@@ -262,13 +283,13 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~timeout_ms ~retries =
              ("output", Json.Str output);
            ])
 
-let handle_lint (d : t) (c : conn) ~id ~target =
+let handle_lint (d : t) (c : conn) ~id ~target ~absint =
   ignore d;
   match resolve target with
   | Error m -> respond c (Protocol.error_response ~id m)
   | Ok r ->
       let results, a =
-        E.run_analysis ~srcmaps:r.r_srcmaps ~domains:1
+        E.run_analysis ~srcmaps:r.r_srcmaps ~absint ~domains:1
           [ (r.r_name, r.r_prog) ]
       in
       let ds = List.concat_map snd results in
@@ -303,6 +324,10 @@ let stats_json (d : t) =
       ("task_failures", Json.Num (float_of_int s.Scheduler.task_failures));
       ("parse_errors", Json.Num (float_of_int (Atomic.get d.parse_errors)));
       ("socket_faults", Json.Num (float_of_int (Atomic.get d.socket_faults)));
+      ( "absint_discharged",
+        Json.Num (float_of_int (Atomic.get d.absint_discharged)) );
+      ( "absint_abstained",
+        Json.Num (float_of_int (Atomic.get d.absint_abstained)) );
       ( "solver",
         (* Process-global gauges from the hash-consed term pool; the
            per-VC counters live in the per-report engine stats. *)
@@ -372,14 +397,17 @@ let dispatch (d : t) (c : conn) line =
     | Ok req ->
         let task () =
           (match req with
-          | Protocol.Verify { id; target; lint; timeout_ms; retries } -> (
-              try handle_verify d c ~id ~target ~lint ~timeout_ms ~retries
+          | Protocol.Verify { id; target; lint; absint; timeout_ms; retries }
+            -> (
+              try
+                handle_verify d c ~id ~target ~lint ~absint ~timeout_ms
+                  ~retries
               with e ->
                 respond c
                   (Protocol.error_response ~id
                      ("internal error: " ^ Printexc.to_string e)))
-          | Protocol.Lint { id; target } -> (
-              try handle_lint d c ~id ~target
+          | Protocol.Lint { id; target; absint } -> (
+              try handle_lint d c ~id ~target ~absint
               with e ->
                 respond c
                   (Protocol.error_response ~id
@@ -501,6 +529,8 @@ let run (cfg : config) : (unit, string) result =
           started = Unix.gettimeofday ();
           parse_errors = Atomic.make 0;
           socket_faults = Atomic.make 0;
+          absint_discharged = Atomic.make 0;
+          absint_abstained = Atomic.make 0;
         }
       in
       let cleanup () =

@@ -46,10 +46,11 @@ type request =
       id : Json.t;  (** echoed verbatim; [Null] if absent *)
       target : target;
       lint : bool;
+      absint : bool;  (** abstract pre-discharge (["absint":false] opts out) *)
       timeout_ms : float option;  (** per-request deadline override *)
       retries : int option;  (** per-request retry override *)
     }
-  | Lint of { id : Json.t; target : target }
+  | Lint of { id : Json.t; target : target; absint : bool }
   | Stats of { id : Json.t }
   | Shutdown of { id : Json.t }
 
@@ -80,12 +81,23 @@ let request_of_line line : (request, string) result =
                   target;
                   lint =
                     Option.value ~default:false (Json.bool_member "lint" v);
+                  absint =
+                    Option.value ~default:true (Json.bool_member "absint" v);
                   timeout_ms = Json.num_member "timeout_ms" v;
                   retries = Json.int_member "retries" v;
                 })
             (target_of_json v)
       | Some "lint" ->
-          Result.map (fun target -> Lint { id; target }) (target_of_json v)
+          Result.map
+            (fun target ->
+              Lint
+                {
+                  id;
+                  target;
+                  absint =
+                    Option.value ~default:true (Json.bool_member "absint" v);
+                })
+            (target_of_json v)
       | Some "stats" -> Ok (Stats { id })
       | Some "shutdown" -> Ok (Shutdown { id })
       | Some op -> Error (Printf.sprintf "unknown op %S" op)
@@ -99,12 +111,13 @@ let target_fields = function
   | Source { file; source } ->
       [ ("file", Json.Str file); ("source", Json.Str source) ]
 
-let verify_request ?(id = Json.Null) ?(lint = false) ?timeout_ms ?retries
-    target =
+let verify_request ?(id = Json.Null) ?(lint = false) ?(absint = true)
+    ?timeout_ms ?retries target =
   Json.Obj
     ([ ("op", Json.Str "verify"); ("id", id) ]
     @ target_fields target
     @ (if lint then [ ("lint", Json.Bool true) ] else [])
+    @ (if absint then [] else [ ("absint", Json.Bool false) ])
     @ (match timeout_ms with
       | Some ms -> [ ("timeout_ms", Json.Num ms) ]
       | None -> [])
@@ -113,8 +126,11 @@ let verify_request ?(id = Json.Null) ?(lint = false) ?timeout_ms ?retries
     | Some r -> [ ("retries", Json.Num (float_of_int r)) ]
     | None -> [])
 
-let lint_request ?(id = Json.Null) target =
-  Json.Obj ([ ("op", Json.Str "lint"); ("id", id) ] @ target_fields target)
+let lint_request ?(id = Json.Null) ?(absint = true) target =
+  Json.Obj
+    ([ ("op", Json.Str "lint"); ("id", id) ]
+    @ target_fields target
+    @ if absint then [] else [ ("absint", Json.Bool false) ])
 
 let stats_request ?(id = Json.Null) () =
   Json.Obj [ ("op", Json.Str "stats"); ("id", id) ]

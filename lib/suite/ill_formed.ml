@@ -178,6 +178,89 @@ let unused_ghost_block =
     (one
        (proc ~ghost:[ ("orphan", [ V.AssertA A.Emp ]) ] "unused_ghost_block"))
 
+(* --------------------------------------------------------------- *)
+(* DA018–DA025: the abstract-interpretation pass (lib/analysis/absint) *)
+
+let div_by_zero =
+  case ~descr:"divisor is the literal 0 on every path" ~codes:[ "DA018" ]
+    "div_by_zero"
+    (one
+       (proc
+          ~body:(HL.BinOp (HL.Div, HL.Val (HL.Int 1), HL.Val (HL.Int 0)))
+          "div_by_zero"))
+
+let dead_branch =
+  case ~descr:"then-branch guarded by 1 < 0, dead in every state"
+    ~codes:[ "DA019" ] "dead_branch"
+    (one
+       (proc
+          ~body:
+            (HL.If
+               ( HL.BinOp (HL.Lt, HL.Val (HL.Int 1), HL.Val (HL.Int 0)),
+                 HL.Val (HL.Int 1),
+                 HL.Val (HL.Int 2) ))
+          "dead_branch"))
+
+let contradictory_requires =
+  case ~descr:"requires demands n < n; no caller can ever satisfy it"
+    ~codes:[ "DA020" ] "contradictory_requires"
+    (one
+       (proc ~params:[ "n" ]
+          ~requires:(A.Pure (T.lt (T.var "n") (T.var "n")))
+          "contradictory_requires"))
+
+let false_ensures =
+  case ~descr:"ensures claims 0 = 1; the body can never verify against it"
+    ~codes:[ "DA021" ] "false_ensures"
+    (one (proc ~ensures:(A.Pure (T.eq (T.int 0) (T.int 1))) "false_ensures"))
+
+let inv_not_inductive =
+  (* invariant pins !l to 0 while the body increments it: one abstract
+     iteration refutes the re-established value *)
+  let guard = HL.BinOp (HL.Lt, HL.Load (sym "l"), HL.Val (HL.Int 10)) in
+  let body =
+    HL.Store
+      (sym "l", HL.BinOp (HL.Add, HL.Load (sym "l"), HL.Val (HL.Int 1)))
+  in
+  let w = HL.While (guard, body) in
+  case ~descr:"loop invariant l ↦ 0 is not preserved by l <- !l + 1"
+    ~codes:[ "DA022" ] "inv_not_inductive"
+    (one
+       (proc ~params:[ "l" ]
+          ~requires:(pt "l" (T.int 0))
+          ~invariants:[ (w, pt "l" (T.int 0)) ]
+          ~body:w "inv_not_inductive"))
+
+let redundant_stabilize =
+  case ~descr:"⌊·⌋ around a points-to, which is already stable"
+    ~codes:[ "DA023" ] "redundant_stabilize"
+    (one
+       (proc ~params:[ "l" ]
+          ~requires:(A.Stabilize (pt "l" (T.int 0)))
+          "redundant_stabilize"))
+
+let unused_param =
+  case ~descr:"parameter x appears in no clause and no body expression"
+    ~codes:[ "DA024" ] "unused_param"
+    (one (proc ~params:[ "x" ] "unused_param"))
+
+let no_variant =
+  (* a perfectly fine loop — the only finding is the missing
+     termination hint *)
+  let guard = HL.BinOp (HL.Lt, HL.Load (sym "l"), HL.Val (HL.Int 10)) in
+  let body =
+    HL.Store
+      (sym "l", HL.BinOp (HL.Add, HL.Load (sym "l"), HL.Val (HL.Int 1)))
+  in
+  let w = HL.While (guard, body) in
+  case ~descr:"while loop with no variant/decreases hint" ~codes:[ "DA025" ]
+    "no_variant"
+    (one
+       (proc ~params:[ "l" ]
+          ~requires:(A.Exists ("v", pt "l" (T.var "v")))
+          ~invariants:[ (w, A.Exists ("v", pt "l" (T.var "v"))) ]
+          ~body:w "no_variant"))
+
 let all : case list =
   [
     unknown_pred;
@@ -197,4 +280,12 @@ let all : case list =
     fragment_assert;
     dangling_inv;
     unused_ghost_block;
+    div_by_zero;
+    dead_branch;
+    contradictory_requires;
+    false_ensures;
+    inv_not_inductive;
+    redundant_stabilize;
+    unused_param;
+    no_variant;
   ]

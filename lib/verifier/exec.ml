@@ -401,8 +401,9 @@ let decided = function
     instead of shipping the full hypothesis list to a fresh solver per
     query. Sessions are per-procedure (never shared across jobs), so
     the parallel engine's workers stay isolated. *)
-let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
-    (prog : program) (proc : proc) : outcome =
+let verify_proc ?(heap_dep = true) ?(absint = true)
+    ?(srcmap : Diag.srcmap = []) ?stats (prog : program) (proc : proc) :
+    outcome =
   match
     (* Deadline check on entry: a procedure whose budget is already
        spent (e.g. late in a tight per-job deadline) stops here rather
@@ -411,7 +412,7 @@ let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
     (* [create] is inside the guarded region: it enforces the
        declaration-time stability of every predicate body (DA012). *)
     let session = Smt.Session.create () in
-    let st = create ~heap_dep ~session ?stats ~penv:prog.preds () in
+    let st = create ~heap_dep ~absint ~session ?stats ~penv:prog.preds () in
     inhale_cases st proc.requires
     |> List.iter (fun st ->
            exec prog proc st Smap.empty proc.body
@@ -434,8 +435,8 @@ let verify_proc ?(heap_dep = true) ?(srcmap : Diag.srcmap = []) ?stats
 (** Verify every procedure of a program; returns per-procedure
     outcomes. A shared [stats] instance accumulates across all
     procedures. *)
-let verify ?heap_dep ?srcmap ?stats (prog : program) :
+let verify ?heap_dep ?absint ?srcmap ?stats (prog : program) :
     (string * outcome) list =
   List.map
-    (fun p -> (p.pname, verify_proc ?heap_dep ?srcmap ?stats prog p))
+    (fun p -> (p.pname, verify_proc ?heap_dep ?absint ?srcmap ?stats prog p))
     prog.procs

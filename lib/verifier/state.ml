@@ -19,15 +19,22 @@ type t = {
   penv : A.pred_env;
   gensym : Gensym.t;
   heap_dep : bool;  (** heap-dependent assertions enabled (A1 toggle) *)
+  absint : bool;  (** abstract pre-discharge enabled ([--no-absint]) *)
   stats : Vstats.t;  (** instance this run accumulates into *)
   session : Smt.Session.t;
       (** the procedure's incremental solver session, shared (mutably)
           by every branch state forked from this one — see {!entails} *)
   pures : T.t list;  (** path condition; always heap-read-free *)
+  absenv : Absdom.t;
+      (** interval×parity abstraction of [pures], maintained
+          incrementally by {!add_pure}; {!entails} asks it before the
+          solver and short-circuits only [Yes] ("every concretization
+          satisfies the goal" — the only-Valid discipline) *)
   chunks : A.t list;  (** Points_to / Ghost / Pred *)
 }
 
-let create ?(heap_dep = true) ?(penv = Smap.empty) ?session ?stats () =
+let create ?(heap_dep = true) ?(absint = true) ?(penv = Smap.empty) ?session
+    ?stats () =
   (* Declaration-time stability: [A.stable]'s [Pred _ -> true] case is
      sound only if every predicate body in scope is itself stable — a
      chunk stands for its body under interference. Enforced here (and
@@ -49,15 +56,22 @@ let create ?(heap_dep = true) ?(penv = Smap.empty) ?session ?stats () =
     penv;
     gensym = Gensym.create ~prefix:"v" ();
     heap_dep;
+    absint;
     stats;
     session;
     pures = [];
+    absenv = Absdom.top;
     chunks = [];
   }
 
 let fresh ?hint st = Gensym.fresh ?hint st.gensym
 
-let add_pure st phi = { st with pures = phi :: st.pures }
+let add_pure st phi =
+  {
+    st with
+    pures = phi :: st.pures;
+    absenv = (if st.absint then Absdom.assume phi st.absenv else st.absenv);
+  }
 let add_chunk st c = { st with chunks = c :: st.chunks }
 
 (* Re-point the procedure's session at this branch's path condition.
@@ -76,7 +90,17 @@ let entails st phi =
   T.equal phi T.tru
   || List.exists (T.equal phi) st.pures
   || (match T.view phi with T.Eq (a, b) -> T.equal a b | _ -> false)
+  || (st.absint
+     && Absdom.holds st.absenv phi = Absdom.Yes
+     && begin
+          st.stats.Vstats.absint_discharged <-
+            st.stats.Vstats.absint_discharged + 1;
+          true
+        end)
   || begin
+       if st.absint then
+         st.stats.Vstats.absint_abstained <-
+           st.stats.Vstats.absint_abstained + 1;
        sync_session st;
        match Smt.Session.check_goal st.session phi with
        | Smt.Solver.Valid -> true
@@ -89,6 +113,14 @@ let entails st phi =
     [False]. *)
 let feasible st =
   Budget.poll_now ();
+  if st.absint && Absdom.is_bot st.absenv then begin
+    (* The abstraction proved the path condition unsatisfiable — the
+       branch is dead without asking the solver. *)
+    st.stats.Vstats.absint_discharged <-
+      st.stats.Vstats.absint_discharged + 1;
+    false
+  end
+  else begin
   sync_session st;
   match Smt.Session.check_goal st.session T.fls with
   | Smt.Solver.Valid -> false
@@ -99,6 +131,7 @@ let feasible st =
       true
   | Smt.Solver.Gave_up ((Budget.Deadline _ | Budget.Cancelled) as r) ->
       raise (Budget.Exhausted r)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Heap reads *)

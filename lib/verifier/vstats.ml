@@ -15,6 +15,13 @@ type t = {
   mutable branches : int;  (** path splits *)
   mutable loops : int;
   mutable calls : int;
+  mutable absint_discharged : int;
+      (** obligations the abstract-interpretation pre-discharge proved
+          [Valid] without consulting the solver (and infeasible branches
+          it pruned) *)
+  mutable absint_abstained : int;
+      (** obligations the pre-discharge saw but could not decide,
+          falling through to the solver *)
 }
 
 let create () =
@@ -27,6 +34,8 @@ let create () =
     branches = 0;
     loops = 0;
     calls = 0;
+    absint_discharged = 0;
+    absint_abstained = 0;
   }
 
 let reset s =
@@ -37,7 +46,9 @@ let reset s =
   s.unstable_facts <- 0;
   s.branches <- 0;
   s.loops <- 0;
-  s.calls <- 0
+  s.calls <- 0;
+  s.absint_discharged <- 0;
+  s.absint_abstained <- 0
 
 let copy s = { s with obligations = s.obligations }
 
@@ -52,11 +63,14 @@ let sum a b =
     branches = a.branches + b.branches;
     loops = a.loops + b.loops;
     calls = a.calls + b.calls;
+    absint_discharged = a.absint_discharged + b.absint_discharged;
+    absint_abstained = a.absint_abstained + b.absint_abstained;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "obligations=%d chunks=%d resolutions=%d stab=%d unstable-dropped=%d \
-     branches=%d loops=%d calls=%d"
+     branches=%d loops=%d calls=%d absint=%d/%d"
     s.obligations s.chunk_matches s.resolutions s.stab_checks
-    s.unstable_facts s.branches s.loops s.calls
+    s.unstable_facts s.branches s.loops s.calls s.absint_discharged
+    s.absint_abstained

@@ -119,6 +119,156 @@ let qcheck_stabilize_root =
          Stab.stable (A.Stabilize a) && A.stable (A.Stabilize a)))
 
 (* ------------------------------------------------------------------ *)
+(* QCheck: abstract-interpreter soundness. Closed expressions from the
+   executable int fragment run both concretely ({!Heaplang.Interp})
+   and abstractly ({!Analysis.Absint.eval_expr}); a terminating
+   concrete run must land inside the abstract result — the property
+   the verifier's Valid-only pre-discharge rests on. *)
+
+module Dom = An.Domain
+module AD = Absdom
+module Interp = Heaplang.Interp
+
+let gen_closed_expr =
+  let open QCheck.Gen in
+  let lit = map (fun i -> HL.Val (HL.Int i)) (int_range (-20) 20) in
+  sized_size (int_bound 6)
+  @@ fix (fun self n ->
+         let leaf = lit in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           let arith op = map2 (fun a b -> HL.BinOp (op, a, b)) sub sub in
+           let cmp op = map2 (fun a b -> HL.BinOp (op, a, b)) sub sub in
+           frequency
+             [
+               (2, leaf);
+               (3, arith HL.Add);
+               (2, arith HL.Sub);
+               (1, arith HL.Mul);
+               (1, arith HL.Div);
+               (1, arith HL.Rem);
+               ( 2,
+                 map2
+                   (fun a b ->
+                     HL.Let ("v", a, HL.BinOp (HL.Add, HL.Var "v", b)))
+                   sub sub );
+               ( 3,
+                 map3
+                   (fun c a b -> HL.If (c, a, b))
+                   (oneof [ cmp HL.Lt; cmp HL.Le; cmp HL.Eq; cmp HL.Ne ])
+                   sub sub );
+               (1, map2 (fun a b -> HL.Seq (a, b)) sub sub);
+               ( 2,
+                 (* a ref-cell round trip: locations only ever come
+                    from Alloc, so the heap stays well-typed *)
+                 map2
+                   (fun init upd ->
+                     HL.Let
+                       ( "r",
+                         HL.Alloc init,
+                         HL.Seq
+                           ( HL.Store (HL.Var "r", upd),
+                             HL.Load (HL.Var "r") ) ))
+                   sub sub );
+               ( 1,
+                 (* bounded countdown through the invariant-free
+                    join/widen fixpoint *)
+                 map
+                   (fun k ->
+                     HL.Let
+                       ( "c",
+                         HL.Alloc (HL.Val (HL.Int k)),
+                         HL.Seq
+                           ( HL.While
+                               ( HL.BinOp
+                                   ( HL.Gt,
+                                     HL.Load (HL.Var "c"),
+                                     HL.Val (HL.Int 0) ),
+                                 HL.Store
+                                   ( HL.Var "c",
+                                     HL.BinOp
+                                       ( HL.Sub,
+                                         HL.Load (HL.Var "c"),
+                                         HL.Val (HL.Int 1) ) ) ),
+                             HL.Load (HL.Var "c") ) ))
+                   (int_range 0 6) );
+             ])
+
+let arb_closed_expr =
+  QCheck.make ~print:(Fmt.to_to_string HL.pp_expr) gen_closed_expr
+
+(* A terminating concrete run is a concretization of the abstract
+   result: the final state is not ⊥, the abstract result term is never
+   *refuted* to equal the concrete value, and pinning the result atom
+   to the concrete value stays inside γ(env). Faulting or diverging
+   runs (division by zero, fuel) constrain nothing. *)
+let qcheck_absint_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"abstract-over-approximates-concrete" ~count:500
+       arb_closed_expr (fun e ->
+         match Interp.run ~fuel:20_000 e with
+         | Interp.Error _ | Interp.Timeout -> true
+         | Interp.Value v -> (
+             let st, t = An.Absint.eval_expr e in
+             (not (Dom.is_bot st))
+             &&
+             match (t, Baselogic.Kernel.value_term v) with
+             | Some t, Some cv ->
+                 Dom.holds st (T.eq t cv) <> AD.No
+                 && AD.satisfies
+                      ~lookup:(fun a ->
+                        if T.equal a t then
+                          match T.view cv with
+                          | T.Int_lit n -> Some n
+                          | _ -> None
+                        else None)
+                      st.Dom.env
+             | _ -> true)))
+
+(* The discharge property itself: a [Yes] from the abstract domain on
+   facts it assumed means the facts entail the formula — the SMT
+   solver, given the same facts and the negated formula, must answer
+   Unsat. (An abstractly-⊥ environment claims the facts themselves are
+   contradictory, which the same call checks.) *)
+let gen_lin_term =
+  let open QCheck.Gen in
+  let v = oneofl [ T.var "x"; T.var "y"; T.var "z" ] in
+  map3
+    (fun c v k -> T.add (T.mul (T.int c) v) (T.int k))
+    (int_range (-3) 3) v (int_range (-10) 10)
+
+let gen_lin_atom =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2 T.eq gen_lin_term gen_lin_term;
+      map2 T.le gen_lin_term gen_lin_term;
+      map2 T.lt gen_lin_term gen_lin_term;
+      map (fun (a, b) -> T.not_ (T.le a b))
+        (pair gen_lin_term gen_lin_term);
+    ]
+
+let arb_discharge =
+  QCheck.make
+    ~print:(fun (cs, phi) ->
+      Fmt.str "facts [%a] ⊢? %a" Fmt.(list ~sep:comma T.pp) cs T.pp phi)
+    QCheck.Gen.(pair (list_size (int_bound 4) gen_lin_atom) gen_lin_atom)
+
+let qcheck_discharge_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"absint-valid-implies-smt-valid" ~count:300
+       arb_discharge (fun (cs, phi) ->
+         let env = List.fold_left (fun e c -> AD.assume c e) AD.top cs in
+         if AD.holds env phi = AD.Yes then
+           match Smt.Solver.check_sat (T.not_ phi :: cs) with
+           | Smt.Solver.Sat _ -> false
+           | Smt.Solver.Unsat | Smt.Solver.Unknown
+           | Smt.Solver.Resource_out _ ->
+               true
+         else true))
+
+(* ------------------------------------------------------------------ *)
 (* Deterministic stability explanations *)
 
 let l = T.var "l"
@@ -358,6 +508,7 @@ let () =
           Alcotest.test_case "da011-diag" `Quick test_da011_diag;
         ] );
       ("frame", [ Alcotest.test_case "frame-lint" `Quick test_frame ]);
+      ("absint", [ qcheck_absint_sound; qcheck_discharge_sound ]);
       ( "programs",
         [
           Alcotest.test_case "suite-lints-clean" `Quick test_suite_clean;

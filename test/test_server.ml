@@ -104,11 +104,12 @@ let test_protocol_roundtrip () =
   in
   check_req
     (J.to_string
-       (P.verify_request ~id:(J.Num 7.0) ~lint:true ~timeout_ms:250.0
-          ~retries:2 (P.Entry "swap")))
+       (P.verify_request ~id:(J.Num 7.0) ~lint:true ~absint:false
+          ~timeout_ms:250.0 ~retries:2 (P.Entry "swap")))
     (function
       | P.Verify { id = J.Num 7.0; target = P.Entry "swap"; lint = true;
-                   timeout_ms = Some 250.0; retries = Some 2 } ->
+                   absint = false; timeout_ms = Some 250.0;
+                   retries = Some 2 } ->
           ()
       | _ -> Alcotest.fail "verify fields");
   check_req
