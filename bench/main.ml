@@ -133,7 +133,7 @@ let fig1 () =
   List.iter
     (fun n ->
       let proc, base = G.straightline n in
-      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty } in
+      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty; invs = [] } in
       let ok, t, _, ss = run_verifier prog in
       let ok_b, tb, rules, _ = run_baseline base in
       printf "%6d | %10.1f %10d | %10.1f %10d%s\n" n (ms t)
@@ -151,7 +151,7 @@ let fig2 () =
   List.iter
     (fun k ->
       let proc = G.multicell k in
-      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty } in
+      let prog = { V.procs = [ proc ]; preds = Stdx.Smap.empty; invs = [] } in
       let ok, t, vs, _ = run_verifier prog in
       printf "%6d | %10.1f %10d %10d%s\n" k (ms t)
         vs.Verifier.Vstats.obligations vs.Verifier.Vstats.chunk_matches
@@ -361,7 +361,7 @@ let smt_incremental () =
   let ks = if !quick then [ 8 ] else [ 8; 16; 24 ] in
   List.iter
     (fun k ->
-      let prog = { V.procs = [ G.multicell k ]; preds = Stdx.Smap.empty } in
+      let prog = { V.procs = [ G.multicell k ]; preds = Stdx.Smap.empty; invs = [] } in
       (* Best of [reps] per mode: single verifier runs are short enough
          that scheduler noise would dominate a one-shot-vs-session
          comparison. *)
@@ -535,6 +535,59 @@ let absint_overhead () =
     (vstats.Verifier.Vstats.absint_discharged
     + vstats.Verifier.Vstats.absint_abstained)
     (if overhead <= 2.0 then "" else "  << OVER TARGET (2%)")
+
+(* ------------------------------------------------------------------ *)
+(* C1: the concurrent suite — per-scenario verification time and
+   verdict invariance across scheduler seeds. The invariance check is
+   load-bearing: a seed-dependent verdict would mean the symbolic
+   executor skipped a par branch under some exploration order, which
+   is a soundness bug, so the bench hard-fails rather than reporting
+   a number. *)
+
+let conc_suite () =
+  printf "\n== C1: concurrent scenarios (par + named invariants) ==\n";
+  let conc_names =
+    [ "spinlock"; "ticket_lock"; "treiber"; "racy_incr"; "lock_noinv" ]
+  in
+  let entries =
+    List.filter (fun (e : Pr.entry) -> List.mem e.name conc_names) Pr.all
+  in
+  let reps = if !quick then 3 else 11 in
+  let seeds = if !quick then [ 0; 1; 2 ] else [ 0; 1; 2; 3; 7 ] in
+  printf "%-14s %10s %10s %10s %12s\n" "entry" "best(ms)" "verdict"
+    "expected" "seeds-agree";
+  printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun (e : Pr.entry) ->
+      let base = V.verify e.prog in
+      let ok = List.for_all (fun (_, o) -> o = V.Verified) base in
+      if ok = e.expect_fail then
+        failwith ("conc_suite: " ^ e.name ^ " has the wrong polarity");
+      let agree =
+        List.for_all (fun seed -> V.verify ~seed e.prog = base) seeds
+      in
+      if not agree then
+        failwith ("conc_suite: " ^ e.name ^ " verdicts depend on the seed");
+      let t = ref infinity in
+      for _ = 1 to reps do
+        let _, d = time (fun () -> ignore (V.verify e.prog)) in
+        if d < !t then t := d
+      done;
+      record_json ("conc_" ^ e.name)
+        [ ("best_ms", ms !t); ("verified", if ok then 1.0 else 0.0) ];
+      printf "%-14s %10.2f %10s %10s %12s\n" e.name (ms !t)
+        (if ok then "verified" else "failed")
+        (if e.expect_fail then "fail" else "verify")
+        (Printf.sprintf "%d/%d" (List.length seeds) (List.length seeds)))
+    entries;
+  (* One instrumented sweep for the concurrency counters. *)
+  let vstats = Verifier.Vstats.create () in
+  List.iter
+    (fun (e : Pr.entry) -> ignore (V.verify ~stats:vstats e.prog))
+    entries;
+  printf "counters: par=%d inv-opens=%d havocs=%d\n"
+    vstats.Verifier.Vstats.par_branches vstats.Verifier.Vstats.inv_opens
+    vstats.Verifier.Vstats.interference_havocs
 
 (* ------------------------------------------------------------------ *)
 (* S1: daemon throughput — cold vs warm cache at several worker counts *)
@@ -820,7 +873,7 @@ let micro () =
   let open Toolkit in
   let swap_prog = Pr.swap.Pr.prog in
   let straight8, base8 = G.straightline 8 in
-  let sprog = { V.procs = [ straight8 ]; preds = Stdx.Smap.empty } in
+  let sprog = { V.procs = [ straight8 ]; preds = Stdx.Smap.empty; invs = [] } in
   let tests =
     [
       Test.make ~name:"verify-swap"
@@ -873,6 +926,7 @@ let experiments =
     ("lint_overhead", lint_overhead);
     ("budget_overhead", budget_overhead);
     ("absint_overhead", absint_overhead);
+    ("conc_suite", conc_suite);
     ("serve_throughput", serve_throughput);
     ("corpus_throughput", corpus_throughput);
     ("micro", micro);

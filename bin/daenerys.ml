@@ -49,13 +49,14 @@ open Cmdliner
 let find_entry name =
   List.find_opt (fun (e : Pr.entry) -> String.equal e.name name) Pr.all
 
-let config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries =
+let config ~jobs ~no_cache ~lint ~no_absint ~seed ~timeout_ms ~retries =
   {
     E.default_config with
     E.domains = max 1 jobs;
     cache = not no_cache;
     lint;
     absint = not no_absint;
+    seed;
     timeout_ms;
     retries;
   }
@@ -168,6 +169,18 @@ let no_absint_arg =
            only $(b,Valid) obligations); this is the escape hatch and the \
            A/B switch for measuring its overhead.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Scheduler seed: permutes the order in which $(b,par) branches \
+           are explored (and, under $(b,run), which branch each \
+           interleaving step picks). Verdicts are schedule-independent — \
+           every branch is verified under every seed — so this is a \
+           determinism check, not a search knob. 0 (the default) is the \
+           deterministic left-first order.")
+
 let lint_flag =
   Arg.(
     value & flag
@@ -214,13 +227,14 @@ let suite_cmd =
   let doc = "Verify every program in the benchmark suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const (fun jobs no_cache stats lint no_absint timeout_ms retries faults
-                 json ->
+      const (fun jobs no_cache stats lint no_absint seed timeout_ms retries
+                 faults json ->
           with_faults faults @@ fun () ->
           let report =
             E.verify_programs
               ~config:
-                (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries)
+                (config ~jobs ~no_cache ~lint ~no_absint ~seed ~timeout_ms
+                   ~retries)
               (List.map (fun (e : Pr.entry) -> (e.name, e.prog)) Pr.all)
           in
           if json then begin
@@ -255,7 +269,7 @@ let suite_cmd =
             exit_of_statuses statuses
           end)
       $ jobs_arg $ no_cache_arg $ stats_arg $ lint_flag $ no_absint_arg
-      $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
+      $ seed_arg $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
 
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
@@ -265,15 +279,16 @@ let print_proc_outcomes (g : E.group_result) =
     (fun (p, o) -> Fmt.pr "  proc %-12s %a@." p V.pp_outcome o)
     g.E.outcomes
 
-let verify_file path ~jobs ~no_cache ~lint ~no_absint ~stats ~timeout_ms
-    ~retries ~json =
+let verify_file path ~jobs ~no_cache ~lint ~no_absint ~seed ~stats
+    ~timeout_ms ~retries ~json =
   match load_hl path with
   | Error m -> fail_cli m
   | Ok (prog, srcmap, src) ->
       let report =
         E.verify_programs
           ~config:
-            (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms ~retries)
+            (config ~jobs ~no_cache ~lint ~no_absint ~seed ~timeout_ms
+               ~retries)
           ~srcmaps:[ (path, srcmap) ]
           [ (path, prog) ]
       in
@@ -307,20 +322,20 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
-      const (fun name jobs no_cache lint no_absint timeout_ms retries faults
-                 json ->
+      const (fun name jobs no_cache lint no_absint seed timeout_ms retries
+                 faults json ->
           with_faults faults @@ fun () ->
           if is_hl name then
-            verify_file name ~jobs ~no_cache ~lint ~no_absint ~stats:false
-              ~timeout_ms ~retries ~json
+            verify_file name ~jobs ~no_cache ~lint ~no_absint ~seed
+              ~stats:false ~timeout_ms ~retries ~json
           else
           match find_entry name with
           | Some e ->
               let report =
                 E.verify_program
                   ~config:
-                    (config ~jobs ~no_cache ~lint ~no_absint ~timeout_ms
-                       ~retries)
+                    (config ~jobs ~no_cache ~lint ~no_absint ~seed
+                       ~timeout_ms ~retries)
                   ~name:e.name e.prog
               in
               let g = List.hd report.E.groups in
@@ -348,7 +363,7 @@ let verify_cmd =
               end
           | None -> fail_cli ("unknown entry " ^ name))
       $ name_arg $ jobs_arg $ no_cache_arg $ lint_flag $ no_absint_arg
-      $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
+      $ seed_arg $ timeout_arg $ retries_arg $ faults_arg $ json_flag)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)
@@ -484,7 +499,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun name ->
+      const (fun name seed ->
           match find_entry name with
           | None -> fail_cli ("unknown entry " ^ name)
           | Some e -> (
@@ -496,13 +511,38 @@ let run_cmd =
               | None -> fail_cli "no main procedure"
               | Some p ->
                   (* Allocate a cell per pointer-looking parameter,
-                     close the rest with small integers. *)
+                     close the rest with small integers. A parameter is
+                     pointer-looking if the spec (requires or any named
+                     invariant) uses it as a points-to location, or —
+                     the historical heuristic — if it is a single
+                     letter from the usual pointer alphabet. *)
+                  let rec loc_vars acc = function
+                    | A.Points_to { loc; _ } -> (
+                        match loc.Smt.Term.node with
+                        | Smt.Term.Var (x, _) -> x :: acc
+                        | _ -> acc)
+                    | A.Sep (a, b) | A.Wand (a, b) | A.And (a, b)
+                    | A.Or (a, b) ->
+                        loc_vars (loc_vars acc a) b
+                    | A.Exists (_, a) | A.Forall (_, a)
+                    | A.Persistently a | A.Later a | A.Upd a
+                    | A.Stabilize a | A.Wp (_, _, a) ->
+                        loc_vars acc a
+                    | A.Pure _ | A.Emp | A.Pred _ | A.Ghost _ -> acc
+                  in
+                  let spec_locs =
+                    List.fold_left
+                      (fun acc (_, body) -> loc_vars acc body)
+                      (loc_vars [] p.V.requires)
+                      e.prog.V.invs
+                  in
                   let closure =
                     List.mapi
                       (fun i x ->
-                        if String.length x = 1 && (x.[0] = 'l' || x.[0] = 'r'
-                                                   || x.[0] = 'i' || x.[0] = 'a'
-                                                   || x.[0] = 'b')
+                        if List.mem x spec_locs
+                           || (String.length x = 1
+                               && (x.[0] = 'l' || x.[0] = 'r' || x.[0] = 'i'
+                                   || x.[0] = 'a' || x.[0] = 'b'))
                         then (x, HL.Loc i)
                         else (x, HL.Int 3))
                       p.V.params
@@ -513,13 +553,16 @@ let run_cmd =
                       (fun acc _ -> HL.Seq (HL.Alloc (HL.Val (HL.Int 0)), acc))
                       body p.V.params
                   in
-                  (match Heaplang.Interp.run allocs with
+                  (match
+                     (if seed = 0 then Heaplang.Interp.run allocs
+                      else Heaplang.Interp.run ~seed allocs)
+                   with
                   | Heaplang.Interp.Value v ->
                       Fmt.pr "result: %a@." HL.pp_value v
                   | Heaplang.Interp.Error m -> Fmt.pr "runtime error: %s@." m
                   | Heaplang.Interp.Timeout -> Fmt.pr "timeout@.");
                   exit_ok))
-      $ name_arg)
+      $ name_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / client: the daemon and its CLI front door (lib/server) *)
@@ -653,8 +696,8 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const
-        (fun socket names suite stats shutdown json lint no_absint timeout_ms
-             retries ->
+        (fun socket names suite stats shutdown json lint no_absint seed
+             timeout_ms retries ->
           let absint = not no_absint in
           match Server.Client.connect socket with
           | Error m -> fail_cli m
@@ -690,7 +733,7 @@ let client_cmd =
                           match
                             client_rpc c
                               (Server.Protocol.verify_request ~lint ~absint
-                                 ?timeout_ms ?retries target)
+                                 ~seed ?timeout_ms ?retries target)
                           with
                           | Error m ->
                               Fmt.epr "daenerys: %s: %s@." name m;
@@ -723,7 +766,7 @@ let client_cmd =
                           ec
                     else ec))
           $ socket_arg $ names_arg $ suite_flag $ stats_flag $ shutdown_flag
-          $ json_flag $ lint_flag $ no_absint_arg $ timeout_arg
+          $ json_flag $ lint_flag $ no_absint_arg $ seed_arg $ timeout_arg
           $ retries_opt_arg)
 
 let () =

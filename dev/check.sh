@@ -77,12 +77,72 @@ for f in examples/*.hl; do
       done
       echo "$f: DA020 at da020_contradictory.hl:8:12 (as expected)"
       ;;
+    examples/lock_noinv.hl)
+      # concurrency negative: the spinlock without its invariant is
+      # well-formed (lints clean) but the atomic has nothing to open,
+      # so verification must fail
+      dune exec bin/daenerys.exe -- lint "$f"
+      if dune exec bin/daenerys.exe -- verify "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f verified but must fail" >&2; exit 1
+      fi
+      echo "$f: failed verification (as expected)"
+      ;;
+    examples/da027_racy_par.hl)
+      # racy par branch: DA027 is a warning (lint still exits 0), and
+      # the branch can prove no permission, so verification must fail
+      out=$(dune exec bin/daenerys.exe -- lint "$f" 2>&1) || {
+        echo "FAIL: lint $f must exit 0 (DA027 is a warning)" >&2
+        echo "$out" >&2; exit 1; }
+      case "$out" in
+        *DA027*) ;;
+        *) echo "FAIL: lint $f missing DA027" >&2; echo "$out" >&2; exit 1 ;;
+      esac
+      if dune exec bin/daenerys.exe -- verify "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f verified but must fail" >&2; exit 1
+      fi
+      echo "$f: DA027 warning + failed verification (as expected)"
+      ;;
+    examples/da026_nested_atomic.hl|examples/da028_unstable_inv.hl)
+      # concurrency error twins: lint must report the code, verify
+      # must fail (the executor raises the same diagnostic)
+      code=$(case "$f" in *da026*) echo DA026;; *) echo DA028;; esac)
+      out=$(dune exec bin/daenerys.exe -- lint "$f" 2>&1) && {
+        echo "FAIL: lint $f exited 0 but must report errors" >&2; exit 1; }
+      case "$out" in
+        *"$code"*) ;;
+        *) echo "FAIL: lint $f missing $code" >&2; echo "$out" >&2; exit 1 ;;
+      esac
+      if dune exec bin/daenerys.exe -- verify "$f" >/dev/null 2>&1; then
+        echo "FAIL: $f verified but must fail" >&2; exit 1
+      fi
+      echo "$f: $code + failed verification (as expected)"
+      ;;
     *)
       # positive twins: must lint clean and verify
       dune exec bin/daenerys.exe -- lint "$f"
       dune exec bin/daenerys.exe -- verify "$f"
       ;;
   esac
+done
+
+echo "== concurrency gate: verdicts identical under seeds 1/2/3 =="
+# The scheduler seed permutes par-branch exploration order; verdicts
+# must not depend on it. Positives stay verified and negatives keep
+# failing under every seed.
+for f in examples/spinlock.hl examples/ticket_lock.hl examples/treiber.hl; do
+  for s in 1 2 3; do
+    dune exec bin/daenerys.exe -- verify "$f" --seed "$s" >/dev/null || {
+      echo "FAIL: $f must verify under --seed $s" >&2; exit 1; }
+  done
+  echo "$f: verified under seeds 1/2/3"
+done
+for f in examples/lock_noinv.hl examples/da027_racy_par.hl; do
+  for s in 1 2 3; do
+    if dune exec bin/daenerys.exe -- verify "$f" --seed "$s" >/dev/null 2>&1; then
+      echo "FAIL: $f must fail under --seed $s" >&2; exit 1
+    fi
+  done
+  echo "$f: failed under seeds 1/2/3 (as expected)"
 done
 
 echo "== chaos gate: session+cache faults must not move any verdict =="
@@ -154,6 +214,14 @@ awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { exit !(c >= 10 * w) }' || {
 }
 echo "warm cache: ${cold_ms}ms cold -> ${warm_ms}ms warm, verdicts identical"
 
+# A seeded request is a distinct verdict-cache key (never served from
+# the seed-0 entries) but must produce the very same verdicts.
+seeded=$("$DAE" client --socket "$SOCK" --suite --seed 5 --json)
+if [ "$(echo "$cold" | verdicts)" != "$(echo "$seeded" | verdicts)" ]; then
+  echo "FAIL: --seed 5 verdicts differ from seed-0 verdicts" >&2; exit 1
+fi
+echo "seeded suite (--seed 5): verdicts identical to seed 0"
+
 stop_daemon
 start_daemon  # same cache dir: the disk tier must survive the restart
 restart=$("$DAE" client --socket "$SOCK" --suite --json)
@@ -172,10 +240,11 @@ stop_daemon
 rm -rf "$TMPD"
 trap - EXIT
 
-echo "== bench smoke: smt_incremental + budget_overhead + absint_overhead + serve --quick =="
+echo "== bench smoke: smt_incremental + budget_overhead + absint_overhead + conc_suite + serve --quick =="
 dune exec bench/main.exe -- smt_incremental --quick
 dune exec bench/main.exe -- budget_overhead --quick
 dune exec bench/main.exe -- absint_overhead --quick
+dune exec bench/main.exe -- conc_suite --quick
 dune exec bench/main.exe -- serve_throughput --quick
 
 echo "== corpus gate: fixed-seed synthetic corpus, golden verdicts + throughput =="

@@ -80,7 +80,7 @@ let () =
     }
   in
   Fmt.pr "@.without the overdraft precondition:@.";
-  show "transfer (buggy)" { V.procs = [ buggy ]; preds = Smap.empty };
+  show "transfer (buggy)" { V.procs = [ buggy ]; preds = Smap.empty; invs = [] };
   Fmt.pr "@.(the sum invariant alone is preserved — dropping the@.";
   Fmt.pr " non-negativity claim from the post makes the buggy body pass:)@.";
   let sum_only =
@@ -96,7 +96,7 @@ let () =
           ];
     }
   in
-  show "transfer (sum only)" { V.procs = [ sum_only ]; preds = Smap.empty };
+  show "transfer (sum only)" { V.procs = [ sum_only ]; preds = Smap.empty; invs = [] };
 
   (* Run a concrete transfer. *)
   Fmt.pr "@.running transfer(#0: 100, #1: 50, amt = 30):@.";

@@ -46,7 +46,7 @@ let () =
   in
   (match
      V.verify_proc
-       { V.procs = [ off_by_one ]; preds = Pr.clist_preds }
+       { V.procs = [ off_by_one ]; preds = Pr.clist_preds; invs = [] }
        off_by_one
    with
   | V.Failed _ -> Fmt.pr "length+1:  correctly rejected@."

@@ -269,6 +269,21 @@ let rec eval ctx (st : Domain.t) (venv : T.t Smap.t) (e : HL.expr) :
         let st1, v1 = eval ctx st (Smap.add x1 (Domain.fresh_atom ()) venv) e1 in
         let st2, v2 = eval ctx st (Smap.add x2 (Domain.fresh_atom ()) venv) e2 in
         join_values st1 v1 st2 v2
+    | HL.Atomic e ->
+        (* The abstraction is thread-local: interference on shared
+           cells is already modelled by the symbolic heap (loads of
+           unowned cells produce fresh atoms), so the section body
+           evaluates normally. *)
+        eval ctx st venv e
+    | HL.Par (e1, e2) ->
+        (* Mirror the executor: each branch runs from a heapless
+           (pure-facts-only) view for its own diagnostics, results are
+           discarded, and the continuation keeps the parent's cells —
+           branches reach shared state only through the invariants. *)
+        let entry = { st with Domain.heap = [] } in
+        let _ = eval ctx entry venv e1 in
+        let _ = eval ctx entry venv e2 in
+        (st, tunit)
 
 (* Abstract truthiness of a condition expression, as a bool-sorted
    formula — comparisons keep their relational form (the executor
@@ -506,7 +521,8 @@ let rec expr_vars acc (e : HL.expr) =
   | HL.Alloc e
   | HL.Load e
   | HL.Free e
-  | HL.Assert e ->
+  | HL.Assert e
+  | HL.Atomic e ->
       expr_vars acc e
   | HL.App (a, b)
   | HL.BinOp (_, a, b)
@@ -515,6 +531,7 @@ let rec expr_vars acc (e : HL.expr) =
   | HL.PairE (a, b)
   | HL.Store (a, b)
   | HL.Faa (a, b)
+  | HL.Par (a, b)
   | HL.Let (_, a, b) ->
       expr_vars (expr_vars acc a) b
   | HL.If (a, b, c) | HL.Cas (a, b, c) ->

@@ -35,11 +35,16 @@ open Stdx
 module A = Baselogic.Assertion
 module V = Verifier.Exec
 
-(** Stability diagnostics (DA011/DA012) for every spec site. *)
+(** Stability diagnostics (DA011/DA012/DA028) for every spec site. *)
 let stability_diags ~unit_name (prog : V.program) : Diag.t list =
   let preds =
     Smap.bindings prog.V.preds
     |> List.concat_map (fun (_, def) -> Stability.check_pred ~unit_name def)
+  in
+  let invs =
+    List.concat_map
+      (fun (name, body) -> Stability.check_inv ~unit_name name body)
+      prog.V.invs
   in
   let proc (p : V.proc) =
     let loc site = Diag.loc ~unit_name (Diag.Proc p.V.pname) site in
@@ -60,7 +65,7 @@ let stability_diags ~unit_name (prog : V.program) : Diag.t list =
             cmds)
         p.V.ghost
   in
-  preds @ List.concat_map proc prog.V.procs
+  preds @ invs @ List.concat_map proc prog.V.procs
 
 (** Frame-lint diagnostics (DA013). Requires and invariants inhale
     into chunk-free states, so uncovered reads there are errors;
@@ -75,6 +80,16 @@ let frame_diags ~unit_name (prog : V.program) : Diag.t list =
              ~loc:
                (Diag.loc ~unit_name (Diag.Pred def.A.pname) Diag.Pred_body)
              ~severity:Diag.Warning def.A.body)
+  in
+  let invs =
+    (* Invariant bodies inhale into the (chunk-free) atomic-entry
+       state, like requires clauses: uncovered reads are errors. *)
+    List.concat_map
+      (fun (name, body) ->
+        Frame.check
+          ~loc:(Diag.loc ~unit_name (Diag.Inv name) Diag.Inv_body)
+          ~severity:Diag.Error body)
+      prog.V.invs
   in
   let proc (p : V.proc) =
     let loc site = Diag.loc ~unit_name (Diag.Proc p.V.pname) site in
@@ -101,7 +116,7 @@ let frame_diags ~unit_name (prog : V.program) : Diag.t list =
             cmds)
         p.V.ghost
   in
-  preds @ List.concat_map proc prog.V.procs
+  preds @ invs @ List.concat_map proc prog.V.procs
 
 (** Run every pass over [prog]; diagnostics come back sorted (unit,
     context, site, severity, code). [name] labels the program in

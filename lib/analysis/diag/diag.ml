@@ -47,6 +47,11 @@
     DA023  redundant ⌊·⌋ on an already-stable assertion   warning
     DA024  unused procedure parameter                     warning
     DA025  while loop without a variant/decreases hint    warning
+    DA026  nested atomic section (an invariant would be
+           opened twice — mask/reentrancy violation)      error
+    DA027  par branch touches invariant-governed state
+           outside any atomic section (racy access)       warning
+    DA028  named invariant body unstable at declaration   error
     v}
 
     DA018–DA025 come from the abstract-interpretation pass
@@ -65,6 +70,7 @@ type severity = Error | Warning | Info
 type context =
   | Proc of string  (** a procedure, by name *)
   | Pred of string  (** a named predicate definition *)
+  | Inv of string  (** a named (atomic-section) invariant declaration *)
   | Program  (** whole-program findings *)
 
 type site =
@@ -74,6 +80,7 @@ type site =
   | Ghost_block of string  (** the [GhostMark] key *)
   | Body
   | Pred_body
+  | Inv_body  (** the body of a named invariant declaration *)
 
 type loc = {
   unit_name : string;  (** owning program / suite entry; may be "" *)
@@ -181,6 +188,7 @@ let severity_to_string = function
 let context_to_string = function
   | Proc p -> "proc " ^ p
   | Pred p -> "pred " ^ p
+  | Inv n -> "invariant " ^ n
   | Program -> "program"
 
 let site_to_string = function
@@ -190,6 +198,7 @@ let site_to_string = function
   | Ghost_block k -> Printf.sprintf "ghost %S" k
   | Body -> "body"
   | Pred_body -> "definition"
+  | Inv_body -> "invariant body"
 
 let pp_loc ppf l =
   (match l.span with
@@ -231,6 +240,8 @@ let json_string s = Printf.sprintf "\"%s\"" (json_escape s)
 let context_to_json = function
   | Proc p -> Printf.sprintf {|{"kind": "proc", "name": %s}|} (json_string p)
   | Pred p -> Printf.sprintf {|{"kind": "pred", "name": %s}|} (json_string p)
+  | Inv n ->
+      Printf.sprintf {|{"kind": "invariant", "name": %s}|} (json_string n)
   | Program -> {|{"kind": "program"}|}
 
 let span_to_json (s : Stdx.Loc.t) =

@@ -146,3 +146,23 @@ let check_pred ~unit_name (def : A.pred_def) : Diag.t list =
              stable)"
             def.A.pname T.pp e.read)
         escapes
+
+(** DA028: a named invariant body must be stable at declaration — it
+    stands for the shared state *between* atomic sections, under
+    arbitrary interference from the other branches, where an escaping
+    read is meaningless ({!Verifier.State.create} enforces the same
+    condition at runtime). *)
+let check_inv ~unit_name name (body : A.t) : Diag.t list =
+  match verdict body with
+  | Stable -> []
+  | Unstable escapes ->
+      List.map
+        (fun (e : escape) ->
+          Diag.error ~code:"DA028" ~hint:(escape_hint e)
+            ~loc:
+              (Diag.loc ~unit_name ~path:e.path (Diag.Inv name)
+                 Diag.Inv_body)
+            "invariant %s is unstable at declaration: heap read !%a \
+             escapes its body's footprint"
+            name T.pp e.read)
+        escapes

@@ -248,13 +248,15 @@ let check_body ~(loc : Diag.loc) (prog : V.program) (proc : V.proc) :
         walk a;
         walk b;
         walk c
-    | HL.UnOp (_, a) | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a ->
+    | HL.UnOp (_, a) | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a
+    | HL.Atomic a ->
         walk a
     | HL.BinOp (_, a, b)
     | HL.Let (_, a, b)
     | HL.Seq (a, b)
     | HL.Store (a, b)
-    | HL.Faa (a, b) ->
+    | HL.Faa (a, b)
+    | HL.Par (a, b) ->
         walk a;
         walk b
     | HL.If (a, b, c) | HL.Cas (a, b, c) ->
@@ -300,6 +302,156 @@ let check_body ~(loc : Diag.loc) (prog : V.program) (proc : V.proc) :
              "program symbol %s never binds (not a parameter)" x))
     (List.sort_uniq String.compare (A.expr_syms proc.V.body));
   List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency checks *)
+
+(** Immediate subexpressions, for the shape-only concurrency walks. *)
+let subexprs : HL.expr -> HL.expr list = function
+  | HL.Val _ | HL.Var _ | HL.GhostMark _ -> []
+  | HL.Rec (_, _, a)
+  | HL.UnOp (_, a)
+  | HL.Fst a | HL.Snd a | HL.InjLE a | HL.InjRE a
+  | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a
+  | HL.Atomic a ->
+      [ a ]
+  | HL.App (a, b) | HL.BinOp (_, a, b) | HL.Let (_, a, b) | HL.Seq (a, b)
+  | HL.While (a, b) | HL.PairE (a, b) | HL.Store (a, b) | HL.Faa (a, b)
+  | HL.Par (a, b) ->
+      [ a; b ]
+  | HL.If (a, b, c) | HL.Cas (a, b, c) -> [ a; b; c ]
+  | HL.Case (a, (_, b), (_, c)) -> [ a; b; c ]
+
+let rec has_atomic e =
+  match e with
+  | HL.Atomic _ -> true
+  | e -> List.exists has_atomic (subexprs e)
+
+(** Does the body use the concurrency constructs at all? Such
+    procedures are the scopes the named invariants are read in. *)
+let rec has_conc e =
+  match e with
+  | HL.Par _ | HL.Atomic _ -> true
+  | e -> List.exists has_conc (subexprs e)
+
+(** Variables anchoring the named invariants' footprints: free
+    variables of every points-to left-hand side (and of predicate
+    arguments — a predicate chunk carries its footprint with it). *)
+let inv_fp_vars (invs : (string * A.t) list) : Sset.t =
+  let add_term acc t =
+    List.fold_left (fun acc (x, _) -> Sset.add x acc) acc (T.vars t)
+  in
+  let rec go acc = function
+    | A.Points_to { loc; _ } -> add_term acc loc
+    | A.Pred (_, args) -> List.fold_left add_term acc args
+    | A.Pure _ | A.Emp | A.Ghost _ -> acc
+    | A.Sep (p, q) | A.Wand (p, q) | A.And (p, q) | A.Or (p, q) ->
+        go (go acc p) q
+    | A.Exists (_, p) | A.Forall (_, p) | A.Persistently p | A.Later p
+    | A.Upd p | A.Stabilize p ->
+        go acc p
+    | A.Wp _ -> acc
+  in
+  List.fold_left (fun acc (_, body) -> go acc body) Sset.empty invs
+
+(** Address expressions of every heap access in [e], transitively. *)
+let rec addrs acc e =
+  let acc =
+    match e with
+    | HL.Load a | HL.Store (a, _) | HL.Free a | HL.Cas (a, _, _)
+    | HL.Faa (a, _) ->
+        a :: acc
+    | _ -> acc
+  in
+  List.fold_left addrs acc (subexprs e)
+
+(** DA026 (nested atomic — the executor opens every named invariant at
+    an atomic section, so a nested open would duplicate their
+    resources) and DA027 (a par branch that touches invariant-anchored
+    state with no atomic section anywhere in the branch — a racy
+    access the symbolic executor can only reject illegibly, as a
+    missing-permission failure). DA027 is an address-shape heuristic:
+    it sees accesses whose address mentions an invariant-anchored
+    parameter directly, not through let-bound aliases. *)
+let check_conc ~(loc : Diag.loc) (prog : V.program) (proc : V.proc) :
+    Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let fp_vars = inv_fp_vars prog.V.invs in
+  let check_branch b =
+    if not (has_atomic b) then
+      let touched =
+        addrs [] b
+        |> List.concat_map A.expr_syms
+        |> List.sort_uniq String.compare
+        |> List.filter (fun x -> Sset.mem x fp_vars)
+      in
+      if touched <> [] then
+        add
+          (Diag.warning ~code:"DA027" ~loc
+             ~hint:
+               "wrap the access in atomic { … } so the named invariant \
+                can be opened around it"
+             "par branch accesses invariant-governed %s outside any \
+              atomic section"
+             (String.concat ", " touched))
+  in
+  let rec walk in_atomic e =
+    match e with
+    | HL.Atomic a ->
+        if in_atomic then
+          add
+            (Diag.error ~code:"DA026" ~loc
+               ~hint:
+                 "merge the sections: every named invariant is opened \
+                  at an atomic section, and a nested open would \
+                  duplicate its resources"
+               "nested atomic section (invariant reentrancy)");
+        walk true a
+    | HL.Par (e1, e2) ->
+        check_branch e1;
+        check_branch e2;
+        walk in_atomic e1;
+        walk in_atomic e2
+    | e -> List.iter (walk in_atomic) (subexprs e)
+  in
+  walk false proc.V.body;
+  List.rev !diags
+
+(** Checks on one named-invariant declaration: predicate references and
+    fragment via {!check_assertion}, plus the scoping rule — every free
+    variable of the body must be a parameter of every procedure that
+    uses atomic/par (the scopes the body is opened in). *)
+let check_inv_decl ~unit_name (prog : V.program)
+    ((name, body) : string * A.t) : Diag.t list =
+  let loc = Diag.loc ~unit_name (Diag.Inv name) Diag.Inv_body in
+  let users =
+    List.filter (fun (p : V.proc) -> has_conc p.V.body) prog.V.procs
+  in
+  let scope =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun (p : V.proc) ->
+            if List.mem x p.V.params then None
+            else
+              Some
+                (Diag.error ~code:"DA005" ~loc
+                   ~hint:
+                     (Fmt.str
+                        "add %s to %s's parameters: invariant bodies \
+                         are read in every atomic section's scope"
+                        x p.V.pname)
+                   "invariant %s mentions %s, which is not a parameter \
+                    of %s (a procedure with atomic/par sections)"
+                   name x p.V.pname))
+          users)
+      (List.sort_uniq String.compare (A.free_vars body))
+  in
+  check_assertion ~loc ~penv:prog.V.preds
+    ~allowed:(Sset.of_list (A.free_vars body))
+    body
+  @ scope
 
 (* ------------------------------------------------------------------ *)
 (* Ghost-command checks *)
@@ -414,6 +566,7 @@ let check_proc ~unit_name (prog : V.program) (proc : V.proc) : Diag.t list =
           ~penv ~allowed:params ~declared cmds)
       proc.V.ghost
   @ check_body ~loc:(loc Diag.Body) prog proc
+  @ check_conc ~loc:(loc Diag.Body) prog proc
 
 let check_pred_def ~unit_name ~(penv : A.pred_env) (def : A.pred_def) :
     Diag.t list =
@@ -428,4 +581,6 @@ let check_program ?(unit_name = "") (prog : V.program) : Diag.t list =
     |> List.concat_map (fun (_, def) ->
            check_pred_def ~unit_name ~penv:prog.V.preds def)
   in
-  preds @ List.concat_map (check_proc ~unit_name prog) prog.V.procs
+  preds
+  @ List.concat_map (check_inv_decl ~unit_name prog) prog.V.invs
+  @ List.concat_map (check_proc ~unit_name prog) prog.V.procs

@@ -137,7 +137,8 @@ let expr_syms (e : Heaplang.Ast.expr) : string list =
     | Heaplang.Ast.While (a, b)
     | Heaplang.Ast.PairE (a, b)
     | Heaplang.Ast.Store (a, b)
-    | Heaplang.Ast.Faa (a, b) ->
+    | Heaplang.Ast.Faa (a, b)
+    | Heaplang.Ast.Par (a, b) ->
         walk a;
         walk b
     | Heaplang.Ast.UnOp (_, a)
@@ -148,7 +149,8 @@ let expr_syms (e : Heaplang.Ast.expr) : string list =
     | Heaplang.Ast.Alloc a
     | Heaplang.Ast.Load a
     | Heaplang.Ast.Free a
-    | Heaplang.Ast.Assert a ->
+    | Heaplang.Ast.Assert a
+    | Heaplang.Ast.Atomic a ->
         walk a
     | Heaplang.Ast.If (a, b, c) | Heaplang.Ast.Cas (a, b, c) ->
         walk a;

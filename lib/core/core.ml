@@ -20,7 +20,7 @@ module Certified = Proofmode
 let verify_proc ?heap_dep ?(preds = Stdx.Smap.empty) (proc : Verifier.Exec.proc) :
     Verifier.Exec.outcome =
   Verifier.Exec.verify_proc ?heap_dep
-    { Verifier.Exec.procs = [ proc ]; preds }
+    { Verifier.Exec.procs = [ proc ]; preds; invs = [] }
     proc
 
 (** One-call convenience: prove a triple with the certified baseline.

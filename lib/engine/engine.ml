@@ -31,6 +31,12 @@ type config = {
       (** run the static analyzer first; programs with error-severity
           diagnostics are gated (their procedures report [Failed]
           without touching the solver) *)
+  seed : int;
+      (** interleaving-scheduler seed, threaded to every job: permutes
+          the order [par] branches are explored in (0 = left-first).
+          Verdicts are schedule-independent by construction; the
+          daemon keys its verdict cache on the seed so the property is
+          re-checked, not assumed, when the seed changes *)
   timeout_ms : float option;  (** per-job wall-clock deadline *)
   retries : int;
       (** budget-escalated retries per job on [Timeout]/[Resource_out] *)
@@ -48,6 +54,7 @@ let default_config =
     heap_dep = true;
     absint = true;
     lint = false;
+    seed = 0;
     timeout_ms = None;
     retries = 0;
     shared_cache = None;
@@ -201,7 +208,7 @@ let verify_programs ?(config = default_config)
           Option.value ~default:[] (List.assoc_opt group srcmaps)
         in
         Job.of_program ~heap_dep:config.heap_dep ~absint:config.absint
-          ~srcmap ~group prog)
+          ~seed:config.seed ~srcmap ~group prog)
       live
     |> Array.of_list
   in

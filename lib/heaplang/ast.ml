@@ -71,6 +71,14 @@ and expr =
   | GhostMark of string
       (** a verifier annotation point (fold/unfold/ghost update), keyed
           into a side table; operationally a no-op returning unit *)
+  | Par of expr * expr
+      (** structured fork-join: both branches run to values under an
+          interleaving scheduler, their results are discarded, and the
+          join returns unit *)
+  | Atomic of expr
+      (** an atomic section: the body runs to a value in one
+          indivisible scheduler step — the only program points where
+          the verifier opens named invariants *)
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)
@@ -139,6 +147,9 @@ let rec pp_expr ppf = function
   | Faa (l, d) -> Fmt.pf ppf "FAA(%a, %a)" pp_expr l pp_expr d
   | Assert e -> Fmt.pf ppf "assert %a" pp_expr e
   | GhostMark k -> Fmt.pf ppf "ghost[%s]" k
+  | Par (a, b) ->
+      Fmt.pf ppf "@[<v>par {@;<1 2>%a@ } {@;<1 2>%a@ }@]" pp_expr a pp_expr b
+  | Atomic e -> Fmt.pf ppf "atomic { %a }" pp_expr e
 
 let rec value_equal (a : value) (b : value) =
   match (a, b) with

@@ -19,12 +19,31 @@ let key l = string_of_int l
 
 let create_state () = { heap = Stdx.Smap.empty; next = 0 }
 
+(* Conversions to/from the persistent {!Heap}: a [par] node is handed
+   to the small-step machine (the only semantics that can interleave),
+   which runs it on the shared heap and hands the result back. *)
+let to_heap (st : state) : Heap.t =
+  {
+    Heap.cells =
+      Stdx.Smap.fold
+        (fun k v m -> Heap.Imap.add (int_of_string k) v m)
+        st.heap Heap.Imap.empty;
+    next = st.next;
+  }
+
+let of_heap (st : state) (h : Heap.t) : unit =
+  st.heap <-
+    List.fold_left
+      (fun m (l, v) -> Stdx.Smap.add (key l) v m)
+      Stdx.Smap.empty (Heap.bindings h);
+  st.next <- h.Heap.next
+
 type env = (string * value) list
 
-let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
+let rec eval ?sched (st : state) (env : env) (e : expr) ~fuel : value =
   if !fuel <= 0 then error "out of fuel";
   decr fuel;
-  let ev = eval st ~fuel in
+  let ev = eval ?sched st ~fuel in
   let as_loc = function Loc l -> Some l | Int l when l >= 0 -> Some l | _ -> None in
   match e with
   | Val v -> v
@@ -48,7 +67,7 @@ let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
       match fv with
       | RecV (f, x, body) ->
           let env' = (x, av) :: (match f with Some f -> [ (f, fv) ] | None -> []) in
-          eval st env' body ~fuel
+          eval ?sched st env' body ~fuel
       | v -> error "applied non-function %a" pp_value v)
   | UnOp (op, e1) -> (
       let v = ev env e1 in
@@ -69,7 +88,7 @@ let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
       | v -> error "if on non-boolean %a" pp_value v)
   | Let (x, e1, e2) ->
       let v = ev env e1 in
-      eval st ((x, v) :: env) e2 ~fuel
+      eval ?sched st ((x, v) :: env) e2 ~fuel
   | Seq (a, b) ->
       ignore (ev env a);
       ev env b
@@ -82,7 +101,7 @@ let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
       in
       if truthy then begin
         ignore (ev env body);
-        eval st env (While (c, body)) ~fuel
+        eval ?sched st env (While (c, body)) ~fuel
       end
       else Unit)
   | PairE (a, b) ->
@@ -97,8 +116,8 @@ let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
   | InjRE e1 -> InjR (ev env e1)
   | Case (e1, (x, l), (y, r)) -> (
       match ev env e1 with
-      | InjL v -> eval st ((x, v) :: env) l ~fuel
-      | InjR v -> eval st ((y, v) :: env) r ~fuel
+      | InjL v -> eval ?sched st ((x, v) :: env) l ~fuel
+      | InjR v -> eval ?sched st ((y, v) :: env) r ~fuel
       | v -> error "case on %a" pp_value v)
   | Alloc e1 ->
       let v = ev env e1 in
@@ -167,13 +186,41 @@ let rec eval (st : state) (env : env) (e : expr) ~fuel : value =
       | Bool true -> Unit
       | Int n when n <> 0 -> Unit
       | v -> error "assertion failure (%a)" pp_value v)
+  | Atomic e1 ->
+      (* In a big-step (single-thread) context there is nothing to be
+         atomic against; inside a [par] the small-step machine below
+         owns the whole subtree and enforces indivisibility itself. *)
+      ev env e1
+  | Par (_, _) ->
+      (* Only the small-step machine can interleave: close the node
+         over the environment, hand it the shared heap, and charge the
+         steps it takes against our own fuel. The scheduler stream is
+         shared, so a program with several [par] sections draws its
+         choices from one seeded sequence. *)
+      let closed =
+        List.fold_left (fun e' (x, v) -> Subst.subst x v e') e env
+      in
+      let rec go c =
+        if !fuel <= 0 then error "out of fuel"
+        else begin
+          decr fuel;
+          match Step.step ?sched c with
+          | Step.Done (v, h) -> (v, h)
+          | Step.Next c -> go c
+          | Step.Stuck m -> error "%s" m
+        end
+      in
+      let v, h = go { Step.expr = closed; heap = to_heap st } in
+      of_heap st h;
+      v
 
 type result = Value of value | Error of string | Timeout
 
-let run ?(fuel = 10_000_000) (e : expr) : result =
+let run ?(fuel = 10_000_000) ?seed (e : expr) : result =
   let st = create_state () in
   let fuel = ref fuel in
-  match eval st [] e ~fuel with
+  let sched = Option.map (fun seed -> Step.Sched.create ~seed) seed in
+  match eval ?sched st [] e ~fuel with
   | v -> Value v
   | exception Runtime_error "out of fuel" -> Timeout
   | exception Runtime_error m -> Error m

@@ -66,7 +66,7 @@ let keywords =
     (* programs *)
     "let"; "in"; "while"; "do"; "done"; "if"; "then"; "else"; "fun"; "rec";
     "ref"; "free"; "assert"; "ghost"; "true"; "false"; "fst"; "snd"; "inl";
-    "inr"; "match"; "with"; "end"; "CAS"; "FAA";
+    "inr"; "match"; "with"; "end"; "CAS"; "FAA"; "par"; "atomic";
     (* annotated programs and specifications *)
     "predicate"; "procedure"; "requires"; "ensures"; "invariant"; "emp";
     "exists"; "fold"; "unfold";

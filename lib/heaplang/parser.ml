@@ -24,6 +24,8 @@
               | "ghost" ident ("{" gcmds "}")?   — block only in programs
               | "CAS" "(" expr "," expr "," expr ")"
               | "FAA" "(" expr "," expr ")"
+              | "par" "{" expr "}" "{" expr "}"  — structured fork-join
+              | "atomic" "{" expr "}"            — atomic section
               | "(" expr ("," expr)? ")"
     v}
 
@@ -625,6 +627,21 @@ and atom st : expr =
       let d = expr st in
       expect st Lexer.RPAREN "')'";
       Faa (l, d)
+  | Lexer.KW "par", _ ->
+      advance st;
+      expect st Lexer.LBRACE "'{' opening the left par branch";
+      let e1 = expr st in
+      expect st Lexer.RBRACE "'}' closing the left par branch";
+      expect st Lexer.LBRACE "'{' opening the right par branch";
+      let e2 = expr st in
+      expect st Lexer.RBRACE "'}' closing the right par branch";
+      Par (e1, e2)
+  | Lexer.KW "atomic", _ ->
+      advance st;
+      expect st Lexer.LBRACE "'{' opening the atomic section";
+      let e = expr st in
+      expect st Lexer.RBRACE "'}' closing the atomic section";
+      Atomic e
   | Lexer.LPAREN, _ -> (
       advance st;
       match peek st with
@@ -682,6 +699,15 @@ let predicate_item st : Surface.pred =
     pr_body = body;
     pr_span = Loc.union pspan body.Surface.aspan;
   }
+
+let invariant_item st : Surface.inv =
+  let ispan = here st in
+  expect st (Lexer.KW "invariant") "'invariant'";
+  let name = expect_ident st "invariant name" in
+  expect st Lexer.LBRACE "'{' opening the invariant body";
+  let body = assertion st in
+  expect st Lexer.RBRACE "'}' closing the invariant body";
+  { Surface.i_name = name; i_body = body; i_span = Loc.union ispan st.last_span }
 
 let procedure_item st : Surface.proc =
   let pspan = here st in
@@ -754,11 +780,14 @@ let parse_term ?file (src : string) : Surface.term =
 let parse_program ?file (src : string) : Surface.program =
   let st = mk_state ~in_program:true (Lexer.tokenize ?file src) in
   finish st (fun st ->
-      let preds = ref [] and procs = ref [] in
+      let preds = ref [] and invs = ref [] and procs = ref [] in
       let rec items () =
         match peek st with
         | Lexer.KW "predicate", _ ->
             preds := predicate_item st :: !preds;
+            items ()
+        | Lexer.KW "invariant", _ ->
+            invs := invariant_item st :: !invs;
             items ()
         | Lexer.KW "procedure", _ ->
             procs := procedure_item st :: !procs;
@@ -766,11 +795,16 @@ let parse_program ?file (src : string) : Surface.program =
         | Lexer.EOF, _ -> ()
         | t, span ->
             fail_at span
-              "expected 'predicate' or 'procedure' at top level, found %a"
+              "expected 'predicate', 'invariant' or 'procedure' at top \
+               level, found %a"
               Lexer.pp_token t
       in
       items ();
-      { Surface.prog_preds = List.rev !preds; prog_procs = List.rev !procs })
+      {
+        Surface.prog_preds = List.rev !preds;
+        prog_invs = List.rev !invs;
+        prog_procs = List.rev !procs;
+      })
 
 (** Parse, raising [Failure] with a readable message on errors. *)
 let parse_exn ?file src =

@@ -15,6 +15,45 @@ type outcome = Done of value * Heap.t | Next of cfg | Stuck of string
 
 let stuck fmt = Fmt.kstr (fun s -> Stuck s) fmt
 
+(** The interleaving scheduler: a seeded splitmix64 stream of thread
+    choices. Every [par] node with two runnable branches consults the
+    stream once per machine step, so a run is a pure function of
+    (program, seed) — replayable, and permutable by varying the seed.
+    Without a scheduler the machine is deterministic left-first, which
+    keeps the sequential semantics (and every existing test) intact. *)
+module Sched = struct
+  type t = { mutable state : int64 }
+
+  let create ~seed = { state = Int64.of_int seed }
+
+  (* splitmix64 (Steele–Lea–Flood); small, stateless between calls,
+     and good enough to exercise interleavings. *)
+  let next_int64 (s : t) : int64 =
+    s.state <- Int64.add s.state 0x9E3779B97F4A7C15L;
+    let z = s.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (** A choice in [0, n). *)
+  let pick (s : t) (n : int) : int =
+    if n <= 1 then 0
+    else
+      Int64.to_int
+        (Int64.rem
+           (Int64.shift_right_logical (next_int64 s) 1)
+           (Int64.of_int n))
+end
+
+let is_val = function Val _ -> true | _ -> false
+
+(** Step budget for one atomic section: the body must terminate within
+    one (indivisible) scheduler step, so it gets its own bound rather
+    than competing with the surrounding run's fuel. *)
+let atomic_fuel = 1_000_000
+
 let eval_un_op op v =
   match (op, v) with
   | Neg, Int n -> Some (Int (-n))
@@ -39,11 +78,12 @@ let eval_bin_op op v1 v2 =
   | _ -> None
 
 (** One step. Structured as: try a head reduction; otherwise descend
-    into the leftmost non-value subterm. *)
-let rec step ({ expr; heap } as cfg : cfg) : outcome =
+    into the leftmost non-value subterm. [sched] interleaves [Par]
+    branches; without it the machine is deterministic left-first. *)
+let rec step ?sched ({ expr; heap } as cfg : cfg) : outcome =
   let ret e h = Next { expr = e; heap = h } in
   let descend wrap e =
-    match step { cfg with expr = e } with
+    match step ?sched { cfg with expr = e } with
     | Next c -> Next { c with expr = wrap c.expr }
     | Done (v, h) -> Next { expr = wrap (Val v); heap = h }
     | Stuck m -> Stuck m
@@ -109,7 +149,7 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
       let heap, l = Heap.alloc heap v in
       ret (Val (Loc l)) heap
   | Alloc e -> descend (fun e -> Alloc e) e
-  | Load (Val (Int l)) when l >= 0 -> step { cfg with expr = Load (Val (Loc l)) }
+  | Load (Val (Int l)) when l >= 0 -> step ?sched { cfg with expr = Load (Val (Loc l)) }
   | Load (Val (Loc l)) -> (
       match Heap.lookup heap l with
       | Some v -> ret (Val v) heap
@@ -117,7 +157,7 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
   | Load (Val v) -> stuck "load from non-location %a" pp_value v
   | Load e -> descend (fun e -> Load e) e
   | Store (Val (Int l), (Val _ as v)) when l >= 0 ->
-      step { cfg with expr = Store (Val (Loc l), v) }
+      step ?sched { cfg with expr = Store (Val (Loc l), v) }
   | Store (Val (Loc l), Val v) -> (
       match Heap.store heap l v with
       | Some heap -> ret (Val Unit) heap
@@ -125,7 +165,7 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
   | Store (Val v, Val _) -> stuck "store to non-location %a" pp_value v
   | Store ((Val _ as l), e) -> descend (fun e -> Store (l, e)) e
   | Store (l, e) -> descend (fun l -> Store (l, e)) l
-  | Free (Val (Int l)) when l >= 0 -> step { cfg with expr = Free (Val (Loc l)) }
+  | Free (Val (Int l)) when l >= 0 -> step ?sched { cfg with expr = Free (Val (Loc l)) }
   | Free (Val (Loc l)) -> (
       match Heap.free heap l with
       | Some heap -> ret (Val Unit) heap
@@ -133,7 +173,7 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
   | Free (Val v) -> stuck "free of non-location %a" pp_value v
   | Free e -> descend (fun e -> Free e) e
   | Cas (Val (Int l), (Val _ as e1), (Val _ as e2)) when l >= 0 ->
-      step { cfg with expr = Cas (Val (Loc l), e1, e2) }
+      step ?sched { cfg with expr = Cas (Val (Loc l), e1, e2) }
   | Cas (Val (Loc l), Val expected, Val desired) -> (
       match Heap.lookup heap l with
       | None -> stuck "CAS on dangling #%d" l
@@ -148,7 +188,7 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
   | Cas ((Val _ as l), e1, e2) -> descend (fun e1 -> Cas (l, e1, e2)) e1
   | Cas (l, e1, e2) -> descend (fun l -> Cas (l, e1, e2)) l
   | Faa (Val (Int l), (Val (Int _) as d)) when l >= 0 ->
-      step { cfg with expr = Faa (Val (Loc l), d) }
+      step ?sched { cfg with expr = Faa (Val (Loc l), d) }
   | Faa (Val (Loc l), Val (Int d)) -> (
       match Heap.lookup heap l with
       | Some (Int old) -> (
@@ -164,17 +204,49 @@ let rec step ({ expr; heap } as cfg : cfg) : outcome =
   | Assert (Val v) -> stuck "assertion failure (%a)" pp_value v
   | Assert e -> descend (fun e -> Assert e) e
   | GhostMark _ -> ret (Val Unit) heap
+  | Par (Val _, Val _) -> ret (Val Unit) heap
+  | Par (e1, e2) ->
+      (* Fork-join: when both branches can still run, the scheduler
+         picks the one to step; left-first without a scheduler. *)
+      let go_left =
+        if is_val e1 then false
+        else if is_val e2 then true
+        else
+          match sched with Some s -> Sched.pick s 2 = 0 | None -> true
+      in
+      if go_left then descend (fun e1 -> Par (e1, e2)) e1
+      else descend (fun e2 -> Par (e1, e2)) e2
+  | Atomic (Val v) -> ret (Val v) heap
+  | Atomic e ->
+      (* The body runs to a value within this one machine step: no
+         sibling thread is scheduled while it executes. *)
+      let rec go n c =
+        if n <= 0 then stuck "atomic section exceeded its step budget"
+        else
+          match step ?sched c with
+          | Done (v, h) -> ret (Val v) h
+          | Next c -> go (n - 1) c
+          | Stuck m -> Stuck m
+      in
+      go atomic_fuel { expr = e; heap }
 
 type run_result = Value of value * Heap.t | Error of string | Timeout
 
-(** Run to a value with a step budget. *)
-let run ?(fuel = 1_000_000) (e : expr) : run_result =
+(** Run to a value with a step budget, from a given initial heap.
+    [seed] enables the interleaving scheduler. *)
+let run_from ?(fuel = 1_000_000) ?seed (heap : Heap.t) (e : expr) :
+    run_result =
+  let sched = Option.map (fun seed -> Sched.create ~seed) seed in
   let rec go fuel cfg =
     if fuel <= 0 then Timeout
     else
-      match step cfg with
+      match step ?sched cfg with
       | Done (v, h) -> Value (v, h)
       | Next cfg -> go (fuel - 1) cfg
       | Stuck m -> Error m
   in
-  go fuel { expr = e; heap = Heap.empty }
+  go fuel { expr = e; heap }
+
+(** Run to a value with a step budget. *)
+let run ?(fuel = 1_000_000) ?seed (e : expr) : run_result =
+  run_from ~fuel ?seed Heap.empty e

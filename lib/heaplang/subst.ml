@@ -39,6 +39,8 @@ let rec subst x v (e : expr) : expr =
   | Faa (e1, e2) -> Faa (go e1, go e2)
   | Assert e1 -> Assert (go e1)
   | GhostMark _ -> e
+  | Par (e1, e2) -> Par (go e1, go e2)
+  | Atomic e1 -> Atomic (go e1)
 
 let subst_list bindings e =
   List.fold_left (fun e (x, v) -> subst x v e) e bindings
@@ -81,6 +83,8 @@ and close_expr env (e : expr) : expr =
   | Faa (a, b) -> Faa (go a, go b)
   | Assert a -> Assert (go a)
   | GhostMark _ -> e
+  | Par (a, b) -> Par (go a, go b)
+  | Atomic a -> Atomic (go a)
 
 (** Free variables of an expression (for closedness checks). *)
 let free_vars (e : expr) : string list =
@@ -93,10 +97,10 @@ let free_vars (e : expr) : string list =
         let bound = match f with Some f -> S.add f bound | None -> bound in
         go bound acc body
     | App (a, b) | BinOp (_, a, b) | Seq (a, b) | While (a, b)
-    | PairE (a, b) | Store (a, b) | Faa (a, b) ->
+    | PairE (a, b) | Store (a, b) | Faa (a, b) | Par (a, b) ->
         go bound (go bound acc a) b
     | UnOp (_, a) | Fst a | Snd a | InjLE a | InjRE a | Alloc a | Load a
-    | Free a | Assert a ->
+    | Free a | Assert a | Atomic a ->
         go bound acc a
     | If (c, a, b) | Cas (c, a, b) ->
         go bound (go bound (go bound acc c) a) b

@@ -14,8 +14,9 @@
     Concrete syntax (see README §"Surface syntax" for the worked
     grammar):
     {v
-    program   ::= (predicate | procedure)*
+    program   ::= (predicate | invariant | procedure)*
     predicate ::= "predicate" name "(" params ")" "=" assertion
+    invariant ::= "invariant" name "{" assertion "}"
     procedure ::= "procedure" name "(" params ")"
                     ("requires" assertion)? ("ensures" assertion)?
                   "{" expr "}"
@@ -91,7 +92,19 @@ type pred = {
   pr_span : Loc.t;
 }
 
-type program = { prog_preds : pred list; prog_procs : proc list }
+type inv = {
+  i_name : string;
+  i_body : assertion;
+      (** governs the shared heap between atomic sections; opened and
+          re-established by the verifier at every [atomic] block *)
+  i_span : Loc.t;
+}
+
+type program = {
+  prog_preds : pred list;
+  prog_invs : inv list;
+  prog_procs : proc list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Span-insensitive equality (round-trip properties compare these) *)
@@ -210,6 +223,9 @@ let pp_expr ppf (e : Ast.expr) =
   | Faa (l, d) -> Fmt.pf ppf "FAA(%a, %a)" pp_expr l pp_expr d
     | Assert e -> Fmt.pf ppf "(assert (%a))" pp_expr e
     | GhostMark k -> Fmt.pf ppf "ghost %s" k
+    | Par (a, b) ->
+        Fmt.pf ppf "par { %a } { %a }" pp_expr a pp_expr b
+    | Atomic e -> Fmt.pf ppf "atomic { %a }" pp_expr e
   in
   pp_expr ppf e
 

@@ -385,6 +385,8 @@ let anf (e : HL.expr) : HL.expr =
     | HL.Faa (a, b) ->
         atomize (go a) (fun va -> atomize (go b) (fun vb -> HL.Faa (va, vb)))
     | HL.Assert a -> atomize (go a) (fun v -> HL.Assert v)
+    | HL.Par (a, b) -> HL.Par (go a, go b)
+    | HL.Atomic a -> HL.Atomic (go a)
   in
   go e
 
@@ -406,12 +408,14 @@ let loops (e : HL.expr) : HL.expr list =
     | HL.Seq (a, b)
     | HL.PairE (a, b)
     | HL.Store (a, b)
-    | HL.Faa (a, b) ->
+    | HL.Faa (a, b)
+    | HL.Par (a, b) ->
         go a;
         go b
     | HL.UnOp (_, a)
     | HL.Fst a | HL.Snd a | HL.InjLE a | HL.InjRE a
-    | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a ->
+    | HL.Alloc a | HL.Load a | HL.Free a | HL.Assert a
+    | HL.Atomic a ->
         go a
     | HL.If (a, b, c) | HL.Cas (a, b, c) ->
         go a;

@@ -138,6 +138,9 @@ type t = {
           cold verify runs this daemon served *)
   absint_abstained : int Atomic.t;
       (** entailments the abstract domain passed to the solver *)
+  par_branches : int Atomic.t;  (** par branches verified (cold runs) *)
+  inv_opens : int Atomic.t;  (** named-invariant opens at atomic sections *)
+  interference_havocs : int Atomic.t;  (** fork-join interference points *)
 }
 
 (** Write one response line; a vanished peer is ignored (its verdicts
@@ -195,21 +198,25 @@ let lint_findings_text ?source results =
     participates too — verdicts are identical by design with the pass
     on or off, but lint findings differ, and keying on it keeps the
     cached response an exact replay of a cold run with the same
-    request. *)
-let verdict_key ~lint ~absint (target : Protocol.target) =
+    request. [seed] participates for the same replay reason: verdicts
+    are schedule-independent by construction, and keying on the seed
+    means a changed seed is re-verified — the independence property
+    stays continuously checked instead of assumed. *)
+let verdict_key ~lint ~absint ~seed (target : Protocol.target) =
   (if lint then "lint\x00" else "")
   ^ (if absint then "" else "noabsint\x00")
+  ^ (if seed = 0 then "" else Printf.sprintf "seed=%d\x00" seed)
   ^
   match target with
   | Protocol.Entry n -> "entry\x00" ^ n
   | Protocol.Source { source; _ } -> "source\x00" ^ source
 
-let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~timeout_ms
-    ~retries =
+let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~seed
+    ~timeout_ms ~retries =
   match resolve target with
   | Error m -> respond c (Protocol.error_response ~id m)
   | Ok r ->
-      let key = verdict_key ~lint ~absint target in
+      let key = verdict_key ~lint ~absint ~seed target in
       let t0 = Unix.gettimeofday () in
       let report, cached =
         match E.Vc_cache.lookup_verdicts d.cache key with
@@ -237,6 +244,7 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~timeout_ms
                 shared_cache = Some d.cache;
                 lint;
                 absint;
+                seed;
                 timeout_ms =
                   (match timeout_ms with
                   | Some _ as t -> t
@@ -259,6 +267,15 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~timeout_ms
             ignore
               (Atomic.fetch_and_add d.absint_abstained
                  vs.Verifier.Vstats.absint_abstained);
+            ignore
+              (Atomic.fetch_and_add d.par_branches
+                 vs.Verifier.Vstats.par_branches);
+            ignore
+              (Atomic.fetch_and_add d.inv_opens
+                 vs.Verifier.Vstats.inv_opens);
+            ignore
+              (Atomic.fetch_and_add d.interference_havocs
+                 vs.Verifier.Vstats.interference_havocs);
             (report, false)
       in
       let g = List.hd report.E.groups in
@@ -328,6 +345,10 @@ let stats_json (d : t) =
         Json.Num (float_of_int (Atomic.get d.absint_discharged)) );
       ( "absint_abstained",
         Json.Num (float_of_int (Atomic.get d.absint_abstained)) );
+      ("par_branches", Json.Num (float_of_int (Atomic.get d.par_branches)));
+      ("inv_opens", Json.Num (float_of_int (Atomic.get d.inv_opens)));
+      ( "interference_havocs",
+        Json.Num (float_of_int (Atomic.get d.interference_havocs)) );
       ( "solver",
         (* Process-global gauges from the hash-consed term pool; the
            per-VC counters live in the per-report engine stats. *)
@@ -397,11 +418,12 @@ let dispatch (d : t) (c : conn) line =
     | Ok req ->
         let task () =
           (match req with
-          | Protocol.Verify { id; target; lint; absint; timeout_ms; retries }
+          | Protocol.Verify
+              { id; target; lint; absint; seed; timeout_ms; retries }
             -> (
               try
-                handle_verify d c ~id ~target ~lint ~absint ~timeout_ms
-                  ~retries
+                handle_verify d c ~id ~target ~lint ~absint ~seed
+                  ~timeout_ms ~retries
               with e ->
                 respond c
                   (Protocol.error_response ~id
@@ -531,6 +553,9 @@ let run (cfg : config) : (unit, string) result =
           socket_faults = Atomic.make 0;
           absint_discharged = Atomic.make 0;
           absint_abstained = Atomic.make 0;
+          par_branches = Atomic.make 0;
+          inv_opens = Atomic.make 0;
+          interference_havocs = Atomic.make 0;
         }
       in
       let cleanup () =

@@ -6,7 +6,7 @@
     {v
     {"op":"verify","name":"swap","id":1}
     {"op":"verify","file":"swap.hl","source":"...","id":2,
-     "lint":true,"timeout_ms":500,"retries":2}
+     "lint":true,"timeout_ms":500,"retries":2,"seed":7}
     {"op":"lint","name":"swap","id":3}
     {"op":"stats","id":4}
     {"op":"shutdown","id":5}
@@ -47,6 +47,7 @@ type request =
       target : target;
       lint : bool;
       absint : bool;  (** abstract pre-discharge (["absint":false] opts out) *)
+      seed : int;  (** par-branch exploration order; 0 = left-first *)
       timeout_ms : float option;  (** per-request deadline override *)
       retries : int option;  (** per-request retry override *)
     }
@@ -83,6 +84,7 @@ let request_of_line line : (request, string) result =
                     Option.value ~default:false (Json.bool_member "lint" v);
                   absint =
                     Option.value ~default:true (Json.bool_member "absint" v);
+                  seed = Option.value ~default:0 (Json.int_member "seed" v);
                   timeout_ms = Json.num_member "timeout_ms" v;
                   retries = Json.int_member "retries" v;
                 })
@@ -112,12 +114,14 @@ let target_fields = function
       [ ("file", Json.Str file); ("source", Json.Str source) ]
 
 let verify_request ?(id = Json.Null) ?(lint = false) ?(absint = true)
-    ?timeout_ms ?retries target =
+    ?(seed = 0) ?timeout_ms ?retries target =
   Json.Obj
     ([ ("op", Json.Str "verify"); ("id", id) ]
     @ target_fields target
     @ (if lint then [ ("lint", Json.Bool true) ] else [])
     @ (if absint then [] else [ ("absint", Json.Bool false) ])
+    @ (if seed = 0 then []
+       else [ ("seed", Json.Num (float_of_int seed)) ])
     @ (match timeout_ms with
       | Some ms -> [ ("timeout_ms", Json.Num ms) ]
       | None -> [])

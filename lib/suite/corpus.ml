@@ -122,7 +122,7 @@ let generate ~seed ~size : spec list =
       ignore fam;
       {
         name = proc.V.pname;
-        program = { V.procs = [ proc ]; preds = Smap.empty };
+        program = { V.procs = [ proc ]; preds = Smap.empty; invs = [] };
         expect_fail = fail;
       })
 

@@ -50,7 +50,7 @@ let incr2_proc =
     ghost = [];
   }
 
-let incr2 = { V.procs = [ incr2_proc ]; preds = Smap.empty }
+let incr2 = { V.procs = [ incr2_proc ]; preds = Smap.empty; invs = [] }
 
 (* ------------------------------------------------------------------ *)
 (* parsed_program: absolute difference, through the textual front-end *)
@@ -91,7 +91,7 @@ let absdiff_proc =
     ghost = [];
   }
 
-let absdiff = { V.procs = [ absdiff_proc ]; preds = Smap.empty }
+let absdiff = { V.procs = [ absdiff_proc ]; preds = Smap.empty; invs = [] }
 
 (* ------------------------------------------------------------------ *)
 

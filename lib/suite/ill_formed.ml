@@ -31,7 +31,7 @@ let proc ?(params = []) ?(requires = A.Emp) ?(ensures = A.Emp)
     ?(body = HL.Val HL.Unit) ?(invariants = []) ?(ghost = []) pname =
   { V.pname; params; requires; ensures; body; invariants; ghost }
 
-let one ?(preds = Smap.empty) p = { V.procs = [ p ]; preds }
+let one ?(preds = Smap.empty) ?(invs = []) p = { V.procs = [ p ]; preds; invs }
 
 let case ~descr ~codes name prog = { name; descr; prog; codes }
 
@@ -72,6 +72,7 @@ let call_arity =
           proc ~body:(HL.App (HL.Var "callee", HL.Val (HL.Int 1))) "caller";
         ];
       preds = Smap.empty;
+      invs = [];
     }
 
 let unbound_var =
@@ -261,6 +262,46 @@ let no_variant =
           ~invariants:[ (w, A.Exists ("v", pt "l" (T.var "v"))) ]
           ~body:w "no_variant"))
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency: DA026–DA028 *)
+
+let nested_atomic =
+  case ~descr:"atomic section nested inside another (invariant reentrancy)"
+    ~codes:[ "DA026" ] "nested_atomic"
+    (one
+       ~invs:[ ("cell", A.Exists ("v", pt "x" (T.var "v"))) ]
+       (proc ~params:[ "x" ]
+          ~body:(HL.Atomic (HL.Atomic (HL.Load (sym "x"))))
+          "nested_atomic"))
+
+let racy_par_branch =
+  case
+    ~descr:
+      "par branch touches the invariant-governed cell with no atomic \
+       section in the branch"
+    ~codes:[ "DA027" ] "racy_par_branch"
+    (one
+       ~invs:[ ("cell", A.Exists ("v", pt "x" (T.var "v"))) ]
+       (proc ~params:[ "x" ]
+          ~body:
+            (HL.Par
+               ( HL.Store
+                   ( sym "x",
+                     HL.BinOp
+                       (HL.Add, HL.Load (sym "x"), HL.Val (HL.Int 1)) ),
+                 HL.Atomic (HL.Load (sym "x")) ))
+          "racy_par_branch"))
+
+let unstable_inv =
+  case
+    ~descr:"invariant body reads the heap outside its own footprint"
+    ~codes:[ "DA028" ] "unstable_inv"
+    (one
+       ~invs:[ ("bad", A.Pure (T.eq (deref "x") (T.int 0))) ]
+       (proc ~params:[ "x" ]
+          ~body:(HL.Atomic (HL.Load (sym "x")))
+          "unstable_inv"))
+
 let all : case list =
   [
     unknown_pred;
@@ -288,4 +329,7 @@ let all : case list =
     redundant_stabilize;
     unused_param;
     no_variant;
+    nested_atomic;
+    racy_par_branch;
+    unstable_inv;
   ]

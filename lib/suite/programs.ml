@@ -42,7 +42,7 @@ let entry ?baseline ?stable_variant ?(expect_fail = false) ~descr name prog
     main =
   { name; descr; prog; main; baseline; stable_variant; expect_fail }
 
-let one_proc ?(preds = Smap.empty) p = { V.procs = [ p ]; preds }
+let one_proc ?(preds = Smap.empty) ?(invs = []) p = { V.procs = [ p ]; preds; invs }
 
 (* ------------------------------------------------------------------ *)
 (* 1. swap *)
@@ -109,7 +109,7 @@ let swap_client_proc =
 
 let swap_client =
   entry ~descr:"modular verification through swap's spec" "swap_client"
-    { V.procs = [ swap_proc; swap_client_proc ]; preds = Smap.empty }
+    { V.procs = [ swap_proc; swap_client_proc ]; preds = Smap.empty; invs = [] }
     "swap_client"
 
 (* ------------------------------------------------------------------ *)
@@ -523,7 +523,7 @@ let length_proc =
 let list_length =
   entry ~descr:"recursive chain length with a recursive predicate"
     "list_length"
-    { V.procs = [ length_proc ]; preds = clist_preds }
+    { V.procs = [ length_proc ]; preds = clist_preds; invs = [] }
     "length"
 
 (* ------------------------------------------------------------------ *)
@@ -849,6 +849,242 @@ let bad_half_write =
     "bad_half_write"
 
 (* ------------------------------------------------------------------ *)
+(* 19. spinlock — par + a named invariant transferring the cell *)
+
+(* The lock invariant is the classic Or-shape: either the lock is free
+   and the invariant owns the protected cell, or it is taken and the
+   cell has been transferred to the winner. A CAS acquire inside
+   [atomic] closes the invariant through the *taken* disjunct, so the
+   winning branch walks away owning [x ↦ v] and may mutate it
+   non-atomically until the releasing store hands both back. *)
+let spinlock_inv =
+  ( "lock",
+    A.Or
+      ( A.Sep (pt "lck" (T.int 0), A.Exists ("v", pt "x" (T.var "v"))),
+        pt "lck" (T.int 1) ) )
+
+let spinlock_branch =
+  HL.Let
+    ( "ok",
+      HL.Atomic (HL.Cas (sym "lck", HL.Val (HL.Int 0), HL.Val (HL.Int 1))),
+      HL.If
+        ( HL.Var "ok",
+          HL.Seq
+            ( (* critical section: the branch owns x outright *)
+              HL.Store
+                ( sym "x",
+                  HL.BinOp (HL.Add, HL.Load (sym "x"), HL.Val (HL.Int 1)) ),
+              HL.Atomic (HL.Store (sym "lck", HL.Val (HL.Int 0))) ),
+          HL.Val (HL.Int 0) ) )
+
+let spinlock_proc =
+  {
+    V.pname = "spinlock";
+    params = [ "lck"; "x" ];
+    requires = A.Emp;
+    ensures = A.Emp;
+    body = HL.Par (spinlock_branch, spinlock_branch);
+    invariants = [];
+    ghost = [];
+  }
+
+let spinlock =
+  entry
+    ~descr:
+      "spinlock: CAS acquire transfers the cell out of the lock invariant"
+    "spinlock"
+    { V.procs = [ spinlock_proc ]; preds = Smap.empty; invs = [ spinlock_inv ] }
+    "spinlock"
+
+(* ------------------------------------------------------------------ *)
+(* 20. ticket lock — FAA + a weakened safety invariant *)
+
+(* Without ghost state the invariant cannot tie a dispensed ticket to
+   the dispenser's future values across interference, so it keeps only
+   the safety bounds 0 ≤ owner and 0 ≤ next — exactly what survives
+   arbitrary interleaving, and exactly what each atomic section must
+   re-prove on close (the FAA re-establishes 0 ≤ next + 1, the serving
+   store re-establishes 0 ≤ owner + 1). *)
+let ticket_inv =
+  ( "tickets",
+    A.Exists
+      ( "o",
+        A.Exists
+          ( "n",
+            A.seps
+              [
+                pt "owner" (T.var "o");
+                pt "next" (T.var "n");
+                A.Pure (T.le (T.int 0) (T.var "o"));
+                A.Pure (T.le (T.int 0) (T.var "n"));
+              ] ) ) )
+
+let ticket_branch =
+  HL.Let
+    ( "t",
+      HL.Atomic (HL.Faa (sym "next", HL.Val (HL.Int 1))),
+      HL.Atomic
+        (HL.Let
+           ( "o",
+             HL.Load (sym "owner"),
+             HL.If
+               ( HL.BinOp (HL.Eq, HL.Var "o", HL.Var "t"),
+                 HL.Store
+                   ( sym "owner",
+                     HL.BinOp (HL.Add, HL.Var "o", HL.Val (HL.Int 1)) ),
+                 HL.Val (HL.Int 0) ) ) ) )
+
+let ticket_lock_proc =
+  {
+    V.pname = "ticket_lock";
+    params = [ "owner"; "next" ];
+    requires = A.Emp;
+    ensures = A.Emp;
+    body = HL.Par (ticket_branch, ticket_branch);
+    invariants = [];
+    ghost = [];
+  }
+
+let ticket_lock =
+  entry
+    ~descr:"ticket lock: FAA dispenser under a weakened safety invariant"
+    "ticket_lock"
+    {
+      V.procs = [ ticket_lock_proc ];
+      preds = Smap.empty;
+      invs = [ ticket_inv ];
+    }
+    "ticket_lock"
+
+(* ------------------------------------------------------------------ *)
+(* 21. Treiber stack — recursive predicate inside an invariant *)
+
+(* stk(p): p heads a null(-1)-terminated chain of single-cell nodes,
+   each holding the next pointer (the suite's minimal node shape). *)
+let stk_def =
+  {
+    A.pname = "stk";
+    params = [ "p" ];
+    body =
+      A.Or
+        ( A.Pure (T.eq (T.var "p") (T.int (-1))),
+          A.seps
+            [
+              A.Pure (T.not_ (T.eq (T.var "p") (T.int (-1))));
+              A.Exists
+                ( "nx",
+                  A.Sep (pt "p" (T.var "nx"), A.Pred ("stk", [ T.var "nx" ]))
+                );
+            ] );
+  }
+
+let stk_preds = Smap.of_list [ ("stk", stk_def) ]
+
+(* Push and pop are whole atomic sections (the CAS retry loop of the
+   real structure collapses to its winning iteration): push allocates,
+   links and folds the new head; pop unfolds the head, unlinks and
+   frees it. Both close by giving [∃top. s ↦ top ∗ stk(top)] back. *)
+let treiber_push =
+  HL.Atomic
+    (HL.Let
+       ( "t",
+         HL.Load (sym "s"),
+         HL.Let
+           ( "nd",
+             HL.Alloc (HL.Var "t"),
+             HL.Seq
+               ( HL.Store (sym "s", HL.Var "nd"),
+                 HL.Seq (HL.GhostMark "push_fold", HL.Var "nd") ) ) ) )
+
+let treiber_pop =
+  HL.Atomic
+    (HL.Let
+       ( "t",
+         HL.Load (sym "s"),
+         HL.If
+           ( HL.BinOp (HL.Eq, HL.Var "t", HL.Val (HL.Int (-1))),
+             HL.Val (HL.Int (-1)),
+             HL.Seq
+               ( HL.GhostMark "pop_unfold",
+                 HL.Let
+                   ( "nx",
+                     HL.Load (HL.Var "t"),
+                     HL.Seq
+                       ( HL.Store (sym "s", HL.Var "nx"),
+                         HL.Seq (HL.Free (HL.Var "t"), HL.Var "t") ) ) ) ) ) )
+
+let treiber_inv =
+  ( "stack",
+    A.Exists ("top", A.Sep (pt "s" (T.var "top"), A.Pred ("stk", [ T.var "top" ])))
+  )
+
+let treiber_proc =
+  {
+    V.pname = "treiber";
+    params = [ "s" ];
+    requires = A.Emp;
+    ensures = A.Emp;
+    body = HL.Par (treiber_push, treiber_pop);
+    invariants = [];
+    ghost =
+      [
+        ("push_fold", [ V.Fold ("stk", [ deref "s" ]) ]);
+        ("pop_unfold", [ V.Unfold ("stk", [ deref "s" ]) ]);
+      ];
+  }
+
+let treiber =
+  entry
+    ~descr:"Treiber stack: recursive predicate owned by the invariant"
+    "treiber"
+    { V.procs = [ treiber_proc ]; preds = stk_preds; invs = [ treiber_inv ] }
+    "treiber"
+
+(* ------------------------------------------------------------------ *)
+(* 22. racy increment — par without atomic must fail *)
+
+let racy_branch =
+  HL.Store (sym "x", HL.BinOp (HL.Add, HL.Load (sym "x"), HL.Val (HL.Int 1)))
+
+let racy_incr_proc =
+  {
+    V.pname = "racy_incr";
+    params = [ "x" ];
+    requires = A.Emp;
+    ensures = A.Emp;
+    body = HL.Par (racy_branch, racy_branch);
+    invariants = [];
+    ghost = [];
+  }
+
+let racy_incr =
+  entry
+    ~descr:
+      "parallel increment without atomic sections (must fail: branches \
+       own nothing)"
+    ~expect_fail:true "racy_incr"
+    {
+      V.procs = [ racy_incr_proc ];
+      preds = Smap.empty;
+      invs = [ ("cell", A.Exists ("v", pt "x" (T.var "v"))) ];
+    }
+    "racy_incr"
+
+(* ------------------------------------------------------------------ *)
+(* 23. lock without an invariant — must fail *)
+
+let lock_noinv_proc = { spinlock_proc with V.pname = "lock_noinv" }
+
+let lock_noinv =
+  entry
+    ~descr:
+      "spinlock body with no declared invariant (must fail: the CAS has \
+       no permission source)"
+    ~expect_fail:true "lock_noinv"
+    { V.procs = [ lock_noinv_proc ]; preds = Smap.empty; invs = [] }
+    "lock_noinv"
+
+(* ------------------------------------------------------------------ *)
 
 let all : entry list =
   [
@@ -867,11 +1103,16 @@ let all : entry list =
     cas_retry;
     lifecycle;
     shared_read;
+    spinlock;
+    ticket_lock;
+    treiber;
     bad_swap;
     bad_leak;
     bad_unstable;
     bad_double_free;
     bad_half_write;
+    racy_incr;
+    lock_noinv;
   ]
 
 let positive = List.filter (fun e -> not e.expect_fail) all

@@ -73,6 +73,8 @@ let close (params : string list) (body : HL.expr) :
     | HL.Cas (l, a, b) -> HL.Cas (go bound l, go bound a, go bound b)
     | HL.Faa (l, d) -> HL.Faa (go bound l, go bound d)
     | HL.Assert a -> HL.Assert (go bound a)
+    | HL.Par (a, b) -> HL.Par (go bound a, go bound b)
+    | HL.Atomic a -> HL.Atomic (go bound a)
   in
   let body' = go SS.empty body in
   (body', !remap)
@@ -140,8 +142,19 @@ let program (sp : S.program) : Exec.program * Diag.srcmap =
         ((Diag.Pred pr.S.pr_name, Diag.Pred_body), pr.S.pr_body.S.aspan))
       sp.S.prog_preds
   in
+  let invs =
+    List.map
+      (fun (iv : S.inv) -> (iv.S.i_name, E.assertion iv.S.i_body))
+      sp.S.prog_invs
+  in
+  let inv_map =
+    List.map
+      (fun (iv : S.inv) ->
+        ((Diag.Inv iv.S.i_name, Diag.Inv_body), iv.S.i_body.S.aspan))
+      sp.S.prog_invs
+  in
   let procs, maps = List.split (List.map proc sp.S.prog_procs) in
-  ({ Exec.procs; preds }, pred_map @ List.concat maps)
+  ({ Exec.procs; preds; invs }, pred_map @ inv_map @ List.concat maps)
 
 (** Parse and elaborate in one step. Raises {!Heaplang.Parser.Parse_error},
     {!Heaplang.Lexer.Lex_error}, or {!Baselogic.Elab.Elab_error}. *)

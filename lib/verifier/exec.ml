@@ -41,7 +41,13 @@ type proc = {
   ghost : (string * ghost_cmd list) list;  (** [GhostMark] keys *)
 }
 
-type program = { procs : proc list; preds : A.pred_env }
+type program = {
+  procs : proc list;
+  preds : A.pred_env;
+  invs : (string * A.t) list;
+      (** named invariants governing the shared heap; opened (all of
+          them) at every [atomic] section and consumed back at its end *)
+}
 
 let find_proc prog f = List.find_opt (fun p -> String.equal p.pname f) prog.procs
 
@@ -77,10 +83,15 @@ let value_term (v : HL.value) : T.t =
 let exec_ghost ?loc (prog : program) (st : t) (cmd : ghost_cmd) : t list =
   match cmd with
   | Fold (p, args) ->
+      (* Arguments may read the heap ([fold stk(!s)]): resolve them
+         against the owned chunks at the fold point, so the folded
+         chunk carries the value actually stored there. *)
+      let args = List.map (resolve st) args in
       let body = pred_body ?loc prog.preds p args in
       let st = consume st body in
       [ add_chunk st (A.Pred (p, args)) ]
   | Unfold (p, args) ->
+      let args = List.map (resolve st) args in
       let st = consume st (A.Pred (p, args)) in
       (* Disjunctive predicate bodies split the state per case. *)
       inhale_cases st (pred_body ?loc prog.preds p args)
@@ -259,6 +270,64 @@ let rec exec (prog : program) (proc : proc) (st : t) (env : env)
           Diag.spec_error ~code:"DA009"
             ~loc:(Diag.loc (Diag.Proc proc.pname) Diag.Body)
             "ghost mark %s has no command block" key)
+  | HL.Par (e1, e2) ->
+      (* Structured fork-join. Each branch starts from the pure facts
+         only — it owns no chunks; everything shared is reached through
+         the named invariants at its own atomic sections — and must
+         verify on its own. The parent's chunks are untouchable by the
+         branches (they never hold them), so the continuation resumes
+         with the parent state unchanged; the fork/join is the
+         interference point accounted to [interference_havocs]. *)
+      st.stats.Vstats.par_branches <- st.stats.Vstats.par_branches + 2;
+      let entry = pures_only st in
+      let branches =
+        (* The seeded scheduler permutes exploration order; both
+           branches are verified regardless, so verdicts cannot
+           depend on the seed — the [--seed] gate checks exactly
+           that. *)
+        match st.sched with
+        | Some s when Heaplang.Step.Sched.pick s 2 = 1 -> [ e2; e1 ]
+        | _ -> [ e1; e2 ]
+      in
+      List.iter
+        (fun branch -> ignore (exec prog proc entry env branch))
+        branches;
+      st.stats.Vstats.interference_havocs <-
+        st.stats.Vstats.interference_havocs + 1;
+      [ (st, T.int 0) ]
+  | HL.Atomic e1 ->
+      if st.opened <> [] then
+        Diag.spec_error ~code:"DA026"
+          ~loc:(Diag.loc (Diag.Proc proc.pname) Diag.Body)
+          "nested atomic section in %s: invariant%s %s already open"
+          proc.pname
+          (if List.length st.opened > 1 then "s" else "")
+          (String.concat ", " st.opened);
+      if prog.invs = [] then exec prog proc st env e1
+      else begin
+        st.stats.Vstats.inv_opens <-
+          st.stats.Vstats.inv_opens + List.length prog.invs;
+        let opened = { st with opened = List.map fst prog.invs } in
+        let open_sts =
+          List.fold_left
+            (fun sts (_, body) ->
+              List.concat_map (fun st -> inhale_cases st body) sts)
+            [ opened ] prog.invs
+          |> List.map compat_facts
+          |> List.filter feasible
+        in
+        open_sts
+        |> List.concat_map (fun st -> exec prog proc st env e1)
+        |> List.map (fun (st_end, res) ->
+               (* Close: every invariant body must be re-established
+                  and is handed back to the registry. *)
+               let st_end =
+                 List.fold_left
+                   (fun st (_, body) -> consume st body)
+                   st_end prog.invs
+               in
+               ({ st_end with opened = [] }, res))
+      end
   | HL.App _ -> exec_call prog proc st env e
   | HL.Rec _ | HL.PairE _ | HL.Fst _ | HL.Snd _ | HL.InjLE _ | HL.InjRE _
   | HL.Case _ ->
@@ -401,7 +470,7 @@ let decided = function
     instead of shipping the full hypothesis list to a fresh solver per
     query. Sessions are per-procedure (never shared across jobs), so
     the parallel engine's workers stay isolated. *)
-let verify_proc ?(heap_dep = true) ?(absint = true)
+let verify_proc ?(heap_dep = true) ?(absint = true) ?(seed = 0)
     ?(srcmap : Diag.srcmap = []) ?stats (prog : program) (proc : proc) :
     outcome =
   match
@@ -412,7 +481,10 @@ let verify_proc ?(heap_dep = true) ?(absint = true)
     (* [create] is inside the guarded region: it enforces the
        declaration-time stability of every predicate body (DA012). *)
     let session = Smt.Session.create () in
-    let st = create ~heap_dep ~absint ~session ?stats ~penv:prog.preds () in
+    let st =
+      create ~heap_dep ~absint ~seed ~session ?stats ~penv:prog.preds
+        ~invs:prog.invs ()
+    in
     inhale_cases st proc.requires
     |> List.iter (fun st ->
            exec prog proc st Smap.empty proc.body
@@ -435,8 +507,9 @@ let verify_proc ?(heap_dep = true) ?(absint = true)
 (** Verify every procedure of a program; returns per-procedure
     outcomes. A shared [stats] instance accumulates across all
     procedures. *)
-let verify ?heap_dep ?absint ?srcmap ?stats (prog : program) :
+let verify ?heap_dep ?absint ?seed ?srcmap ?stats (prog : program) :
     (string * outcome) list =
   List.map
-    (fun p -> (p.pname, verify_proc ?heap_dep ?absint ?srcmap ?stats prog p))
+    (fun p ->
+      (p.pname, verify_proc ?heap_dep ?absint ?seed ?srcmap ?stats prog p))
     prog.procs

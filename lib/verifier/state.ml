@@ -24,6 +24,20 @@ type t = {
   session : Smt.Session.t;
       (** the procedure's incremental solver session, shared (mutably)
           by every branch state forked from this one — see {!entails} *)
+  invs : (string * A.t) list;
+      (** named-invariant registry: shared-state assertions opened (and
+          re-established) at every [atomic] section *)
+  opened : string list;
+      (** names of the invariants currently open in this state — the
+          mask; non-empty exactly inside an atomic section, and a
+          second open while non-empty is the DA026 reentrancy error *)
+  sched : Heaplang.Step.Sched.t option;
+      (** interleaving scheduler ([--seed]): permutes the order in
+          which [par] branches are explored. Verdicts are
+          schedule-independent by construction (every branch is
+          verified regardless of order), which the seed makes
+          checkable rather than aspirational; [None] is the
+          deterministic left-first default *)
   pures : T.t list;  (** path condition; always heap-read-free *)
   absenv : Absdom.t;
       (** interval×parity abstraction of [pures], maintained
@@ -33,8 +47,8 @@ type t = {
   chunks : A.t list;  (** Points_to / Ghost / Pred *)
 }
 
-let create ?(heap_dep = true) ?(absint = true) ?(penv = Smap.empty) ?session
-    ?stats () =
+let create ?(heap_dep = true) ?(absint = true) ?(penv = Smap.empty)
+    ?(invs = []) ?(seed = 0) ?session ?stats () =
   (* Declaration-time stability: [A.stable]'s [Pred _ -> true] case is
      sound only if every predicate body in scope is itself stable — a
      chunk stands for its body under interference. Enforced here (and
@@ -48,6 +62,19 @@ let create ?(heap_dep = true) ?(absint = true) ?(penv = Smap.empty) ?session
            its body's footprint"
           def.A.pname)
     penv;
+  (* Same discipline for named invariants (DA028): an invariant chunk
+     stands for its body *between* atomic sections, under arbitrary
+     interference from other threads — an unstable body would be
+     meaningless the moment the section closes. *)
+  List.iter
+    (fun (n, body) ->
+      if not (A.stable body) then
+        Diag.spec_error ~code:"DA028"
+          ~loc:(Diag.loc (Diag.Inv n) Diag.Inv_body)
+          "invariant %s is unstable at declaration: a heap read escapes \
+           its body's footprint"
+          n)
+    invs;
   let stats = match stats with Some s -> s | None -> Vstats.create () in
   let session =
     match session with Some s -> s | None -> Smt.Session.create ()
@@ -59,6 +86,11 @@ let create ?(heap_dep = true) ?(absint = true) ?(penv = Smap.empty) ?session
     absint;
     stats;
     session;
+    invs;
+    opened = [];
+    sched =
+      (if seed = 0 then None
+       else Some (Heaplang.Step.Sched.create ~seed));
     pures = [];
     absenv = Absdom.top;
     chunks = [];
@@ -276,6 +308,38 @@ let coalesce (st : t) (loc : T.t) : t =
           | _ -> st)
         st' rest
   | _ -> st
+
+(** Composition-validity facts, recorded after opening the named
+    invariants on top of already-owned chunks: two points-to chunks
+    whose fractions sum above one cannot sit at the same location
+    (fractional composition is valid), so the disequality is a fact.
+    This prunes the impossible aliasing cases an open would otherwise
+    introduce — e.g. a state that owns a full cell the invariant also
+    governs in the current disjunct. *)
+let compat_facts (st : t) : t =
+  let pts =
+    List.filter_map
+      (function
+        | A.Points_to { loc; frac; _ } -> Some (loc, frac)
+        | _ -> None)
+      st.chunks
+  in
+  let rec go st = function
+    | [] -> st
+    | (l1, q1) :: rest ->
+        let st =
+          List.fold_left
+            (fun st (l2, q2) ->
+              (* syntactically equal locations make the disequality
+                 unsatisfiable — exactly right: such a state is
+                 contradictory and gets pruned by [feasible] *)
+              if Q.gt (Q.add q1 q2) Q.one then add_pure st (T.neq l1 l2)
+              else st)
+            st rest
+        in
+        go st rest
+  in
+  go st pts
 
 (** Remove an assertion from the state, checking pure obligations.
     Mirrors {!Baselogic.Kernel.entail_auto} without building

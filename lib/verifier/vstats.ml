@@ -22,6 +22,12 @@ type t = {
   mutable absint_abstained : int;
       (** obligations the pre-discharge saw but could not decide,
           falling through to the solver *)
+  mutable par_branches : int;  (** par branches symbolically executed *)
+  mutable inv_opens : int;
+      (** named-invariant openings at atomic sections *)
+  mutable interference_havocs : int;
+      (** interference points where the footprint was havocked
+          (par forks/joins) *)
 }
 
 let create () =
@@ -36,6 +42,9 @@ let create () =
     calls = 0;
     absint_discharged = 0;
     absint_abstained = 0;
+    par_branches = 0;
+    inv_opens = 0;
+    interference_havocs = 0;
   }
 
 let reset s =
@@ -48,7 +57,10 @@ let reset s =
   s.loops <- 0;
   s.calls <- 0;
   s.absint_discharged <- 0;
-  s.absint_abstained <- 0
+  s.absint_abstained <- 0;
+  s.par_branches <- 0;
+  s.inv_opens <- 0;
+  s.interference_havocs <- 0
 
 let copy s = { s with obligations = s.obligations }
 
@@ -65,12 +77,16 @@ let sum a b =
     calls = a.calls + b.calls;
     absint_discharged = a.absint_discharged + b.absint_discharged;
     absint_abstained = a.absint_abstained + b.absint_abstained;
+    par_branches = a.par_branches + b.par_branches;
+    inv_opens = a.inv_opens + b.inv_opens;
+    interference_havocs = a.interference_havocs + b.interference_havocs;
   }
 
 let pp ppf s =
   Fmt.pf ppf
     "obligations=%d chunks=%d resolutions=%d stab=%d unstable-dropped=%d \
-     branches=%d loops=%d calls=%d absint=%d/%d"
+     branches=%d loops=%d calls=%d absint=%d/%d par=%d inv-opens=%d \
+     havocs=%d"
     s.obligations s.chunk_matches s.resolutions s.stab_checks
     s.unstable_facts s.branches s.loops s.calls s.absint_discharged
-    s.absint_abstained
+    s.absint_abstained s.par_branches s.inv_opens s.interference_havocs

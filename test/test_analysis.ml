@@ -411,22 +411,22 @@ let test_spec_error_routing () =
       ~ghost:[ ("f", [ V.Fold ("nope", []) ]) ]
       "p"
   in
-  failed_with "DA001" { V.procs = [ p ]; preds = Smap.empty } p;
+  failed_with "DA001" { V.procs = [ p ]; preds = Smap.empty; invs = [] } p;
   (* DA003: unknown procedure *)
   let p = proc ~body:(HL.App (HL.Var "nosuch", HL.Val (HL.Int 1))) "p" in
-  failed_with "DA003" { V.procs = [ p ]; preds = Smap.empty } p;
+  failed_with "DA003" { V.procs = [ p ]; preds = Smap.empty; invs = [] } p;
   (* DA004: arity mismatch at a call site *)
   let callee = proc ~params:[ "a"; "b" ] "callee" in
   let p = proc ~body:(HL.App (HL.Var "callee", HL.Val (HL.Int 1))) "p" in
-  failed_with "DA004" { V.procs = [ callee; p ]; preds = Smap.empty } p;
+  failed_with "DA004" { V.procs = [ callee; p ]; preds = Smap.empty; invs = [] } p;
   (* DA008: while without invariant *)
   let p =
     proc ~body:(HL.While (HL.Val (HL.Bool false), HL.Val HL.Unit)) "p"
   in
-  failed_with "DA008" { V.procs = [ p ]; preds = Smap.empty } p;
+  failed_with "DA008" { V.procs = [ p ]; preds = Smap.empty; invs = [] } p;
   (* DA009: ghost mark with no block *)
   let p = proc ~body:(HL.GhostMark "gone") "p" in
-  failed_with "DA009" { V.procs = [ p ]; preds = Smap.empty } p;
+  failed_with "DA009" { V.procs = [ p ]; preds = Smap.empty; invs = [] } p;
   (* DA012: State.create refuses an unstable predicate environment *)
   let shaky =
     {

@@ -110,6 +110,69 @@ let test_assert_ghost () =
   | Interp.Value Unit -> ()
   | _ -> Alcotest.fail "ghost marks are runtime no-ops"
 
+(* Concurrency: [par] forks, [atomic] is indivisible, and the seeded
+   scheduler is deterministic per seed. *)
+
+let racy_incr l by =
+  let open Syntax in
+  store (Val (Loc l)) (load (Val (Loc l)) + int by)
+
+let par_over_cell ~atomic_sections =
+  (* one cell at address 0:
+     ref 0; par { #0 <- !#0 + 1 } { #0 <- !#0 + 10 }; !#0 *)
+  let open Syntax in
+  let wrap e = if atomic_sections then Atomic e else e in
+  seq (alloc (int 0))
+    (seq
+       (Par (wrap (racy_incr 0 1), wrap (racy_incr 0 10)))
+       (load (Val (Loc 0))))
+
+let interp_int ?seed e =
+  match Interp.run ?seed e with
+  | Interp.Value (Int n) -> n
+  | r ->
+      Alcotest.failf "expected an int, got %s"
+        (match r with
+        | Interp.Value v -> Fmt.str "%a" pp_value v
+        | Interp.Error m -> m
+        | Interp.Timeout -> "timeout")
+
+let test_par_atomic () =
+  (* par of values joins to unit *)
+  (match Interp.run (Par (Val (Int 1), Val (Int 2))) with
+  | Interp.Value Unit -> ()
+  | _ -> Alcotest.fail "par must join to unit");
+  (* the unseeded machine is left-first: no interleaving, no lost
+     update even without atomic sections *)
+  Alcotest.(check int) "left-first" 11
+    (interp_int (par_over_cell ~atomic_sections:false));
+  (* atomic sections make both increments land under every seed *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check int)
+        (Printf.sprintf "atomic seed=%d" seed)
+        11
+        (interp_int ~seed (par_over_cell ~atomic_sections:true)))
+    [ 1; 2; 3; 4; 5 ];
+  (* without atomic sections some interleaving loses an update — the
+     scheduler really does interleave *)
+  let results =
+    List.init 100 (fun i ->
+        interp_int ~seed:(i + 1) (par_over_cell ~atomic_sections:false))
+  in
+  Alcotest.(check bool) "all results are race outcomes" true
+    (List.for_all (fun n -> n = 1 || n = 10 || n = 11) results);
+  Alcotest.(check bool) "some interleaving loses an update" true
+    (List.exists (fun n -> n <> 11) results);
+  (* same seed, same schedule, same result *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check int)
+        (Printf.sprintf "deterministic seed=%d" seed)
+        (interp_int ~seed (par_over_cell ~atomic_sections:false))
+        (interp_int ~seed (par_over_cell ~atomic_sections:false)))
+    [ 1; 7; 42 ]
+
 let test_stuck () =
   List.iter
     (fun (name, e) ->
@@ -219,6 +282,22 @@ let agreement =
          | Interp.Timeout, _ | _, None -> true (* fuel mismatch tolerated *)
          | _ -> false))
 
+(* Differential: on par-free programs the seeded scheduler is inert —
+   [run ~seed] agrees with plain sequential [run] for every seed.
+   [gen_prog] never emits [Par], so this pins down that the scheduler
+   only ever influences interleaving, not evaluation itself. *)
+
+let seeded_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"seeded-run-is-sequential-without-par"
+       ~count:300
+       (QCheck.make ~print:(Fmt.str "%a" pp_expr) gen_prog)
+       (fun e ->
+         let plain = Interp.run ~fuel:100_000 e in
+         List.for_all
+           (fun seed -> Interp.run ~fuel:100_000 ~seed e = plain)
+           [ 1; 2; 3 ]))
+
 (* Parser round-trips: parse, run, compare. *)
 let test_parser () =
   let runs src expected =
@@ -242,6 +321,15 @@ let test_parser () =
   runs "let l = ref 10 in FAA(l, 5) + !l" (Int 25);
   runs "assert (2 == 2); 1" (Int 1);
   runs "ghost step; 7" (Int 7);
+  runs "atomic { 1 + 2 }" (Int 3);
+  runs "let l = ref 0 in par { atomic { l <- !l + 1 } } { atomic { l <- !l + 2 } }; !l"
+    (Int 3);
+  (match Parser.parse_exn "par { 1 } { 2 }" with
+  | Par (Val (Int 1), Val (Int 2)) -> ()
+  | e -> Alcotest.failf "par parse shape: %a" pp_expr e);
+  (match Parser.parse_exn "atomic { !?l }" with
+  | Atomic (Load (Val (Sym "l"))) -> ()
+  | e -> Alcotest.failf "atomic parse shape: %a" pp_expr e);
   runs "let x = 3 in (* a comment *) x" (Int 3);
   (* closures compare physically; check the shape instead *)
   (match Interp.run (Parser.parse_exn "fun x -> x + 1") with
@@ -296,6 +384,7 @@ let () =
           Alcotest.test_case "case" `Quick test_case;
           Alcotest.test_case "assert-ghost" `Quick test_assert_ghost;
           Alcotest.test_case "int-conflation" `Quick test_int_conflation;
+          Alcotest.test_case "par-atomic" `Quick test_par_atomic;
           Alcotest.test_case "stuck" `Quick test_stuck;
         ] );
       ( "subst",
@@ -308,5 +397,5 @@ let () =
           Alcotest.test_case "surface-syntax" `Quick test_parser;
           parser_interp_agreement;
         ] );
-      ("differential", [ agreement ]);
+      ("differential", [ agreement; seeded_agreement ]);
     ]

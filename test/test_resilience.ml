@@ -40,7 +40,7 @@ let pigeonhole_proc n : V.program * V.proc =
       ghost = [];
     }
   in
-  ({ V.procs = [ proc ]; preds = Stdx.Smap.empty }, proc)
+  ({ V.procs = [ proc ]; preds = Stdx.Smap.empty; invs = [] }, proc)
 
 let with_faults ?seed probs f =
   F.configure ?seed probs;

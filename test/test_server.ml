@@ -104,14 +104,17 @@ let test_protocol_roundtrip () =
   in
   check_req
     (J.to_string
-       (P.verify_request ~id:(J.Num 7.0) ~lint:true ~absint:false
+       (P.verify_request ~id:(J.Num 7.0) ~lint:true ~absint:false ~seed:11
           ~timeout_ms:250.0 ~retries:2 (P.Entry "swap")))
     (function
       | P.Verify { id = J.Num 7.0; target = P.Entry "swap"; lint = true;
-                   absint = false; timeout_ms = Some 250.0;
+                   absint = false; seed = 11; timeout_ms = Some 250.0;
                    retries = Some 2 } ->
           ()
       | _ -> Alcotest.fail "verify fields");
+  check_req (J.to_string (P.verify_request (P.Entry "swap"))) (function
+    | P.Verify { seed = 0; _ } -> ()
+    | _ -> Alcotest.fail "seed defaults to 0");
   check_req
     (J.to_string
        (P.verify_request (P.Source { file = "f.hl"; source = "src" })))
@@ -386,8 +389,17 @@ let with_daemon cfg f =
       (if not !finished then
          match Server.Client.connect cfg.Server.Daemon.socket_path with
          | Ok c ->
-             (try ignore (Server.Client.rpc c (P.shutdown_request ()))
-              with _ -> ());
+             (* Under chaos testing an injected socket fault can garble
+                the shutdown request itself (the daemon answers with an
+                error and keeps serving), so retry until acknowledged —
+                otherwise the join below waits forever. *)
+             let rec shut attempts =
+               if attempts > 0 then
+                 match Server.Client.rpc c (P.shutdown_request ()) with
+                 | Ok resp when get_bool resp "ok" -> ()
+                 | Ok _ | Error _ -> shut (attempts - 1)
+             in
+             (try shut 50 with _ -> ());
              Server.Client.close c
          | Error _ -> ());
       match Domain.join dom with

@@ -55,6 +55,11 @@ let twins =
     ("shared_read.hl", "shared_read");
     ("list_length.hl", "list_length");
     ("bad_swap.hl", "bad_swap");
+    ("spinlock.hl", "spinlock");
+    ("ticket_lock.hl", "ticket_lock");
+    ("treiber.hl", "treiber");
+    ("lock_noinv.hl", "lock_noinv");
+    ("da027_racy_par.hl", "racy_incr");
   ]
 
 let verdicts prog =

@@ -134,7 +134,7 @@ let test_mutation_invalidates () =
                A.Pure (T.eq (Baselogic.Hterm.deref (T.var "l")) (T.int 9)));
     }
   in
-  let prog = { V.procs = [ stale; fixed ]; preds = Smap.empty } in
+  let prog = { V.procs = [ stale; fixed ]; preds = Smap.empty; invs = [] } in
   (match V.verify_proc prog stale with
   | V.Failed _ -> ()
   | o -> Alcotest.failf "stale heap fact must not survive a store: %a" V.pp_outcome o);
@@ -146,14 +146,14 @@ let test_generated_sizes () =
   List.iter
     (fun n ->
       let p, _ = Suite.Generators.straightline n in
-      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
+      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty; invs = [] } p with
       | V.Verified -> ()
       | o -> Alcotest.failf "straightline %d: %a" n V.pp_outcome o)
     [ 1; 3; 7 ];
   List.iter
     (fun k ->
       let p = Suite.Generators.multicell k in
-      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty } p with
+      match V.verify_proc { V.procs = [ p ]; preds = Smap.empty; invs = [] } p with
       | V.Verified -> ()
       | o -> Alcotest.failf "multicell %d: %a" k V.pp_outcome o)
     [ 1; 3; 5 ]
@@ -164,7 +164,7 @@ let test_spec_mutations () =
   List.iter
     (fun (name, proc, preds) ->
       let mutant = weaken_requires proc in
-      let prog = { V.procs = [ mutant ]; preds } in
+      let prog = { V.procs = [ mutant ]; preds; invs = [] } in
       match V.verify_proc prog mutant with
       | V.Failed _ -> ()
       | V.Verified ->
@@ -202,7 +202,7 @@ let test_verify_then_run () =
 
 (* Ghost commands: unit tests. *)
 let test_ghost_cmds () =
-  let prog = { V.procs = []; preds = Suite.Programs.clist_preds } in
+  let prog = { V.procs = []; preds = Suite.Programs.clist_preds; invs = [] } in
   let st = St.create ~penv:Suite.Programs.clist_preds () in
   (* fold nil: p = -1, n = 0 *)
   let st =
@@ -259,7 +259,7 @@ let test_unstable_pred_decl () =
       ghost = [];
     }
   in
-  (match V.verify_proc { V.procs = [ user ]; preds } user with
+  (match V.verify_proc { V.procs = [ user ]; preds; invs = [] } user with
   | V.Verified -> Alcotest.fail "unstable predicate body must be rejected"
   | (V.Timeout _ | V.Resource_out _ | V.Crashed _) as o ->
       Alcotest.failf "unstable predicate: unexpected outcome %a" V.pp_outcome o
@@ -272,6 +272,59 @@ let test_unstable_pred_decl () =
       Alcotest.(check bool) "failure names DA012" true mentions_da012);
   (* the stable clist definitions still load fine *)
   ignore (St.create ~penv:Suite.Programs.clist_preds ())
+
+(* Scheduler permutation: verdicts are independent of [--seed]. The
+   symbolic executor verifies every par branch under every schedule —
+   the seed only permutes exploration order — so positives stay
+   verified and negatives keep failing, message for message. *)
+let test_seed_independence () =
+  List.iter
+    (fun name ->
+      let e =
+        match
+          List.find_opt
+            (fun (e : Suite.Programs.entry) -> String.equal e.name name)
+            Suite.Programs.all
+        with
+        | Some e -> e
+        | None -> Alcotest.failf "no suite entry %s" name
+      in
+      let base = V.verify e.prog in
+      List.iter
+        (fun seed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: seed %d ≡ seed 0" name seed)
+            true
+            (V.verify ~seed e.prog = base))
+        [ 1; 2; 3 ])
+    [ "spinlock"; "ticket_lock"; "treiber"; "racy_incr"; "lock_noinv" ]
+
+(* The runtime side of DA026: a nested atomic section is rejected by
+   the symbolic executor itself (mask discipline), not only by the
+   static analyzer. *)
+let test_nested_atomic_exec () =
+  let c =
+    match
+      List.find_opt
+        (fun (c : Suite.Ill_formed.case) ->
+          String.equal c.Suite.Ill_formed.name "nested_atomic")
+        Suite.Ill_formed.all
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "no ill-formed case nested_atomic"
+  in
+  match V.verify c.Suite.Ill_formed.prog with
+  | [ (_, V.Failed m) ] ->
+      let mentions_da026 =
+        let n = String.length m in
+        let rec go i = i + 5 <= n && (String.sub m i 5 = "DA026" || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "failure names DA026" true mentions_da026
+  | os ->
+      Alcotest.failf "nested atomic: expected one failure, got %a"
+        Fmt.(list ~sep:sp (pair string V.pp_outcome))
+        os
 
 let () =
   Alcotest.run "verifier"
@@ -302,5 +355,9 @@ let () =
           Alcotest.test_case "generated-sizes" `Quick test_generated_sizes;
           Alcotest.test_case "spec-mutations" `Quick test_spec_mutations;
           Alcotest.test_case "verify-then-run" `Quick test_verify_then_run;
+          Alcotest.test_case "seed-independence" `Quick
+            test_seed_independence;
+          Alcotest.test_case "nested-atomic-exec" `Quick
+            test_nested_atomic_exec;
         ] );
     ]
