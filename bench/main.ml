@@ -679,6 +679,49 @@ let serve_throughput () =
                   lats))
           |> List.concat_map Domain.join)
     in
+    (* Degraded: the same warm daemon under seeded worker-crash and
+       socket faults, driven by retrying session clients. Every
+       request must still converge to an [ok] response; the column
+       quantifies what supervision + retries cost against the warm
+       ceiling. *)
+    let degr, degr_wall =
+      Stdx.Fault.configure ~seed:17
+        [ (Stdx.Fault.Worker, 0.1); (Stdx.Fault.Socket, 0.05) ];
+      Fun.protect ~finally:Stdx.Fault.clear (fun () ->
+          time (fun () ->
+              List.init workers (fun _ ->
+                  Domain.spawn (fun () ->
+                      let s =
+                        SC.open_session
+                          ~retry:
+                            {
+                              SC.attempts = 50;
+                              base_delay_ms = 1.0;
+                              max_delay_ms = 50.0;
+                            }
+                          socket
+                      in
+                      let one name =
+                        let t0 = Unix.gettimeofday () in
+                        let ok =
+                          match
+                            SC.request s (SP.verify_request (SP.Entry name))
+                          with
+                          | Ok v ->
+                              Option.bind (SJ.member "ok" v) SJ.to_bool
+                              = Some true
+                          | Error _ -> false
+                        in
+                        ((Unix.gettimeofday () -. t0) *. 1000.0, ok)
+                      in
+                      let lats =
+                        List.concat
+                          (List.init reps (fun _ -> List.map one entries))
+                      in
+                      SC.close_session s;
+                      lats))
+              |> List.concat_map Domain.join))
+    in
     let c = connect () in
     ignore (SC.rpc c (SP.shutdown_request ()));
     SC.close c;
@@ -700,7 +743,22 @@ let serve_throughput () =
     in
     let cold_fields = row "cold" cold cold_wall in
     let warm_fields = row "warm" warm warm_wall in
-    let fields = cold_fields @ warm_fields in
+    let degr_fields = row "degr" degr degr_wall in
+    if not (List.for_all snd degr) then begin
+      printf
+        "FAIL: a request never converged under faults (the retrying \
+         session must absorb worker=0.1,socket=0.05)\n";
+      exit 1
+    end;
+    let ratio pass fields =
+      match List.assoc_opt (pass ^ "_reqs_per_s") fields with
+      | Some v when v > 0.0 -> v
+      | _ -> nan
+    in
+    printf "  (degraded retains %.0f%% of warm req/s under \
+            worker=0.1,socket=0.05,seed=17)\n"
+      (100.0 *. ratio "degr" degr_fields /. ratio "warm" warm_fields);
+    let fields = cold_fields @ warm_fields @ degr_fields in
     serve_json :=
       (Printf.sprintf "serve_j%d" workers, fields) :: !serve_json
   in

@@ -215,7 +215,8 @@ let faults_arg =
         ~doc:
           "Activate seeded fault injection for chaos testing, e.g. \
            $(b,session=0.3,cache=0.1,seed=42). Sites: solver, session, \
-           cache, pool. Equivalent to setting $(b,DAENERYS_FAULTS).")
+           cache, pool, socket, worker, stall, disk. Equivalent to \
+           setting $(b,DAENERYS_FAULTS).")
 
 let json_flag =
   Arg.(
@@ -604,10 +605,72 @@ let serve_cmd =
             "Max queued requests per client; further submissions get an \
              immediate $(b,busy) response instead of unbounded buffering.")
   in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Global pending-request budget across all clients. Above it \
+             new solve work is shed with $(b,busy) + a retry-after hint, \
+             while lint and verdict-cache hits keep being served inline \
+             (degraded mode). 0 disables shedding.")
+  in
+  let breaker_arg =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.breaker_threshold
+      & info [ "breaker" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker: quarantine a request digest after $(docv) \
+             consecutive worker crashes; quarantined requests are \
+             rejected immediately with a retry-after hint until the \
+             cooldown lets a probe through. 0 disables the breaker.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value
+      & opt float
+          Server.Daemon.default_config.Server.Daemon.breaker_cooldown_ms
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:"Quarantine duration before the breaker half-opens.")
+  in
+  let watchdog_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "Fixed watchdog budget per request. Default: derived from each \
+             request's own deadline/retry envelope (requests without a \
+             deadline are not watched).")
+  in
+  let watchdog_grace_arg =
+    Arg.(
+      value
+      & opt float Server.Daemon.default_config.Server.Daemon.watchdog_grace
+      & info [ "watchdog-grace" ] ~docv:"X"
+          ~doc:
+            "Watchdog grace factor: at budget x $(docv) the request's \
+             ambient budget is cancelled, at twice that the worker is \
+             declared stuck, its request answered with a retryable error, \
+             and the domain written off and replaced.")
+  in
+  let recycle_arg =
+    Arg.(
+      value
+      & opt int Server.Daemon.default_config.Server.Daemon.recycle_after
+      & info [ "recycle-after" ] ~docv:"N"
+          ~doc:
+            "Recycle a worker domain after $(docv) crashes on its slot \
+             (suspect domain-local state). 0 disables recycling.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const
-        (fun socket jobs cache_dir cache_mb queue timeout_ms retries faults ->
+        (fun socket jobs cache_dir cache_mb queue timeout_ms retries faults
+             max_inflight breaker breaker_cooldown_ms watchdog_ms
+             watchdog_grace recycle_after ->
           with_faults faults @@ fun () ->
           let cfg =
             {
@@ -619,6 +682,12 @@ let serve_cmd =
               cache_max_bytes = cache_mb * 1024 * 1024;
               timeout_ms;
               retries;
+              max_inflight;
+              breaker_threshold = breaker;
+              breaker_cooldown_ms;
+              watchdog_ms;
+              watchdog_grace;
+              recycle_after;
             }
           in
           Fmt.pr "daenerys: serving on %s (%d worker(s), cache: %s)@." socket
@@ -632,18 +701,17 @@ let serve_cmd =
               exit_ok
           | Error m -> fail_cli m)
       $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_mb_arg $ queue_arg
-      $ timeout_arg $ retries_arg $ faults_arg)
+      $ timeout_arg $ retries_arg $ faults_arg $ max_inflight_arg
+      $ breaker_arg $ breaker_cooldown_arg $ watchdog_ms_arg
+      $ watchdog_grace_arg $ recycle_arg)
 
-(** One round trip; [Error] covers transport failures and [ok:false]
-    responses (busy, unknown entry, injected fault, …). *)
-let client_rpc c req : (Json.t, string) result =
-  match Server.Client.rpc c req with
-  | Error _ as e -> e
-  | Ok resp ->
-      if Option.value ~default:false (Json.bool_member "ok" resp) then Ok resp
-      else
-        Error
-          (Option.value ~default:"daemon error" (Json.str_member "error" resp))
+(* The daemon either judged the request (wrong: exit 1) or was never
+   successfully asked — dead, unreachable, or still shedding after the
+   retry budget (gave up: exit 2). Conflating the two would let an
+   outage masquerade as a failed verification. *)
+let fail_unavailable msg =
+  Fmt.epr "daenerys: %s@." msg;
+  exit_gave_up
 
 let client_target name : (Server.Protocol.target, string) result =
   if is_hl name then
@@ -693,81 +761,114 @@ let client_cmd =
             "Per-request retry override; defaults to the daemon's \
              configured retries.")
   in
+  let retry_arg =
+    Arg.(
+      value
+      & opt int Server.Client.default_retry.Server.Client.attempts
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Client-side resilience: total attempts per request. Between \
+             attempts the client reconnects if needed and sleeps a \
+             jittered exponential backoff (or the daemon's retry-after \
+             hint, whichever is larger). Retried operations are \
+             idempotent, so this never changes a verdict — only whether \
+             one is obtained.")
+  in
+  let no_retry_flag =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:
+            "Fail fast: one attempt per request, no reconnect. Same as \
+             $(b,--retry 1).")
+  in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const
         (fun socket names suite stats shutdown json lint no_absint seed
-             timeout_ms retries ->
+             timeout_ms retries retry no_retry ->
           let absint = not no_absint in
-          match Server.Client.connect socket with
-          | Error m -> fail_cli m
-          | Ok c ->
-              Fun.protect
-                ~finally:(fun () -> Server.Client.close c)
-                (fun () ->
-                  let names =
-                    if suite then
-                      List.map (fun (e : Pr.entry) -> e.Pr.name) Pr.all
-                    else names
-                  in
-                  if stats then
-                    match client_rpc c (Server.Protocol.stats_request ()) with
-                    | Error m -> fail_cli m
-                    | Ok resp ->
-                        Fmt.pr "%s@."
-                          (Json.to_string
-                             (Option.value ~default:resp
-                                (Json.member "stats" resp)));
-                        exit_ok
-                  else if names = [] && not shutdown then
-                    fail_cli
-                      "nothing to do: give entry NAMEs, .hl files, --suite, \
-                       --stats or --shutdown"
-                  else
-                    let verify_one name =
-                      match client_target name with
-                      | Error m ->
-                          Fmt.epr "daenerys: %s@." m;
-                          exit_wrong
-                      | Ok target -> (
-                          match
-                            client_rpc c
-                              (Server.Protocol.verify_request ~lint ~absint
-                                 ~seed ?timeout_ms ?retries target)
-                          with
-                          | Error m ->
-                              Fmt.epr "daenerys: %s: %s@." name m;
-                              exit_wrong
-                          | Ok resp ->
-                              if json then
-                                Fmt.pr "%s@."
-                                  (Json.to_string
-                                     (Option.value ~default:resp
-                                        (Json.member "report" resp)))
-                              else
-                                Fmt.pr "%s"
-                                  (Option.value ~default:""
-                                     (Json.str_member "output" resp));
-                              Option.value ~default:exit_wrong
-                                (Json.int_member "exit" resp))
-                    in
-                    let ec =
-                      List.fold_left
-                        (fun acc n -> combine_exits acc (verify_one n))
-                        exit_ok names
-                    in
-                    if shutdown then
+          let retry =
+            {
+              Server.Client.default_retry with
+              Server.Client.attempts = (if no_retry then 1 else max 1 retry);
+            }
+          in
+          let s = Server.Client.open_session ~retry socket in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close_session s)
+            (fun () ->
+              let names =
+                if suite then
+                  List.map (fun (e : Pr.entry) -> e.Pr.name) Pr.all
+                else names
+              in
+              if stats then
+                match
+                  Server.Client.request s (Server.Protocol.stats_request ())
+                with
+                | Error (Server.Client.Fatal m) -> fail_cli m
+                | Error (Server.Client.Unavailable m) -> fail_unavailable m
+                | Ok resp ->
+                    Fmt.pr "%s@."
+                      (Json.to_string
+                         (Option.value ~default:resp
+                            (Json.member "stats" resp)));
+                    exit_ok
+              else if names = [] && not shutdown then
+                fail_cli
+                  "nothing to do: give entry NAMEs, .hl files, --suite, \
+                   --stats or --shutdown"
+              else
+                let verify_one name =
+                  match client_target name with
+                  | Error m ->
+                      Fmt.epr "daenerys: %s@." m;
+                      exit_wrong
+                  | Ok target -> (
                       match
-                        client_rpc c (Server.Protocol.shutdown_request ())
+                        Server.Client.request s
+                          (Server.Protocol.verify_request ~lint ~absint
+                             ~seed ?timeout_ms ?retries target)
                       with
-                      | Error m -> fail_cli m
-                      | Ok _ ->
-                          Fmt.pr "daenerys: shutdown acknowledged@.";
-                          ec
-                    else ec))
+                      | Error (Server.Client.Fatal m) ->
+                          Fmt.epr "daenerys: %s: %s@." name m;
+                          exit_wrong
+                      | Error (Server.Client.Unavailable m) ->
+                          Fmt.epr "daenerys: %s: %s@." name m;
+                          exit_gave_up
+                      | Ok resp ->
+                          if json then
+                            Fmt.pr "%s@."
+                              (Json.to_string
+                                 (Option.value ~default:resp
+                                    (Json.member "report" resp)))
+                          else
+                            Fmt.pr "%s"
+                              (Option.value ~default:""
+                                 (Json.str_member "output" resp));
+                          Option.value ~default:exit_wrong
+                            (Json.int_member "exit" resp))
+                in
+                let ec =
+                  List.fold_left
+                    (fun acc n -> combine_exits acc (verify_one n))
+                    exit_ok names
+                in
+                if shutdown then
+                  match
+                    Server.Client.request s
+                      (Server.Protocol.shutdown_request ())
+                  with
+                  | Error (Server.Client.Fatal m) -> fail_cli m
+                  | Error (Server.Client.Unavailable m) -> fail_unavailable m
+                  | Ok _ ->
+                      Fmt.pr "daenerys: shutdown acknowledged@.";
+                      ec
+                else ec))
           $ socket_arg $ names_arg $ suite_flag $ stats_flag $ shutdown_flag
           $ json_flag $ lint_flag $ no_absint_arg $ seed_arg $ timeout_arg
-          $ retries_opt_arg)
+          $ retries_opt_arg $ retry_arg $ no_retry_flag)
 
 let () =
   let doc = "a destabilized separation-logic verifier" in

@@ -3,8 +3,11 @@
 #   ./dev/check.sh
 # Runs the build, the full test suite, the static analyzer (suite +
 # examples must lint clean; the ill-formed suite must produce its
-# annotated codes), and a smoke run of the parallel engine (2 worker
-# domains, VC cache on, lint gate on) over the benchmark suite.
+# annotated codes), a smoke run of the parallel engine (2 worker
+# domains, VC cache on, lint gate on) over the benchmark suite, the
+# daemon gates (warm cache, restart, kill -9 crash recovery), and the
+# chaos gates (seeded faults at every injection site must never move
+# a verdict or kill the daemon).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -237,6 +240,101 @@ if [ -z "$disk_hits" ] || [ "$disk_hits" -eq 0 ]; then
 fi
 echo "restart: $disk_hits requests answered from the disk cache"
 stop_daemon
+rm -rf "$TMPD"
+trap - EXIT
+
+echo "== crash-recovery gate: kill -9, wreckage absorbed, verdicts intact =="
+# Populate the disk cache, kill the daemon without any chance to clean
+# up, fabricate the torn-write wreckage a real crash can leave behind,
+# and restart over the same directory: recovery must quarantine the
+# wreckage, the suite must answer from disk with identical verdicts,
+# and the recovery counters must be visible in stats.
+TMPD=$(mktemp -d)
+SOCK="$TMPD/daenerys.sock"
+CACHE="$TMPD/cache"
+SRV=""
+trap '[ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null; rm -rf "$TMPD"' EXIT
+
+start_daemon
+before=$("$DAE" client --socket "$SOCK" --suite --json)
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+SRV=""
+# kill -9 never runs the cleanup path: the socket file must still be
+# there for the restart to displace as stale.
+[ -S "$SOCK" ] || { echo "FAIL: kill -9 should leave the socket file" >&2; exit 1; }
+# Torn entry (rename happened, bytes are garbage) + a temp file from a
+# long-dead writer pid (mid-publication crash).
+printf 'DAEVC1\ngarbage' > "$CACHE/$(printf 'a%.0s' $(seq 32)).vc"
+printf 'half-written' > "$CACHE/.tmp.999999999.0"
+start_daemon
+after=$("$DAE" client --socket "$SOCK" --suite --json)
+if [ "$(echo "$before" | verdicts)" != "$(echo "$after" | verdicts)" ]; then
+  echo "FAIL: post-crash verdicts differ from pre-crash verdicts" >&2; exit 1
+fi
+stats=$("$DAE" client --socket "$SOCK" --stats)
+for key in disk_hits recovered_tmp recovered_torn; do
+  val=$(echo "$stats" | grep -o "\"$key\":[0-9]*" | head -1 | cut -d: -f2)
+  if [ -z "$val" ] || [ "$val" -eq 0 ]; then
+    echo "FAIL: stats $key is '${val:-missing}' after crash recovery" >&2
+    echo "$stats" >&2
+    exit 1
+  fi
+done
+echo "crash recovery: wreckage absorbed, verdicts identical, disk cache reused"
+stop_daemon
+rm -rf "$TMPD"
+trap - EXIT
+
+echo "== chaos gate: supervised daemon under worker/stall/disk/cache/socket faults =="
+# Fixed-seed faults at every supervisor-facing site at once: workers
+# crash, workers stall past their watchdog budget, disk publishes tear,
+# cache loads corrupt, sockets reset. The daemon must survive the whole
+# suite (no process death), retrying clients must converge, and the
+# verdict manifest must be byte-identical to a fault-free run.
+TMPD=$(mktemp -d)
+SOCK="$TMPD/daenerys.sock"
+CACHE="$TMPD/cache"
+SRV=""
+trap '[ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null; rm -rf "$TMPD"' EXIT
+
+start_daemon
+baseline=$("$DAE" client --socket "$SOCK" --suite --json)
+stop_daemon
+rm -rf "$CACHE"
+
+start_chaos_daemon() {
+  "$DAE" serve --socket "$SOCK" -j 2 --cache-dir "$CACHE" \
+    --watchdog-ms 150 --watchdog-grace 1.0 \
+    --faults "worker=0.05,stall=0.02,disk=0.2,cache=0.2,socket=0.1,seed=13" &
+  SRV=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "FAIL: chaos daemon did not bind" >&2; exit 1; }
+    sleep 0.05
+  done
+}
+start_chaos_daemon
+for round in 1 2 3; do
+  chaos=$("$DAE" client --socket "$SOCK" --retry 100 --suite --json)
+  if [ "$(echo "$baseline" | verdicts)" != "$(echo "$chaos" | verdicts)" ]; then
+    echo "FAIL: chaos round $round moved a verdict" >&2; exit 1
+  fi
+  kill -0 "$SRV" 2>/dev/null || {
+    echo "FAIL: daemon died during chaos round $round" >&2; exit 1; }
+done
+stats=$("$DAE" client --socket "$SOCK" --retry 100 --stats)
+for key in crashes respawns; do
+  echo "$stats" | grep -q "\"$key\":" || {
+    echo "FAIL: chaos stats missing $key" >&2; echo "$stats" >&2; exit 1; }
+done
+crashes=$(echo "$stats" | grep -o '"crashes":[0-9]*' | head -1 | cut -d: -f2)
+stalls=$(echo "$stats" | grep -o '"stalls":[0-9]*' | head -1 | cut -d: -f2)
+echo "chaos: 3 suite rounds byte-identical to fault-free (worker crashes=$crashes stalls=$stalls, daemon alive)"
+"$DAE" client --socket "$SOCK" --retry 100 --shutdown >/dev/null
+wait "$SRV" || { echo "FAIL: chaos daemon exited non-zero" >&2; exit 1; }
+SRV=""
 rm -rf "$TMPD"
 trap - EXIT
 

@@ -56,7 +56,14 @@ let run_once (job : t) vstats ~timeout_ms : V.outcome =
     match timeout_ms with
     | None -> verify ()
     | Some ms ->
-        Stdx.Budget.with_budget (Stdx.Budget.create ~timeout_ms:ms ()) verify
+        (* Chain to the ambient budget rather than shadowing it: the
+           daemon's supervisor installs a cancellation-only budget
+           around the whole request, and the watchdog's soft preemption
+           (cancel from another domain) must reach the solver loops
+           through this per-attempt deadline budget. *)
+        Stdx.Budget.with_budget
+          (Stdx.Budget.create ?parent:(Stdx.Budget.current ()) ~timeout_ms:ms ())
+          verify
   with
   | o -> o
   | exception

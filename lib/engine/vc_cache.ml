@@ -97,6 +97,22 @@ let build_fingerprint =
 
 type disk_meta = { size : int; mutable stamp : int (* LRU clock *) }
 
+(** What the startup recovery scan found and repaired. A kill -9 can
+    interrupt the store protocol at two points — after the temp write
+    but before the [rename] (orphaned [.tmp.*] litter), and between an
+    eviction's journal write and its deletes (a journal left behind) —
+    and although [rename] itself is atomic, entries can still be torn
+    by the filesystem or by siblings writing the path directly. All
+    three are detected and repaired before the cache serves its first
+    probe. *)
+type recovery = {
+  mutable tmp_swept : int;  (** orphaned temp files removed *)
+  mutable torn_quarantined : int;  (** undecodable entries moved aside *)
+  mutable journal_replayed : int;  (** eviction intents completed *)
+}
+
+let no_recovery () = { tmp_swept = 0; torn_quarantined = 0; journal_replayed = 0 }
+
 type disk = {
   dir : string;
   max_bytes : int;
@@ -106,6 +122,7 @@ type disk = {
   mutable total : int;  (** bytes accounted in [index] *)
   mutable clock : int;
   tmp_seq : int Atomic.t;  (** unique temp-file names within a process *)
+  recovery : recovery;  (** what the startup scan repaired *)
 }
 
 type t = {
@@ -163,42 +180,6 @@ let mkdir_p dir =
   in
   go dir
 
-(** [create ()] is the PR 1 memory-only cache (per-run, CLI default).
-    [create ~disk_dir ()] adds the persistent tier; [max_bytes] bounds
-    it (default 256 MB) and [fingerprint] overrides the build digest
-    (tests use this to simulate a rebuild). *)
-let create ?disk_dir ?(max_bytes = 256 * 1024 * 1024) ?fingerprint () =
-  let disk =
-    Option.map
-      (fun dir ->
-        mkdir_p dir;
-        let index = Hashtbl.create 1024 in
-        let total, clock = scan_dir dir index in
-        {
-          dir;
-          max_bytes;
-          fingerprint =
-            (match fingerprint with
-            | Some f -> f
-            | None -> Lazy.force build_fingerprint);
-          dlock = Mutex.create ();
-          index;
-          total;
-          clock;
-          tmp_seq = Atomic.make 0;
-        })
-      disk_dir
-  in
-  {
-    tbl = Hashtbl.create 4096;
-    lock = Mutex.create ();
-    hits = Atomic.make 0;
-    disk_hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    corrupt = Atomic.make 0;
-    disk;
-  }
-
 (** Validate an entry and surrender its payload bytes. The cache is
     payload-agnostic — the VC tier stores marshaled solver results,
     the verdict tier whole-group outcomes; both ride the same digest
@@ -229,27 +210,56 @@ let disk_remove (d : disk) hex =
 (** Evict least-recently-used entries until the accounted total fits.
     Called with fresh stores; the just-written entry carries the
     highest stamp, so it is evicted only if it alone exceeds the
-    bound. *)
+    bound.
+
+    The pass is {e journaled}: the full victim list is computed under
+    the lock, written to an [evict.<pid>.<seq>.journal] file (published
+    atomically, like entries), and only then deleted. A crash anywhere
+    in the window leaves either no journal (nothing lost) or a journal
+    whose replay at the next startup completes exactly the deletes
+    that were already condemned — the index and the directory can
+    never silently disagree. *)
 let disk_evict_to_bound (d : disk) =
-  let victim () =
+  let victims =
     Mutex.protect d.dlock (fun () ->
-        if d.total <= d.max_bytes then None
-        else
-          Hashtbl.fold
-            (fun hex m acc ->
-              match acc with
-              | Some (_, s) when s <= m.stamp -> acc
-              | _ -> Some (hex, m.stamp))
-            d.index None)
+        if d.total <= d.max_bytes then []
+        else begin
+          let entries =
+            Hashtbl.fold (fun hex m acc -> (hex, m) :: acc) d.index []
+            |> List.sort (fun (_, a) (_, b) -> compare a.stamp b.stamp)
+          in
+          let rec condemn acc total = function
+            | [] -> acc
+            | _ when total <= d.max_bytes -> acc
+            | (hex, m) :: rest -> condemn (hex :: acc) (total - m.size) rest
+          in
+          condemn [] d.total entries
+        end)
   in
-  let rec go () =
-    match victim () with
-    | None -> ()
-    | Some (hex, _) ->
-        disk_remove d hex;
-        go ()
-  in
-  go ()
+  if victims <> [] then begin
+    let jpath =
+      Filename.concat d.dir
+        (Printf.sprintf "evict.%d.%d.journal" (Unix.getpid ())
+           (Atomic.fetch_and_add d.tmp_seq 1))
+    in
+    let jtmp =
+      Filename.concat d.dir
+        (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+           (Atomic.fetch_and_add d.tmp_seq 1))
+    in
+    (match
+       let oc = open_out_bin jtmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           List.iter (fun hex -> output_string oc (hex ^ "\n")) victims);
+       Sys.rename jtmp jpath
+     with
+    | () -> ()
+    | exception _ -> ( try Sys.remove jtmp with _ -> ()));
+    List.iter (disk_remove d) victims;
+    try Sys.remove jpath with _ -> ()
+  end
 
 (* On-disk framing. Deliberately NOT [Marshal]: unmarshalling
    corrupted bytes can crash the runtime, and disk entries are exactly
@@ -301,6 +311,141 @@ let decode_entry bytes : (string * entry) option =
     end
   with _ -> None
 
+(* --- crash recovery --------------------------------------------- *)
+
+let quarantine_subdir = "quarantine"
+let tmp_prefix = ".tmp."
+let journal_prefix = "evict."
+let journal_suffix = ".journal"
+
+let is_journal f =
+  String.starts_with ~prefix:journal_prefix f
+  && Filename.check_suffix f journal_suffix
+
+(* Temp files are named [.tmp.<pid>.<seq>]; the pid tells recovery
+   whether the writer can still publish it. *)
+let tmp_owner_pid f =
+  match String.split_on_char '.' f with
+  | "" :: "tmp" :: pid :: _ -> int_of_string_opt pid
+  | _ -> None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true (* EPERM and friends: someone owns it *)
+
+(** Move a damaged entry aside rather than deleting it: torn files are
+    evidence of a crash or a bad disk, and an operator may want to
+    inspect them. Deletion is the fallback when the move fails. *)
+let quarantine_file dir f =
+  let src = Filename.concat dir f in
+  let qdir = Filename.concat dir quarantine_subdir in
+  try
+    mkdir_p qdir;
+    Sys.rename src (Filename.concat qdir f);
+    true
+  with _ -> ( try Sys.remove src; true with _ -> false)
+
+(** The startup recovery pass over a cache directory, in publication
+    order: complete interrupted evictions (their journals record
+    exactly which entries were condemned), sweep temp files whose
+    writer is gone, then validate every remaining entry end-to-end —
+    framing, digest — and quarantine the torn ones. Only files that
+    survive all three are indexed. *)
+let recover_dir dir (r : recovery) =
+  let files = match Sys.readdir dir with exception _ -> [||] | fs -> fs in
+  Array.iter
+    (fun f ->
+      if is_journal f then begin
+        let path = Filename.concat dir f in
+        (match read_file path with
+        | exception _ -> ()
+        | bytes ->
+            String.split_on_char '\n' bytes
+            |> List.iter (fun hex ->
+                   let hex = String.trim hex in
+                   if hex <> "" then begin
+                     (try Sys.remove (Filename.concat dir (hex ^ suffix))
+                      with _ -> ());
+                     r.journal_replayed <- r.journal_replayed + 1
+                   end));
+        try Sys.remove path with _ -> ()
+      end)
+    files;
+  Array.iter
+    (fun f ->
+      if String.starts_with ~prefix:tmp_prefix f then begin
+        let orphaned =
+          match tmp_owner_pid f with
+          | Some pid when pid = Unix.getpid () -> false
+          | Some pid -> not (pid_alive pid)
+          | None -> true
+        in
+        if orphaned then begin
+          (try Sys.remove (Filename.concat dir f) with _ -> ());
+          r.tmp_swept <- r.tmp_swept + 1
+        end
+      end)
+    files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f suffix then begin
+        let torn =
+          match read_file (Filename.concat dir f) with
+          | exception _ -> false (* vanished or unreadable: skip, don't judge *)
+          | bytes -> (
+              match decode_entry bytes with
+              | None -> true
+              | Some (_, e) -> not (String.equal (Digest.string e.payload) e.digest))
+        in
+        if torn && quarantine_file dir f then
+          r.torn_quarantined <- r.torn_quarantined + 1
+      end)
+    files
+
+(** [create ()] is the PR 1 memory-only cache (per-run, CLI default).
+    [create ~disk_dir ()] adds the persistent tier; [max_bytes] bounds
+    it (default 256 MB) and [fingerprint] overrides the build digest
+    (tests use this to simulate a rebuild). [recover] (default on)
+    runs the crash-recovery pass before the directory is indexed;
+    turning it off reproduces the pre-recovery behavior for tests. *)
+let create ?disk_dir ?(max_bytes = 256 * 1024 * 1024) ?fingerprint
+    ?(recover = true) () =
+  let disk =
+    Option.map
+      (fun dir ->
+        mkdir_p dir;
+        let recovery = no_recovery () in
+        if recover then recover_dir dir recovery;
+        let index = Hashtbl.create 1024 in
+        let total, clock = scan_dir dir index in
+        {
+          dir;
+          max_bytes;
+          fingerprint =
+            (match fingerprint with
+            | Some f -> f
+            | None -> Lazy.force build_fingerprint);
+          dlock = Mutex.create ();
+          index;
+          total;
+          clock;
+          tmp_seq = Atomic.make 0;
+          recovery;
+        })
+      disk_dir
+  in
+  {
+    tbl = Hashtbl.create 4096;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    corrupt = Atomic.make 0;
+    disk;
+  }
+
 (** Publish an entry: temp file in the same directory, then an atomic
     [rename] — a reader (this daemon or a sibling sharing the
     directory) sees the whole entry or nothing. IO errors are
@@ -319,6 +464,11 @@ let disk_store (d : disk) key (e : entry) =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> output_string oc bytes);
+    (* Chaos-testing hook: a disk fault is a crash in the publication
+       window — the temp file was written but the rename never
+       happens. The store is lost (a later probe re-solves) and the
+       litter is exactly what the startup recovery sweep collects. *)
+    Stdx.Fault.inject Stdx.Fault.Disk;
     Sys.rename tmp (disk_path d hex)
   with
   | () ->
@@ -331,6 +481,7 @@ let disk_store (d : disk) key (e : entry) =
           Hashtbl.replace d.index hex { size; stamp = d.clock };
           d.total <- d.total + size);
       disk_evict_to_bound d
+  | exception Stdx.Fault.Injected _ -> () (* leave the tmp litter *)
   | exception _ -> ( try Sys.remove tmp with _ -> ())
 
 (** Probe the disk tier. [Ok e] is a validated entry; [Corrupt] means
@@ -589,6 +740,15 @@ let disk_bytes t =
 
 let fingerprint t =
   match t.disk with None -> None | Some d -> Some d.fingerprint
+
+(** What the startup recovery pass repaired; all-zero for memory-only
+    caches and for [create ~recover:false]. *)
+let recovery_stats t =
+  match t.disk with None -> no_recovery () | Some d -> d.recovery
+
+let recovered_tmp t = (recovery_stats t).tmp_swept
+let recovered_torn t = (recovery_stats t).torn_quarantined
+let journal_replayed t = (recovery_stats t).journal_replayed
 
 (** Fraction of lookups answered from either tier, in [0;1]. *)
 let hit_rate t =

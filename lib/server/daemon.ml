@@ -5,7 +5,8 @@
     domain runs a [select] loop (accept connections, read request
     lines, write immediate responses); verification and lint work is
     submitted to a {!Scheduler} — a warm pool of worker domains with
-    fair FIFO-per-client queues and bounded-queue backpressure.
+    fair FIFO-per-client queues and bounded-queue backpressure — under
+    the {!Supervisor}'s guard.
 
     Every request runs through the ordinary engine pipeline
     ([Engine.verify_programs] with [domains = 1] on the worker's own
@@ -20,11 +21,26 @@
 
     Failure behavior, in one line: anything that goes wrong with a
     request (unknown entry, parse error, injected socket fault, full
-    queue, worker exception) becomes an {e error response on that
-    request}; it never takes down the daemon and never changes another
-    request's verdict. A [shutdown] request stops admissions, drains
-    everything already accepted (their responses are written first),
-    acks, and returns. *)
+    queue, worker exception, a worker wedged past its budget) becomes
+    an {e error response on that request}; it never takes down the
+    daemon and never changes another request's verdict. The PR 10
+    supervision layer enforces this against the worker itself: crashes
+    are isolated and counted, crashing digests are circuit-broken,
+    stuck workers are written off by the watchdog and replaced, and a
+    global in-flight budget sheds load (with lint and verdict-cache
+    hits still served inline in degraded mode).
+
+    Slow peers cannot wedge the loop in either direction: request
+    lines may arrive a byte at a time (buffered per connection until
+    the newline), and responses to a peer that stopped reading park in
+    a per-connection write buffer flushed as [select] reports
+    writability — a slow consumer costs memory up to a cap, never a
+    blocked worker or main loop.
+
+    A [shutdown] request — or SIGTERM/SIGINT — stops admissions,
+    drains everything already accepted (their responses are written
+    first), and exits cleanly; SIGHUP logs a stats snapshot to
+    stderr. *)
 
 module V = Verifier.Exec
 module E = Engine
@@ -40,6 +56,12 @@ type config = {
       (** build-fingerprint override (tests simulate rebuilds) *)
   timeout_ms : float option;  (** default per-request deadline *)
   retries : int;  (** default per-request retries *)
+  max_inflight : int;  (** global pending budget; 0 = unbounded *)
+  breaker_threshold : int;  (** digest quarantine after N crashes; 0 = off *)
+  breaker_cooldown_ms : float;  (** quarantine duration *)
+  watchdog_ms : float option;  (** fixed watchdog budget override *)
+  watchdog_grace : float;  (** budget multiplier before preemption *)
+  recycle_after : int;  (** worker crashes before domain recycle; 0 = off *)
 }
 
 let default_config =
@@ -52,6 +74,12 @@ let default_config =
     cache_fingerprint = None;
     timeout_ms = None;
     retries = 0;
+    max_inflight = 256;
+    breaker_threshold = 3;
+    breaker_cooldown_ms = 2_000.0;
+    watchdog_ms = None;
+    watchdog_grace = Stdx.Watchdog.default_grace;
+    recycle_after = 32;
   }
 
 (* --------------------------------------------------------------- *)
@@ -113,11 +141,22 @@ let resolve (t : Protocol.target) : (resolved, string) result =
 (* --------------------------------------------------------------- *)
 (* Connections *)
 
+(** A request line longer than this (no newline seen) is an attack or
+    a bug, not a workload: the connection is answered and dropped
+    rather than buffered without bound. *)
+let line_cap = 16 * 1024 * 1024
+
+(** Unflushed responses to a peer that stopped reading park in
+    [wbuf] up to this bound; past it the peer is declared a dead
+    consumer and dropped. *)
+let wbuf_cap = 64 * 1024 * 1024
+
 type conn = {
   cid : int;
   fd : Unix.file_descr;
-  clock : Mutex.t;  (** guards writes, [pending], [closing], [closed] *)
+  clock : Mutex.t;  (** guards writes, [wbuf], [pending], [closing], [closed] *)
   mutable rbuf : string;  (** partial request line (main loop only) *)
+  mutable wbuf : string;  (** response bytes the socket hasn't taken yet *)
   mutable pending : int;  (** scheduled tasks not yet responded *)
   mutable closing : bool;  (** peer EOF seen; close once drained *)
   mutable closed : bool;
@@ -127,12 +166,14 @@ type t = {
   cfg : config;
   cache : E.Vc_cache.t;
   sched : Scheduler.t;
+  sup : Supervisor.t;
   listen_fd : Unix.file_descr;
   conns : (Unix.file_descr, conn) Hashtbl.t;  (* main loop only *)
   mutable next_cid : int;
   started : float;
   parse_errors : int Atomic.t;
   socket_faults : int Atomic.t;
+  slow_consumers : int Atomic.t;  (** connections dropped over [wbuf_cap] *)
   absint_discharged : int Atomic.t;
       (** entailments answered by the abstract domain, summed over all
           cold verify runs this daemon served *)
@@ -143,12 +184,39 @@ type t = {
   interference_havocs : int Atomic.t;  (** fork-join interference points *)
 }
 
-(** Write one response line; a vanished peer is ignored (its verdicts
-    are already safe in the cache for whoever asks next). *)
+(* [c.clock] held. Push as much of [wbuf] as the (non-blocking) socket
+   accepts; the rest waits for the main loop's writability pass. A
+   write error marks the connection dead — its verdicts are already
+   safe in the cache for whoever asks next. *)
+let rec try_flush_locked (c : conn) =
+  let len = String.length c.wbuf in
+  if (not c.closed) && len > 0 then
+    match Unix.write_substring c.fd c.wbuf 0 len with
+    | 0 -> ()
+    | n ->
+        c.wbuf <- String.sub c.wbuf n (len - n);
+        try_flush_locked c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush_locked c
+    | exception _ ->
+        c.closed <- true;
+        (try Unix.close c.fd with _ -> ())
+
+(** Queue one response line and flush opportunistically. Any domain
+    may call this (workers, the watchdog, the main loop); writes never
+    block — a stalled reader costs buffer space, not a worker. *)
 let respond (c : conn) json =
   let line = Protocol.line json in
   Mutex.protect c.clock (fun () ->
-      if not c.closed then try Stdx.Iox.write_all c.fd line with _ -> ())
+      if not c.closed then begin
+        c.wbuf <- c.wbuf ^ line;
+        try_flush_locked c
+      end)
+
+(** Does [c] have unflushed response bytes? (Main loop: include it in
+    the select write set.) *)
+let wants_write (c : conn) =
+  Mutex.protect c.clock (fun () -> (not c.closed) && String.length c.wbuf > 0)
 
 (** One scheduled task finished (its response is written): drop the
     pending count and close the descriptor if the peer already left. *)
@@ -169,7 +237,7 @@ let close_conn (c : conn) =
       end)
 
 (* --------------------------------------------------------------- *)
-(* Request handlers (run on scheduler workers) *)
+(* Request handlers (run on scheduler workers; return the response) *)
 
 let lint_findings_text ?source results =
   let b = Buffer.create 256 in
@@ -211,10 +279,10 @@ let verdict_key ~lint ~absint ~seed (target : Protocol.target) =
   | Protocol.Entry n -> "entry\x00" ^ n
   | Protocol.Source { source; _ } -> "source\x00" ^ source
 
-let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~seed
-    ~timeout_ms ~retries =
+let handle_verify (d : t) ~id ~target ~lint ~absint ~seed ~timeout_ms
+    ~retries : Json.t =
   match resolve target with
-  | Error m -> respond c (Protocol.error_response ~id m)
+  | Error m -> Protocol.error_response ~id m
   | Ok r ->
       let key = verdict_key ~lint ~absint ~seed target in
       let t0 = Unix.gettimeofday () in
@@ -286,24 +354,23 @@ let handle_verify (d : t) (c : conn) ~id ~target ~lint ~absint ~seed
         ^ Render.group_text ~name:r.r_name ~expect_fail:r.r_expect_fail status
             g
       in
-      respond c
-        (Protocol.response ~id
-           [
-             ("ok", Json.Bool true);
-             ("exit", Json.Num (float_of_int (Render.exit_of_status status)));
-             ("status", Json.Str (Render.status_string status));
-             ("cached", Json.Bool cached);
-             ( "report",
-               Json.Raw
-                 (Render.json_of_report report
-                    [ (r.r_name, r.r_expect_fail, status) ]) );
-             ("output", Json.Str output);
-           ])
+      Protocol.response ~id
+        [
+          ("ok", Json.Bool true);
+          ("exit", Json.Num (float_of_int (Render.exit_of_status status)));
+          ("status", Json.Str (Render.status_string status));
+          ("cached", Json.Bool cached);
+          ( "report",
+            Json.Raw
+              (Render.json_of_report report
+                 [ (r.r_name, r.r_expect_fail, status) ]) );
+          ("output", Json.Str output);
+        ]
 
-let handle_lint (d : t) (c : conn) ~id ~target ~absint =
+let handle_lint (d : t) ~id ~target ~absint : Json.t =
   ignore d;
   match resolve target with
-  | Error m -> respond c (Protocol.error_response ~id m)
+  | Error m -> Protocol.error_response ~id m
   | Ok r ->
       let results, a =
         E.run_analysis ~srcmaps:r.r_srcmaps ~absint ~domains:1
@@ -311,44 +378,72 @@ let handle_lint (d : t) (c : conn) ~id ~target ~absint =
       in
       let ds = List.concat_map snd results in
       let errors = Diag.has_errors ds in
-      respond c
-        (Protocol.response ~id
-           [
-             ("ok", Json.Bool true);
-             ("exit", Json.Num (if errors then 1.0 else 0.0));
-             ("diags", Json.Raw (Render.json_of_diags (Diag.sort ds)));
-             ("findings", Json.Num (float_of_int a.E.a_diags));
-             ("errors", Json.Num (float_of_int a.E.a_errors));
-             ( "output",
-               Json.Str (lint_findings_text ?source:r.r_source results) );
-           ])
+      Protocol.response ~id
+        [
+          ("ok", Json.Bool true);
+          ("exit", Json.Num (if errors then 1.0 else 0.0));
+          ("diags", Json.Raw (Render.json_of_diags (Diag.sort ds)));
+          ("findings", Json.Num (float_of_int a.E.a_diags));
+          ("errors", Json.Num (float_of_int a.E.a_errors));
+          ( "output",
+            Json.Str (lint_findings_text ?source:r.r_source results) );
+        ]
 
 (* --------------------------------------------------------------- *)
 (* Stats *)
 
+let num i = Json.Num (float_of_int i)
+
 let stats_json (d : t) =
   let s = Scheduler.stats d.sched in
+  let sup = Supervisor.stats d.sup in
   let cache = d.cache in
   Json.Obj
     [
       ( "uptime_ms",
         Json.Num ((Unix.gettimeofday () -. d.started) *. 1000.0) );
-      ("workers", Json.Num (float_of_int s.Scheduler.workers));
-      ("pending", Json.Num (float_of_int s.Scheduler.pending));
-      ("submitted", Json.Num (float_of_int s.Scheduler.submitted));
-      ("rejected", Json.Num (float_of_int s.Scheduler.rejected));
-      ("completed", Json.Num (float_of_int s.Scheduler.completed));
-      ("task_failures", Json.Num (float_of_int s.Scheduler.task_failures));
-      ("parse_errors", Json.Num (float_of_int (Atomic.get d.parse_errors)));
-      ("socket_faults", Json.Num (float_of_int (Atomic.get d.socket_faults)));
-      ( "absint_discharged",
-        Json.Num (float_of_int (Atomic.get d.absint_discharged)) );
-      ( "absint_abstained",
-        Json.Num (float_of_int (Atomic.get d.absint_abstained)) );
-      ("par_branches", Json.Num (float_of_int (Atomic.get d.par_branches)));
-      ("inv_opens", Json.Num (float_of_int (Atomic.get d.inv_opens)));
-      ( "interference_havocs",
-        Json.Num (float_of_int (Atomic.get d.interference_havocs)) );
+      ("workers", num s.Scheduler.workers);
+      ("pending", num s.Scheduler.pending);
+      ("submitted", num s.Scheduler.submitted);
+      ("rejected", num s.Scheduler.rejected);
+      ("completed", num s.Scheduler.completed);
+      ("task_failures", num s.Scheduler.task_failures);
+      ("parse_errors", num (Atomic.get d.parse_errors));
+      ("socket_faults", num (Atomic.get d.socket_faults));
+      ("slow_consumers", num (Atomic.get d.slow_consumers));
+      ("absint_discharged", num (Atomic.get d.absint_discharged));
+      ("absint_abstained", num (Atomic.get d.absint_abstained));
+      ("par_branches", num (Atomic.get d.par_branches));
+      ("inv_opens", num (Atomic.get d.inv_opens));
+      ("interference_havocs", num (Atomic.get d.interference_havocs));
+      ( "supervisor",
+        (* The PR 10 supervision counters the chaos gates watch: every
+           repair mechanism leaves an audit trail here. *)
+        Json.Obj
+          [
+            ("worker_crashes", num s.Scheduler.worker_crashes);
+            ( "worker_crash_counts",
+              Json.List (List.map num (Scheduler.crash_counts d.sched)) );
+            ("respawns", num s.Scheduler.respawns);
+            ("abandoned", num s.Scheduler.abandoned);
+            ("crashes", num sup.Supervisor.crashes);
+            ("preempted", num sup.Supervisor.preempted);
+            ("stalls", num sup.Supervisor.stalls);
+            ("breaker_trips", num sup.Supervisor.breaker_trips);
+            ("breaker_rejects", num sup.Supervisor.breaker_rejects);
+            ("breaker_open", num sup.Supervisor.breaker_open);
+            ("shed", num sup.Supervisor.shed);
+            ("degraded_served", num sup.Supervisor.degraded);
+            ( "watchdog",
+              let w = sup.Supervisor.watchdog in
+              Json.Obj
+                [
+                  ("active", num w.Stdx.Watchdog.active);
+                  ("watched", num w.Stdx.Watchdog.watched_total);
+                  ("cancels", num w.Stdx.Watchdog.cancels);
+                  ("abandons", num w.Stdx.Watchdog.abandons);
+                ] );
+          ] );
       ( "solver",
         (* Process-global gauges from the hash-consed term pool; the
            per-VC counters live in the per-report engine stats. *)
@@ -356,10 +451,9 @@ let stats_json (d : t) =
         let lookups = ps.Smt.Term.pool_hits + ps.Smt.Term.pool_misses in
         Json.Obj
           [
-            ("term_pool_size", Json.Num (float_of_int ps.Smt.Term.pool_size));
-            ("term_pool_hits", Json.Num (float_of_int ps.Smt.Term.pool_hits));
-            ( "term_pool_misses",
-              Json.Num (float_of_int ps.Smt.Term.pool_misses) );
+            ("term_pool_size", num ps.Smt.Term.pool_size);
+            ("term_pool_hits", num ps.Smt.Term.pool_hits);
+            ("term_pool_misses", num ps.Smt.Term.pool_misses);
             ( "term_pool_hit_rate",
               Json.Num
                 (if lookups = 0 then 0.0
@@ -369,16 +463,17 @@ let stats_json (d : t) =
       ( "cache",
         Json.Obj
           ([
-             ("mem_hits", Json.Num (float_of_int (E.Vc_cache.hits cache)));
-             ( "disk_hits",
-               Json.Num (float_of_int (E.Vc_cache.disk_hits cache)) );
-             ("misses", Json.Num (float_of_int (E.Vc_cache.misses cache)));
-             ("corrupt", Json.Num (float_of_int (E.Vc_cache.corrupt cache)));
-             ("mem_entries", Json.Num (float_of_int (E.Vc_cache.size cache)));
-             ( "disk_entries",
-               Json.Num (float_of_int (E.Vc_cache.disk_entries cache)) );
-             ( "disk_bytes",
-               Json.Num (float_of_int (E.Vc_cache.disk_bytes cache)) );
+             ("mem_hits", num (E.Vc_cache.hits cache));
+             ("disk_hits", num (E.Vc_cache.disk_hits cache));
+             ("misses", num (E.Vc_cache.misses cache));
+             ("corrupt", num (E.Vc_cache.corrupt cache));
+             ("mem_entries", num (E.Vc_cache.size cache));
+             ("disk_entries", num (E.Vc_cache.disk_entries cache));
+             ("disk_bytes", num (E.Vc_cache.disk_bytes cache));
+             (* Crash-recovery results from this daemon's startup scan. *)
+             ("recovered_tmp", num (E.Vc_cache.recovered_tmp cache));
+             ("recovered_torn", num (E.Vc_cache.recovered_torn cache));
+             ("journal_replayed", num (E.Vc_cache.journal_replayed cache));
            ]
           @
           match E.Vc_cache.fingerprint cache with
@@ -390,11 +485,97 @@ let stats_json (d : t) =
 (* The main loop *)
 
 exception Shutdown_requested of conn * Json.t  (* conn, request id *)
+exception Signal_drain  (* SIGTERM/SIGINT: graceful drain, no ack conn *)
+
+(** The request's total cooperative budget: its deadline times every
+    escalated retry it is entitled to. The watchdog only calls a
+    worker stuck once this whole envelope (times the grace factor) is
+    exhausted — legitimate slow requests retire on their own. *)
+let request_budget_ms (d : t) ~timeout_ms ~retries =
+  let base =
+    match timeout_ms with Some _ as t -> t | None -> d.cfg.timeout_ms
+  in
+  let retries = Option.value ~default:d.cfg.retries retries in
+  Option.map
+    (fun ms ->
+      let rec total acc ms i =
+        if i > retries then acc
+        else total (acc +. ms) (ms *. E.Job.escalation) (i + 1)
+      in
+      total 0.0 ms 0)
+    base
+
+(** The circuit breaker's identity for a request: everything that
+    determines what work it triggers. Two requests with the same
+    digest crash workers the same way. *)
+let request_digest (req : Protocol.request) =
+  match req with
+  | Protocol.Verify { target; lint; absint; seed; _ } ->
+      Digest.to_hex
+        (Digest.string ("verify\x00" ^ verdict_key ~lint ~absint ~seed target))
+  | Protocol.Lint { target; absint; _ } ->
+      Digest.to_hex
+        (Digest.string
+           (Printf.sprintf "lintop\x00%b\x00%s" absint
+              (verdict_key ~lint:false ~absint ~seed:0 target)))
+  | Protocol.Stats _ | Protocol.Shutdown _ -> ""
+
+(** Run an admitted verify/lint request on a scheduler worker under
+    the supervisor's guard, with a once-only reply: exactly one of the
+    handler's response, a structured crash response, or the watchdog's
+    preemption response reaches the client — whichever settles
+    first. *)
+let submit_guarded (d : t) (c : conn) req ~id ~digest ~budget_ms =
+  let settled = Atomic.make false in
+  let reply json =
+    if not (Atomic.exchange settled true) then begin
+      respond c json;
+      task_done c
+    end
+  in
+  let task () =
+    match
+      Supervisor.guard d.sup ~sched:d.sched ~digest ~budget_ms
+        ~on_preempt:(fun () ->
+          reply
+            (Protocol.error_response ~id ~retryable:true
+               "preempted: worker exceeded its budget and stopped \
+                responding; the watchdog replaced it"))
+        (fun () ->
+          let resp =
+            match req with
+            | Protocol.Verify
+                { id; target; lint; absint; seed; timeout_ms; retries } ->
+                handle_verify d ~id ~target ~lint ~absint ~seed ~timeout_ms
+                  ~retries
+            | Protocol.Lint { id; target; absint } ->
+                handle_lint d ~id ~target ~absint
+            | Protocol.Stats _ | Protocol.Shutdown _ -> assert false
+          in
+          reply resp)
+    with
+    | Supervisor.Done | Supervisor.Preempted -> ()
+    | Supervisor.Crashed msg ->
+        reply
+          (Protocol.error_response ~id ~retryable:true
+             ("worker crashed: " ^ msg))
+  in
+  Mutex.protect c.clock (fun () -> c.pending <- c.pending + 1);
+  match Scheduler.submit d.sched ~cid:c.cid task with
+  | `Accepted -> ()
+  | `Busy ->
+      Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
+      respond c
+        (Protocol.error_response ~id ~busy:true ~retry_after_ms:100.0
+           "queue full — daemon is busy, retry later")
+  | `Stopping ->
+      Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
+      respond c (Protocol.error_response ~id "daemon is shutting down")
 
 (** Dispatch one request line from [c]. Cheap requests (stats, errors,
     backpressure rejections) answer inline from the main loop;
-    verify/lint go through the scheduler, which preserves per-client
-    FIFO order for them. *)
+    verify/lint go through admission control and then the scheduler,
+    which preserves per-client FIFO order for them. *)
 let dispatch (d : t) (c : conn) line =
   (* Chaos-testing hook: an injected socket fault garbles this request
      — the daemon answers with an error instead of dispatching, the
@@ -403,7 +584,8 @@ let dispatch (d : t) (c : conn) line =
   if Stdx.Fault.fires Stdx.Fault.Socket then begin
     Atomic.incr d.socket_faults;
     respond c
-      (Protocol.error_response ~id:Json.Null "injected fault: socket")
+      (Protocol.error_response ~id:Json.Null ~retryable:true
+         "injected fault: socket")
   end
   else
     match Protocol.request_of_line line with
@@ -415,40 +597,49 @@ let dispatch (d : t) (c : conn) line =
           (Protocol.response ~id
              [ ("ok", Json.Bool true); ("stats", stats_json d) ])
     | Ok (Protocol.Shutdown { id }) -> raise (Shutdown_requested (c, id))
-    | Ok req ->
-        let task () =
-          (match req with
-          | Protocol.Verify
-              { id; target; lint; absint; seed; timeout_ms; retries }
-            -> (
-              try
-                handle_verify d c ~id ~target ~lint ~absint ~seed
-                  ~timeout_ms ~retries
-              with e ->
-                respond c
-                  (Protocol.error_response ~id
-                     ("internal error: " ^ Printexc.to_string e)))
-          | Protocol.Lint { id; target; absint } -> (
-              try handle_lint d c ~id ~target ~absint
-              with e ->
-                respond c
-                  (Protocol.error_response ~id
-                     ("internal error: " ^ Printexc.to_string e)))
-          | Protocol.Stats _ | Protocol.Shutdown _ -> assert false);
-          task_done c
-        in
+    | Ok ((Protocol.Verify _ | Protocol.Lint _) as req) -> (
         let id = Protocol.request_id req in
-        Mutex.protect c.clock (fun () -> c.pending <- c.pending + 1);
-        (match Scheduler.submit d.sched ~cid:c.cid task with
-        | `Accepted -> ()
-        | `Busy ->
-            Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
+        let digest = request_digest req in
+        let pending = (Scheduler.stats d.sched).Scheduler.pending in
+        match Supervisor.admit d.sup ~pending ~digest with
+        | Supervisor.Quarantined { retry_after_ms; crashes } ->
             respond c
-              (Protocol.error_response ~id ~busy:true
-                 "queue full — daemon is busy, retry later")
-        | `Stopping ->
-            Mutex.protect c.clock (fun () -> c.pending <- c.pending - 1);
-            respond c (Protocol.error_response ~id "daemon is shutting down"))
+              (Protocol.error_response ~id ~retryable:true ~retry_after_ms
+                 (Printf.sprintf
+                    "quarantined: this request crashed %d consecutive \
+                     workers; circuit open, retry after cooldown"
+                    crashes))
+        | Supervisor.Shed { retry_after_ms } -> (
+            (* Degraded mode: solve capacity is saturated, but requests
+               that need no solver — lint, verdict-cache hits — are
+               served inline from the main loop, so the service stays
+               reachable under overload. *)
+            match req with
+            | Protocol.Lint { id; target; absint } ->
+                Supervisor.note_degraded d.sup;
+                respond c (handle_lint d ~id ~target ~absint)
+            | Protocol.Verify
+                { id; target; lint; absint; seed; timeout_ms; retries }
+              when E.Vc_cache.lookup_verdicts d.cache
+                     (verdict_key ~lint ~absint ~seed target)
+                   <> None ->
+                Supervisor.note_degraded d.sup;
+                respond c
+                  (handle_verify d ~id ~target ~lint ~absint ~seed
+                     ~timeout_ms ~retries)
+            | _ ->
+                respond c
+                  (Protocol.error_response ~id ~busy:true ~retry_after_ms
+                     "overloaded — global in-flight budget exhausted, \
+                      retry later"))
+        | Supervisor.Admit ->
+            let budget_ms =
+              match req with
+              | Protocol.Verify { timeout_ms; retries; _ } ->
+                  request_budget_ms d ~timeout_ms ~retries
+              | _ -> None
+            in
+            submit_guarded d c req ~id ~digest ~budget_ms)
 
 (** Consume complete lines from [c]'s read buffer. *)
 let drain_lines (d : t) (c : conn) =
@@ -471,15 +662,43 @@ let handle_readable (d : t) (c : conn) =
       close_conn c
   | n ->
       c.rbuf <- c.rbuf ^ Bytes.sub_string buf 0 n;
-      drain_lines d c
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      drain_lines d c;
+      if String.length c.rbuf > line_cap then begin
+        (* A "line" this long is not a request; stop buffering it. *)
+        Atomic.incr d.parse_errors;
+        respond c
+          (Protocol.error_response ~id:Json.Null "request line too long");
+        Hashtbl.remove d.conns c.fd;
+        close_conn c
+      end
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
   | exception Unix.Unix_error _ ->
       Hashtbl.remove d.conns c.fd;
       close_conn c
 
+(** Flush [c]'s write buffer on main-loop writability; drop dead
+    consumers whose buffer outgrew the cap. *)
+let handle_writable (d : t) (c : conn) =
+  Mutex.protect c.clock (fun () ->
+      try_flush_locked c;
+      if String.length c.wbuf > wbuf_cap then begin
+        Atomic.incr d.slow_consumers;
+        c.closed <- true;
+        try Unix.close c.fd with _ -> ()
+      end);
+  if
+    Mutex.protect c.clock (fun () -> c.closed)
+  then Hashtbl.remove d.conns c.fd
+
 let accept_conn (d : t) =
   match Unix.accept d.listen_fd with
   | fd, _ ->
+      (* Non-blocking on both sides: reads can't stall the loop past
+         select's word, and writes park in [wbuf] instead of blocking
+         a worker on a slow reader. *)
+      (try Unix.set_nonblock fd with _ -> ());
       d.next_cid <- d.next_cid + 1;
       Hashtbl.replace d.conns fd
         {
@@ -487,6 +706,7 @@ let accept_conn (d : t) =
           fd;
           clock = Mutex.create ();
           rbuf = "";
+          wbuf = "";
           pending = 0;
           closing = false;
           closed = false;
@@ -524,8 +744,38 @@ let bind_socket path : (Unix.file_descr, string) result =
           Unix.close fd;
           Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
 
-(** Run the daemon. Blocks until a [shutdown] request arrives; returns
-    [Ok ()] after draining. The VC cache is installed process-wide for
+(** Push every connection's unflushed responses out, bounded by
+    [seconds] — the final write pass of a drain, after the workers
+    have finished. Peers that never read again are abandoned at the
+    deadline. *)
+let drain_flush (d : t) ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    let wfds =
+      Hashtbl.fold
+        (fun fd c acc -> if wants_write c then fd :: acc else acc)
+        d.conns []
+    in
+    if wfds <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] wfds [] 0.2 with
+      | _, ws, _ ->
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt d.conns fd with
+              | Some c -> handle_writable d c
+              | None -> ())
+            ws
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(** Run the daemon. Blocks until a [shutdown] request or a
+    SIGTERM/SIGINT arrives; returns [Ok ()] after draining — workers
+    finish everything accepted, responses are flushed, the socket file
+    is removed. SIGHUP logs a stats snapshot to stderr without
+    interrupting service. The VC cache is installed process-wide for
     the daemon's lifetime. *)
 let run (cfg : config) : (unit, string) result =
   (match Sys.os_type with
@@ -544,13 +794,24 @@ let run (cfg : config) : (unit, string) result =
           cfg;
           cache;
           sched =
-            Scheduler.create ~bound:cfg.queue_bound ~workers:cfg.workers ();
+            Scheduler.create ~bound:cfg.queue_bound
+              ~recycle_after:cfg.recycle_after ~workers:cfg.workers ();
+          sup =
+            Supervisor.create
+              {
+                Supervisor.breaker_threshold = cfg.breaker_threshold;
+                breaker_cooldown_ms = cfg.breaker_cooldown_ms;
+                max_inflight = cfg.max_inflight;
+                watchdog_grace = cfg.watchdog_grace;
+                watchdog_ms = cfg.watchdog_ms;
+              };
           listen_fd;
           conns = Hashtbl.create 16;
           next_cid = 0;
           started = Unix.gettimeofday ();
           parse_errors = Atomic.make 0;
           socket_faults = Atomic.make 0;
+          slow_consumers = Atomic.make 0;
           absint_discharged = Atomic.make 0;
           absint_abstained = Atomic.make 0;
           par_branches = Atomic.make 0;
@@ -558,24 +819,59 @@ let run (cfg : config) : (unit, string) result =
           interference_havocs = Atomic.make 0;
         }
       in
+      (* Signal-driven lifecycle: TERM/INT request a graceful drain,
+         HUP a stats snapshot. Handlers only flip atomics — the select
+         loop (woken by EINTR or its own timeout) does the work. *)
+      let sig_term = Atomic.make false and sig_hup = Atomic.make false in
+      let saved_signals =
+        List.filter_map
+          (fun (signo, beh) ->
+            try Some (signo, Sys.signal signo beh) with _ -> None)
+          [
+            (Sys.sigterm, Sys.Signal_handle (fun _ -> Atomic.set sig_term true));
+            (Sys.sigint, Sys.Signal_handle (fun _ -> Atomic.set sig_term true));
+            (Sys.sighup, Sys.Signal_handle (fun _ -> Atomic.set sig_hup true));
+          ]
+      in
       let cleanup () =
+        drain_flush d ~seconds:5.0;
+        Supervisor.stop d.sup;
         Hashtbl.iter (fun _ c -> close_conn c) d.conns;
         (try Unix.close listen_fd with _ -> ());
         (try Sys.remove cfg.socket_path with _ -> ());
+        List.iter
+          (fun (signo, beh) -> try Sys.set_signal signo beh with _ -> ())
+          saved_signals;
         E.Vc_cache.uninstall ()
       in
       let rec loop () =
-        let fds =
+        if Atomic.get sig_hup then begin
+          Atomic.set sig_hup false;
+          Fmt.epr "daenerys-serve stats: %s@." (Json.to_string (stats_json d))
+        end;
+        if Atomic.get sig_term then raise Signal_drain;
+        let rfds =
           listen_fd
           :: Hashtbl.fold
                (fun fd c acc -> if c.closed then acc else fd :: acc)
                d.conns []
         in
-        let readable, _, _ =
-          match Unix.select fds [] [] 0.5 with
-          | r -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        let wfds =
+          Hashtbl.fold
+            (fun fd c acc -> if wants_write c then fd :: acc else acc)
+            d.conns []
         in
+        let readable, writable =
+          match Unix.select rfds wfds [] 0.5 with
+          | r, w, _ -> (r, w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt d.conns fd with
+            | Some c -> handle_writable d c
+            | None -> ())
+          writable;
         List.iter
           (fun fd ->
             if fd = listen_fd then accept_conn d
@@ -595,6 +891,13 @@ let run (cfg : config) : (unit, string) result =
           Scheduler.wait d.sched;
           respond c
             (Protocol.response ~id
-               [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ]));
+               [ ("ok", Json.Bool true); ("shutdown", Json.Bool true) ])
+      | exception Signal_drain ->
+          (* SIGTERM/SIGINT: same drain, no ack connection. The cache's
+             disk tier is already durable (every store published
+             atomically at store time), so draining the workers is the
+             whole flush. *)
+          Scheduler.shutdown d.sched;
+          Scheduler.wait d.sched);
       cleanup ();
       Ok ()

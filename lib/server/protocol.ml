@@ -147,10 +147,23 @@ let shutdown_request ?(id = Json.Null) () =
 
 let response ~id fields = Json.Obj (("id", id) :: fields)
 
-let error_response ~id ?(busy = false) msg =
+(** Error responses carry machine-readable retry metadata alongside
+    the message: [busy] marks backpressure (the request was not
+    enqueued), [retryable] marks transient daemon-side failures (an
+    injected fault, a crashed or preempted worker, a quarantined
+    digest in cooldown) that an idempotent resubmission may well
+    succeed at, and [retry_after_ms] hints how long to back off first.
+    Errors without [busy]/[retryable] — unknown entry, parse error —
+    are judgements about the request and retrying them is pointless. *)
+let error_response ~id ?(busy = false) ?(retryable = false) ?retry_after_ms msg
+    =
   response ~id
     ([ ("ok", Json.Bool false) ]
     @ (if busy then [ ("busy", Json.Bool true) ] else [])
+    @ (if retryable || busy then [ ("retryable", Json.Bool true) ] else [])
+    @ (match retry_after_ms with
+      | Some ms -> [ ("retry_after_ms", Json.Num (Float.max 0.0 ms)) ]
+      | None -> [])
     @ [ ("error", Json.Str msg) ])
 
 let line v = Json.to_string v ^ "\n"

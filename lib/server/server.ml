@@ -5,5 +5,6 @@ module Json = Json
 module Protocol = Protocol
 module Render = Render
 module Scheduler = Scheduler
+module Supervisor = Supervisor
 module Daemon = Daemon
 module Client = Client

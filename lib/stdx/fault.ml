@@ -5,8 +5,10 @@
     but it must never flip [Verified] into [Failed] or vice versa.
     This module provides the injection points that property is tested
     against: named {e sites} in the solver, the incremental session
-    layer, the VC cache, and the pool workers, each firing with a
-    configured probability drawn from a seeded deterministic stream.
+    layer, the VC cache, the pool workers, the daemon's socket layer,
+    and the supervision layer (worker crashes, non-polling stalls,
+    torn disk-cache publications), each firing with a configured
+    probability drawn from a seeded deterministic stream.
 
     Activation: the [DAENERYS_FAULTS] environment variable, or
     {!configure} / {!configure_from_string} from the CLI and tests.
@@ -22,7 +24,15 @@
     soundness property quantifies over {e all} schedules, so that is
     exactly what the chaos tests want to vary). *)
 
-type site = Solver | Session | Cache | Pool | Socket
+type site =
+  | Solver
+  | Session
+  | Cache
+  | Pool
+  | Socket
+  | Worker  (** supervisor-guarded request body raises (worker crash) *)
+  | Stall  (** worker wedges in a non-polling loop until abandoned *)
+  | Disk  (** disk-cache publication crashes between write and rename *)
 
 let site_name = function
   | Solver -> "solver"
@@ -30,8 +40,11 @@ let site_name = function
   | Cache -> "cache"
   | Pool -> "pool"
   | Socket -> "socket"
+  | Worker -> "worker"
+  | Stall -> "stall"
+  | Disk -> "disk"
 
-let all_sites = [ Solver; Session; Cache; Pool; Socket ]
+let all_sites = [ Solver; Session; Cache; Pool; Socket; Worker; Stall; Disk ]
 
 exception Injected of string  (** the site that fired *)
 
@@ -73,7 +86,8 @@ let parse spec : (config, string) result =
                 match int_of_string_opt v with
                 | Some s -> go s probs rest
                 | None -> Error (Printf.sprintf "fault spec: bad seed %S" v))
-            | "solver" | "session" | "cache" | "pool" | "socket" -> (
+            | "solver" | "session" | "cache" | "pool" | "socket" | "worker"
+            | "stall" | "disk" -> (
                 match float_of_string_opt v with
                 | Some p when p >= 0.0 && p <= 1.0 ->
                     let site =

@@ -2,6 +2,7 @@
 
 module Budget = Budget
 module Fault = Fault
+module Watchdog = Watchdog
 module Iox = Iox
 module Loc = Loc
 module Q = Q

@@ -92,6 +92,57 @@ let test_parent_cancellation () =
     | () -> false
     | exception B.Exhausted B.Cancelled -> true)
 
+let test_budget_child_never_outlives_parent () =
+  (* A child may ask for a deadline far beyond its parent's; the chain
+     makes the parent's earlier deadline win — per-job budgets can
+     never escape a per-run limit. *)
+  let parent = B.create ~timeout_ms:5.0 () in
+  let child = B.create ~parent ~timeout_ms:3_600_000.0 () in
+  Unix.sleepf 0.02;
+  (match B.check_now child with
+  | () -> Alcotest.fail "child outlived its exhausted parent"
+  | exception B.Exhausted (B.Deadline ms) ->
+      Alcotest.(check (float 0.001)) "the parent's limit is reported" 5.0 ms
+  | exception B.Exhausted r ->
+      Alcotest.failf "wrong exhaustion reason: %s" (B.reason_to_string r));
+  (* And the converse composes too: a tight child under a roomy parent
+     exhausts on its own deadline. *)
+  let roomy = B.create ~timeout_ms:3_600_000.0 () in
+  let tight = B.create ~parent:roomy ~timeout_ms:5.0 () in
+  Unix.sleepf 0.02;
+  match B.check_now tight with
+  | () -> Alcotest.fail "tight child under roomy parent must exhaust"
+  | exception B.Exhausted (B.Deadline ms) ->
+      Alcotest.(check (float 0.001)) "the child's limit is reported" 5.0 ms
+  | exception B.Exhausted r ->
+      Alcotest.failf "wrong exhaustion reason: %s" (B.reason_to_string r)
+
+let test_budget_zero_and_negative () =
+  (* Degenerate deadlines must exhaust immediately and cleanly — a
+     zero or negative budget is "no time at all", never "no limit". *)
+  List.iter
+    (fun ms ->
+      let b = B.create ~timeout_ms:ms () in
+      Unix.sleepf 0.002;
+      match B.check_now b with
+      | () -> Alcotest.failf "%gms budget never exhausted" ms
+      | exception B.Exhausted (B.Deadline _) -> ()
+      | exception B.Exhausted r ->
+          Alcotest.failf "wrong exhaustion reason: %s" (B.reason_to_string r))
+    [ 0.0; -1.0; -1_000.0 ];
+  (* The cheap poll path reaches the same verdict within one clock
+     window (mask + 1 calls). *)
+  let b = B.create ~timeout_ms:0.0 () in
+  Unix.sleepf 0.002;
+  match
+    B.with_budget b (fun () ->
+        for _ = 0 to 2 * (255 + 1) do
+          B.poll ()
+        done)
+  with
+  | () -> Alcotest.fail "cheap polls must hit the dead deadline"
+  | exception B.Exhausted (B.Deadline _) -> ()
+
 let test_fuel_simplex () =
   Smt.Stats.reset ();
   let s = Smt.Simplex.create () in
@@ -377,6 +428,36 @@ let chaos_no_verdict_flips =
 (* ------------------------------------------------------------------ *)
 (* Fault-spec parsing *)
 
+let test_fault_determinism_across_domains () =
+  (* Draws hash [(seed, site, k)] with k from a per-site atomic
+     counter, so the *multiset* of draws over N total calls is fixed by
+     the seed — how the calls interleave across domains only permutes
+     which domain sees which k. The observable consequence: the total
+     fire count is identical for any domain split, and replayable. *)
+  let total_fires ~domains ~per_domain =
+    F.configure ~seed:123 [ (F.Solver, 0.3) ];
+    Fun.protect ~finally:F.clear (fun () ->
+        let doms =
+          List.init domains (fun _ ->
+              Domain.spawn (fun () ->
+                  let n = ref 0 in
+                  for _ = 1 to per_domain do
+                    if F.fires F.Solver then incr n
+                  done;
+                  !n))
+        in
+        List.fold_left (fun acc d -> acc + Domain.join d) 0 doms)
+  in
+  let seq = total_fires ~domains:1 ~per_domain:4000 in
+  let par = total_fires ~domains:4 ~per_domain:1000 in
+  let par' = total_fires ~domains:4 ~per_domain:1000 in
+  Alcotest.(check int) "1 domain = 4 domains" seq par;
+  Alcotest.(check int) "replay is exact" par par';
+  Alcotest.(check bool)
+    (Printf.sprintf "draws are non-trivial (%d/4000 fired)" seq)
+    true
+    (seq > 0 && seq < 4000)
+
 let test_fault_spec_parsing () =
   (match F.configure_from_string "session=1,cache=0.5,seed=7" with
   | Ok () -> ()
@@ -406,6 +487,10 @@ let () =
           Alcotest.test_case "cancellation" `Quick test_cancellation;
           Alcotest.test_case "parent-cancellation" `Quick
             test_parent_cancellation;
+          Alcotest.test_case "child-never-outlives-parent" `Quick
+            test_budget_child_never_outlives_parent;
+          Alcotest.test_case "zero-and-negative" `Quick
+            test_budget_zero_and_negative;
           Alcotest.test_case "fuel-simplex" `Quick test_fuel_simplex;
           Alcotest.test_case "fuel-sat-conflicts" `Quick
             test_fuel_sat_conflicts;
@@ -433,6 +518,8 @@ let () =
             test_pool_fault_crashes_not_fails;
           Alcotest.test_case "deterministic-replay" `Quick
             test_deterministic_replay;
+          Alcotest.test_case "determinism-across-domains" `Quick
+            test_fault_determinism_across_domains;
           Alcotest.test_case "fault-spec-parsing" `Quick
             test_fault_spec_parsing;
           chaos_no_verdict_flips;

@@ -323,6 +323,94 @@ let test_cache_lru_bound () =
   Alcotest.(check bool) "newest survives" true (VC.lookup c' "vc-6" = Some unsat);
   Alcotest.(check bool) "oldest evicted" true (VC.lookup c' "vc-1" = None)
 
+let test_cache_crash_recovery () =
+  let dir = temp_dir () in
+  let write path s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  (* Store one entry first so its on-disk name is observable, then a
+     second survivor. *)
+  let c1 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  VC.store c1 "vc-dead" unsat;
+  let dead_file =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".vc")
+    with
+    | [ f ] -> f
+    | fs -> Alcotest.failf "expected one entry, found %d" (List.length fs)
+  in
+  VC.store c1 "vc-keep" unsat;
+  (* Fabricate the three kinds of kill -9 wreckage: a torn entry (the
+     publication rename happened but the bytes are garbage — simulating
+     a torn page), a temp file whose writer pid is long dead, and an
+     eviction journal whose deletes never ran. *)
+  write (Filename.concat dir (String.make 32 'a' ^ ".vc")) "DAEVC1\ngarbage";
+  write (Filename.concat dir ".tmp.999999999.0") "half-written entry";
+  write
+    (Filename.concat dir "evict.999999999.0.journal")
+    (Filename.chop_suffix dead_file ".vc" ^ "\n");
+  (* The next generation over the same directory must absorb all of
+     it: replay the journal, sweep the orphan, quarantine the torn
+     entry — and still serve the intact survivor. *)
+  let c2 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  Alcotest.(check int) "journal replayed" 1 (VC.journal_replayed c2);
+  Alcotest.(check bool)
+    "condemned entry deleted" true
+    (VC.lookup c2 "vc-dead" = None);
+  Alcotest.(check int) "orphan tmp swept" 1 (VC.recovered_tmp c2);
+  Alcotest.(check bool)
+    "tmp gone" false
+    (Sys.file_exists (Filename.concat dir ".tmp.999999999.0"));
+  Alcotest.(check int) "torn entry quarantined" 1 (VC.recovered_torn c2);
+  Alcotest.(check bool)
+    "torn entry preserved for inspection" true
+    (Sys.file_exists
+       (Filename.concat
+          (Filename.concat dir "quarantine")
+          (String.make 32 'a' ^ ".vc")));
+  Alcotest.(check bool)
+    "survivor still served" true
+    (VC.lookup c2 "vc-keep" = Some unsat)
+
+let test_cache_disk_fault_crash_window () =
+  (* The [disk] fault site models kill -9 inside the publication
+     window: the temp file is written, the rename never happens. *)
+  let dir = temp_dir () in
+  F.configure ~seed:1 [ (F.Disk, 1.0) ];
+  Fun.protect ~finally:F.clear (fun () ->
+      let c = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+      VC.store c "vc-a" unsat;
+      (* The memory tier still answers this instance... *)
+      Alcotest.(check bool) "memory tier intact" true
+        (VC.lookup c "vc-a" = Some unsat));
+  let files () = Sys.readdir dir |> Array.to_list in
+  Alcotest.(check bool)
+    "nothing was published" true
+    (not (List.exists (fun f -> Filename.check_suffix f ".vc") (files ())));
+  Alcotest.(check bool)
+    "tmp litter left behind" true
+    (List.exists (fun f -> String.starts_with ~prefix:".tmp." f) (files ()));
+  (* While the writer is alive, recovery must NOT sweep its temp file
+     (it may be mid-publication right now). *)
+  let c_live = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  Alcotest.(check int) "live writer's tmp respected" 0
+    (VC.recovered_tmp c_live);
+  (* Once the writer is dead — simulate by renaming to a dead pid —
+     the litter is swept and the store is an honest miss. *)
+  List.iter
+    (fun f ->
+      if String.starts_with ~prefix:".tmp." f then
+        Sys.rename (Filename.concat dir f) (Filename.concat dir ".tmp.999999999.7"))
+    (files ());
+  let c2 = VC.create ~disk_dir:dir ~fingerprint:"fp" () in
+  Alcotest.(check int) "dead writer's litter swept" 1 (VC.recovered_tmp c2);
+  Alcotest.(check bool)
+    "the unpublished store is a miss" true
+    (VC.lookup c2 "vc-a" = None)
+
 let test_verdict_tier () =
   let c = VC.create () in
   let good = [ ("p", V.Verified); ("q", V.Failed "bad") ] in
@@ -387,7 +475,13 @@ let with_daemon cfg f =
   Fun.protect
     ~finally:(fun () ->
       (if not !finished then
-         match Server.Client.connect cfg.Server.Daemon.socket_path with
+         (* Retry the connect too: if [f] failed before the daemon
+            finished binding, a one-shot connect would miss, skip the
+            shutdown, and leave the join below waiting forever. *)
+         match
+           Server.Client.connect_retry ~attempts:100 ~delay:0.05
+             cfg.Server.Daemon.socket_path
+         with
          | Ok c ->
              (* Under chaos testing an injected socket fault can garble
                 the shutdown request itself (the daemon answers with an
@@ -714,6 +808,362 @@ let test_e2e_lint () =
           Alcotest.(check bool) "errors found" true
             (Option.value ~default:0 (J.int_member "errors" resp) > 0)))
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: crash isolation, circuit breaking, watchdog
+   preemption, overload shedding, slow clients, resilient clients,
+   signals *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.equal (String.sub s i n) sub || go (i + 1))
+  in
+  go 0
+
+(** Pull an int counter out of a nested stats response, e.g.
+    [stat st [ "stats"; "supervisor" ] "crashes"]. *)
+let stat resp path key =
+  match
+    List.fold_left (fun v k -> Option.bind v (J.member k)) (Some resp) path
+  with
+  | Some o -> Option.value ~default:(-1) (J.int_member key o)
+  | None -> -1
+
+let test_e2e_worker_crashes_isolated_and_breaker () =
+  let sock, _ = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 400.0;
+      recycle_after = 1;
+    }
+  in
+  F.configure ~seed:3 [ (F.Worker, 1.0) ];
+  Fun.protect ~finally:F.clear (fun () ->
+      with_daemon cfg (fun () ->
+          let c = connect sock in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              (* A crash escaping the whole handler fails only its own
+                 request, as a structured retryable error. *)
+              let r1 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "crash is an error response" false
+                (get_bool r1 "ok");
+              Alcotest.(check bool) "crash is retryable" true
+                (get_bool r1 "retryable");
+              Alcotest.(check bool) "crash is named" true
+                (contains (get_str r1 "error") "worker crashed");
+              let r2 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "second crash isolated too" false
+                (get_bool r2 "ok");
+              (* Two consecutive crashes of the same digest: the
+                 breaker opens — the third submission is rejected
+                 without being fed to a worker. *)
+              let r3 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "quarantined" true
+                (contains (get_str r3 "error") "quarantined");
+              Alcotest.(check bool) "quarantine carries retry-after" true
+                (J.num_member "retry_after_ms" r3 <> None);
+              (* A different digest is its own circuit: admitted (and
+                 crashing on its own count). *)
+              let r4 = rpc c (P.verify_request (P.Entry "count")) in
+              Alcotest.(check bool) "other digest admitted" true
+                (contains (get_str r4 "error") "worker crashed");
+              (* Crashes stop; the cooldown elapses; the half-open
+                 probe closes the circuit with a correct verdict. *)
+              F.clear ();
+              Unix.sleepf 0.45;
+              let r5 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "half-open probe succeeds" true
+                (get_bool r5 "ok");
+              Alcotest.(check string) "verdict intact after crashes" "ok"
+                (get_str r5 "status");
+              (* The repair left its audit trail. *)
+              let st = rpc c (P.stats_request ()) in
+              let sup k = stat st [ "stats"; "supervisor" ] k in
+              Alcotest.(check bool) "crashes counted" true (sup "crashes" >= 3);
+              Alcotest.(check bool) "breaker tripped" true
+                (sup "breaker_trips" >= 1);
+              Alcotest.(check bool) "breaker rejected" true
+                (sup "breaker_rejects" >= 1);
+              Alcotest.(check bool)
+                "crashed workers were recycled (recycle_after = 1)" true
+                (sup "respawns" >= 1))))
+
+let test_e2e_watchdog_preempts_stall () =
+  let sock, _ = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      watchdog_ms = Some 60.0;
+      watchdog_grace = 1.0;
+    }
+  in
+  (* A stall is a worker that stops polling its budget entirely: only
+     the watchdog's hard stage gets the domain's slot back. *)
+  F.configure ~seed:5 [ (F.Stall, 1.0) ];
+  Fun.protect ~finally:F.clear (fun () ->
+      with_daemon cfg (fun () ->
+          let c = connect sock in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let r1 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "stalled request answered" false
+                (get_bool r1 "ok");
+              Alcotest.(check bool) "preemption is retryable" true
+                (get_bool r1 "retryable");
+              Alcotest.(check bool) "preemption is named" true
+                (contains (get_str r1 "error") "preempted");
+              (* The wedged domain was written off and replaced: the
+                 daemon keeps serving, with correct verdicts. *)
+              F.clear ();
+              let r2 = rpc c (P.verify_request (P.Entry "swap")) in
+              Alcotest.(check bool) "respawned worker serves" true
+                (get_bool r2 "ok");
+              Alcotest.(check string) "verdict intact after stall" "ok"
+                (get_str r2 "status");
+              let st = rpc c (P.stats_request ()) in
+              let sup k = stat st [ "stats"; "supervisor" ] k in
+              Alcotest.(check bool) "stall injected" true (sup "stalls" >= 1);
+              Alcotest.(check bool) "preemption counted" true
+                (sup "preempted" >= 1);
+              Alcotest.(check bool) "incarnation abandoned" true
+                (sup "abandoned" >= 1);
+              Alcotest.(check bool) "slot respawned" true
+                (sup "respawns" >= 1);
+              Alcotest.(check bool) "watchdog abandon stage fired" true
+                (stat st [ "stats"; "supervisor"; "watchdog" ] "abandons"
+                >= 1))))
+
+let test_e2e_overload_sheds_and_degrades () =
+  let sock, _ = fresh_paths () in
+  let cfg =
+    {
+      Server.Daemon.default_config with
+      socket_path = sock;
+      workers = 1;
+      max_inflight = 1;
+      watchdog_ms = Some 800.0;
+      watchdog_grace = 1.0;
+    }
+  in
+  with_daemon cfg (fun () ->
+      let c1 = connect sock and c2 = connect sock in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close c1;
+          Server.Client.close c2)
+        (fun () ->
+          (* Warm the verdict cache while capacity is free. *)
+          let warm = rpc c2 (P.verify_request (P.Entry "swap")) in
+          Alcotest.(check bool) "warm-up ok" true (get_bool warm "ok");
+          (* Wedge the only worker on a stalled cold request; the
+             watchdog will answer it in ~1.6s, which is our window. *)
+          F.configure ~seed:7 [ (F.Stall, 1.0) ];
+          Server.Client.send c1
+            (P.verify_request ~id:(J.Num 1.0) (P.Entry "count"));
+          let rec wait_stall n =
+            if n = 0 then Alcotest.fail "stall never engaged"
+            else
+              let st = rpc c2 (P.stats_request ()) in
+              if stat st [ "stats"; "supervisor" ] "stalls" < 1 then begin
+                Unix.sleepf 0.01;
+                wait_stall (n - 1)
+              end
+          in
+          wait_stall 500;
+          F.clear ();
+          (* The global in-flight budget (1) is consumed: new solve
+             work is shed with backpressure metadata... *)
+          let shed = rpc c2 (P.verify_request (P.Entry "bad_swap")) in
+          Alcotest.(check bool) "cold verify shed" true (get_bool shed "busy");
+          Alcotest.(check bool) "shed carries retry-after" true
+            (J.num_member "retry_after_ms" shed <> None);
+          (* ...but requests that need no solver are still served
+             inline: lint, and verify hits in the verdict cache. *)
+          let l = rpc c2 (P.lint_request (P.Entry "swap")) in
+          Alcotest.(check bool) "lint served under overload" true
+            (get_bool l "ok");
+          let hit = rpc c2 (P.verify_request (P.Entry "swap")) in
+          Alcotest.(check bool) "verdict-cache hit served under overload"
+            true (get_bool hit "ok");
+          Alcotest.(check bool) "served from cache" true
+            (get_bool hit "cached");
+          (* The watchdog reclaims the wedged worker and answers c1. *)
+          (match Server.Client.recv c1 with
+          | Ok r ->
+              Alcotest.(check bool) "stalled request preempted" true
+                (contains (get_str r "error") "preempted")
+          | Error m -> Alcotest.failf "stalled request: %s" m);
+          (* Capacity restored: the shed request now runs. The slot is
+             released when the abandoned incarnation actually unwinds,
+             which can trail the preempt reply — so retry briefly. *)
+          let rec until_ok n =
+            let r = rpc c2 (P.verify_request (P.Entry "bad_swap")) in
+            if get_bool r "ok" || n = 0 then r
+            else begin
+              Unix.sleepf 0.02;
+              until_ok (n - 1)
+            end
+          in
+          let r = until_ok 250 in
+          Alcotest.(check bool) "capacity restored" true (get_bool r "ok");
+          let st = rpc c2 (P.stats_request ()) in
+          Alcotest.(check bool) "shed counted" true
+            (stat st [ "stats"; "supervisor" ] "shed" >= 1);
+          Alcotest.(check bool) "degraded service counted" true
+            (stat st [ "stats"; "supervisor" ] "degraded_served" >= 2)))
+
+let test_e2e_slowloris () =
+  let sock, _ = fresh_paths () in
+  let cfg =
+    { Server.Daemon.default_config with socket_path = sock; workers = 1 }
+  in
+  with_daemon cfg (fun () ->
+      (* The retrying connect doubles as "wait until the daemon is
+         up": the raw socket below must not race the bind. *)
+      let c = connect sock in
+      (* A peer that dribbles its request a few bytes at a time — with
+         long mid-line stalls — must not block anyone else. *)
+      let slow = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close c;
+          try Unix.close slow with _ -> ())
+        (fun () ->
+          Unix.connect slow (Unix.ADDR_UNIX sock);
+          let line =
+            Server.Protocol.line
+              (P.verify_request ~id:(J.Num 9.0) (P.Entry "swap"))
+          in
+          let half = String.length line / 2 in
+          ignore (Unix.write_substring slow line 0 half);
+          (* Mid-line stall in progress; a well-behaved client on
+             another connection is served normally. *)
+          let r = rpc c (P.verify_request (P.Entry "swap")) in
+          Alcotest.(check bool)
+            "fast client served while slow one dribbles" true
+            (get_bool r "ok");
+          (* Now finish the request one byte at a time; the buffered
+             halves must reassemble into a served request. *)
+          String.iter
+            (fun ch -> ignore (Unix.write_substring slow (String.make 1 ch) 0 1))
+            (String.sub line half (String.length line - half));
+          let buf = Buffer.create 256 in
+          let byte = Bytes.create 1 in
+          let rec read_line () =
+            match Unix.read slow byte 0 1 with
+            | 0 -> Alcotest.fail "daemon closed on the slow client"
+            | _ ->
+                if Bytes.get byte 0 = '\n' then Buffer.contents buf
+                else begin
+                  Buffer.add_char buf (Bytes.get byte 0);
+                  read_line ()
+                end
+          in
+          match J.parse (read_line ()) with
+          | Error m -> Alcotest.failf "slow client response: %s" m
+          | Ok resp ->
+              Alcotest.(check bool) "slow client's request served" true
+                (get_bool resp "ok");
+              Alcotest.(check int) "response correlated" 9
+                (Option.value ~default:(-1) (J.int_member "id" resp))))
+
+let test_e2e_client_session_retry () =
+  (* Honest exit taxonomy: a dead daemon is [Unavailable] (gave up),
+     never a judgement about the program. *)
+  let dead_sock, _ = fresh_paths () in
+  let quick =
+    {
+      Server.Client.attempts = 3;
+      base_delay_ms = 1.0;
+      max_delay_ms = 5.0;
+    }
+  in
+  (match
+     Server.Client.request
+       (Server.Client.open_session ~retry:quick dead_sock)
+       (P.stats_request ())
+   with
+  | Error (Server.Client.Unavailable _) -> ()
+  | Ok _ -> Alcotest.fail "dead daemon must not answer"
+  | Error (Server.Client.Fatal m) ->
+      Alcotest.failf "dead daemon is not a judgement: %s" m);
+  (* Under heavy socket faults, a retrying session converges to the
+     fault-free verdicts — degradation costs retries, never truth. *)
+  let expected = sequential_statuses () in
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  F.configure ~seed:9 [ (F.Socket, 0.5) ];
+  Fun.protect ~finally:F.clear (fun () ->
+      with_daemon cfg (fun () ->
+          let s =
+            Server.Client.open_session
+              ~retry:
+                {
+                  Server.Client.attempts = 50;
+                  base_delay_ms = 1.0;
+                  max_delay_ms = 10.0;
+                }
+              sock
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close_session s)
+            (fun () ->
+              List.iter
+                (fun (e : Pr.entry) ->
+                  match
+                    Server.Client.request s (P.verify_request (P.Entry e.name))
+                  with
+                  | Ok resp ->
+                      Alcotest.(check string)
+                        (e.name ^ " verdict through retries")
+                        (List.assoc e.name expected)
+                        (get_str resp "status")
+                  | Error (Server.Client.Fatal m)
+                  | Error (Server.Client.Unavailable m) ->
+                      Alcotest.failf "%s: session never converged: %s" e.name
+                        m)
+                (match Pr.all with a :: b :: c :: _ -> [ a; b; c ] | l -> l);
+              (* A judgement is not retried into oblivion: unknown
+                 entries come back [Fatal] once a request gets through. *)
+              match
+                Server.Client.request s (P.verify_request (P.Entry "nope"))
+              with
+              | Error (Server.Client.Fatal m) ->
+                  Alcotest.(check bool) "named" true (contains m "unknown")
+              | Ok _ -> Alcotest.fail "unknown entry must fail"
+              | Error (Server.Client.Unavailable m) ->
+                  Alcotest.failf "judgement misreported as outage: %s" m)))
+
+let test_e2e_signals () =
+  let sock, _ = fresh_paths () in
+  let cfg = { Server.Daemon.default_config with socket_path = sock } in
+  let dom = Domain.spawn (fun () -> Server.Daemon.run cfg) in
+  let c = connect sock in
+  (* A served request proves the loop is up (and so the handlers are
+     installed — they are set before the loop starts). *)
+  let r0 = rpc c (P.verify_request (P.Entry "swap")) in
+  Alcotest.(check bool) "daemon up" true (get_bool r0 "ok");
+  (* SIGHUP: a stats snapshot on stderr, no service interruption. *)
+  Unix.kill (Unix.getpid ()) Sys.sighup;
+  Unix.sleepf 0.1;
+  let r1 = rpc c (P.verify_request (P.Entry "count")) in
+  Alcotest.(check bool) "still serving after SIGHUP" true (get_bool r1 "ok");
+  (* SIGTERM: graceful drain — the daemon exits cleanly with no
+     shutdown request, removing its socket. *)
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (match Domain.join dom with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "drain failed: %s" m);
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists sock);
+  Server.Client.close c
+
 let () =
   Alcotest.run "server"
     [
@@ -742,6 +1192,9 @@ let () =
           Alcotest.test_case "fingerprint" `Quick
             test_cache_fingerprint_isolation;
           Alcotest.test_case "lru bound" `Quick test_cache_lru_bound;
+          Alcotest.test_case "crash recovery" `Quick test_cache_crash_recovery;
+          Alcotest.test_case "disk fault crash window" `Quick
+            test_cache_disk_fault_crash_window;
           Alcotest.test_case "verdict tier" `Quick test_verdict_tier;
         ] );
       ( "daemon",
@@ -761,5 +1214,18 @@ let () =
             test_e2e_shutdown_drains_in_flight;
           Alcotest.test_case "inline source" `Quick test_e2e_inline_source;
           Alcotest.test_case "lint" `Quick test_e2e_lint;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "worker crashes isolated + breaker" `Quick
+            test_e2e_worker_crashes_isolated_and_breaker;
+          Alcotest.test_case "watchdog preempts stall" `Quick
+            test_e2e_watchdog_preempts_stall;
+          Alcotest.test_case "overload sheds + degrades" `Quick
+            test_e2e_overload_sheds_and_degrades;
+          Alcotest.test_case "slowloris" `Quick test_e2e_slowloris;
+          Alcotest.test_case "client session retry" `Quick
+            test_e2e_client_session_retry;
+          Alcotest.test_case "signals" `Quick test_e2e_signals;
         ] );
     ]

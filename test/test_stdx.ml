@@ -1,5 +1,6 @@
 (** Tests for the utility substrate: rational arithmetic laws,
-    union-find, and list helpers. *)
+    union-find, list helpers, and the watchdog's two-stage
+    escalation (driven deterministically, no monitor domain). *)
 
 open Stdx
 
@@ -90,6 +91,87 @@ let test_gensym () =
   let a = Gensym.fresh g and b = Gensym.fresh g in
   Alcotest.(check bool) "fresh distinct" true (a <> b)
 
+(* A passive watchdog ([monitor:false]) whose clock the test owns:
+   [scan ~now] replaces the monitor domain, so every escalation step
+   is deterministic. *)
+let test_watchdog_escalation () =
+  let wd = Watchdog.create ~monitor:false () in
+  let t0 = Unix.gettimeofday () in
+  let cancelled = ref false and abandoned = ref false in
+  let w =
+    Watchdog.watch wd ~grace:1.0 ~deadline_ms:1000.0
+      ~cancel:(fun () -> cancelled := true)
+      ~abandon:(fun () -> abandoned := true)
+      ()
+  in
+  (* Before the deadline: nothing fires. *)
+  Watchdog.scan ~now:(t0 +. 0.5) wd;
+  Alcotest.(check bool) "quiet before deadline" false !cancelled;
+  (* Past deadline × grace: the soft stage cancels, once. *)
+  Watchdog.scan ~now:(t0 +. 1.5) wd;
+  Alcotest.(check bool) "soft stage cancelled" true !cancelled;
+  Alcotest.(check bool) "hard stage not yet" false !abandoned;
+  Watchdog.scan ~now:(t0 +. 1.6) wd;
+  Alcotest.(check int) "soft fires once" 1 (Watchdog.stats wd).Watchdog.cancels;
+  (* Past twice that: the hard stage writes the activity off. *)
+  Watchdog.scan ~now:(t0 +. 2.5) wd;
+  Alcotest.(check bool) "hard stage abandoned" true !abandoned;
+  (match Watchdog.unwatch wd w with
+  | `Was_abandoned -> ()
+  | `Clean | `Was_cancelled -> Alcotest.fail "unwatch must report abandonment");
+  let st = Watchdog.stats wd in
+  Alcotest.(check int) "no active watches left" 0 st.Watchdog.active;
+  Alcotest.(check int) "abandons counted" 1 st.Watchdog.abandons;
+  Watchdog.stop wd
+
+let test_watchdog_clean_completion () =
+  let wd = Watchdog.create ~monitor:false () in
+  let fired = ref false in
+  let w =
+    Watchdog.watch wd ~grace:1.0 ~deadline_ms:1000.0
+      ~cancel:(fun () -> fired := true)
+      ~abandon:(fun () -> fired := true)
+      ()
+  in
+  (match Watchdog.unwatch wd w with
+  | `Clean -> ()
+  | _ -> Alcotest.fail "completing inside the deadline is clean");
+  (* A scan after completion must not fire anything. *)
+  Watchdog.scan ~now:(Unix.gettimeofday () +. 60.0) wd;
+  Alcotest.(check bool) "disarmed watch never fires" false !fired;
+  Watchdog.stop wd
+
+let test_watchdog_long_stall_fires_both_in_order () =
+  (* The first scan after a long stall finds both stages overdue: it
+     must fire cancel then abandon, in that order. *)
+  let wd = Watchdog.create ~monitor:false () in
+  let order = ref [] in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Watchdog.watch wd ~grace:1.0 ~deadline_ms:10.0
+       ~cancel:(fun () -> order := "cancel" :: !order)
+       ~abandon:(fun () -> order := "abandon" :: !order)
+       ());
+  Watchdog.scan ~now:(t0 +. 60.0) wd;
+  Alcotest.(check (list string))
+    "cancel before abandon" [ "cancel"; "abandon" ] (List.rev !order);
+  Watchdog.stop wd
+
+let test_watchdog_callback_errors_swallowed () =
+  let wd = Watchdog.create ~monitor:false () in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Watchdog.watch wd ~grace:1.0 ~deadline_ms:10.0
+       ~cancel:(fun () -> failwith "cancel blew up")
+       ~abandon:(fun () -> failwith "abandon blew up")
+       ());
+  (* The scan must survive both raising callbacks and count them. *)
+  Watchdog.scan ~now:(t0 +. 60.0) wd;
+  let st = Watchdog.stats wd in
+  Alcotest.(check int) "errors counted" 2 st.Watchdog.errors;
+  Alcotest.(check int) "stages still advanced" 1 st.Watchdog.abandons;
+  Watchdog.stop wd
+
 let () =
   Alcotest.run "stdx"
     [
@@ -99,4 +181,15 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_union_find; uf_prop ] );
       ("listx", [ Alcotest.test_case "helpers" `Quick test_listx ]);
       ("gensym", [ Alcotest.test_case "fresh" `Quick test_gensym ]);
+      ( "watchdog",
+        [
+          Alcotest.test_case "two-stage escalation" `Quick
+            test_watchdog_escalation;
+          Alcotest.test_case "clean completion" `Quick
+            test_watchdog_clean_completion;
+          Alcotest.test_case "long stall fires both" `Quick
+            test_watchdog_long_stall_fires_both_in_order;
+          Alcotest.test_case "callback errors swallowed" `Quick
+            test_watchdog_callback_errors_swallowed;
+        ] );
     ]
